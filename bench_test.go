@@ -1,0 +1,233 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each BenchmarkEx corresponds to one experiment of the DESIGN.md index and
+// reports the headline numbers (peak temperature, wirelength, TDP, slowdown)
+// as custom metrics, so `go test -bench=. -benchmem` both times the pipeline
+// and reproduces the paper's rows at reduced fidelity. cmd/experiments -full
+// runs the same code at paper fidelity.
+package tap25d_test
+
+import (
+	"testing"
+
+	"tap25d"
+	"tap25d/internal/experiments"
+)
+
+// benchConfig keeps one benchmark iteration in the seconds range: coarse
+// thermal grid, short anneal, single run.
+func benchConfig() experiments.Config {
+	return experiments.Config{ThermalGrid: 24, Steps: 120, Runs: 1, CompactSteps: 4000, Seed: 1}
+}
+
+func runExperiment(b *testing.B, id string, metrics func(*experiments.Report) map[string]float64) {
+	b.Helper()
+	var last *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run(id, benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rep
+	}
+	if last != nil && metrics != nil {
+		for name, v := range metrics(last) {
+			b.ReportMetric(v, name)
+		}
+	}
+}
+
+// BenchmarkE1MultiGPU regenerates Fig. 4: Compact-2.5D vs TAP-2.5D
+// (repeaterless and gas-station) on the Multi-GPU system.
+func BenchmarkE1MultiGPU(b *testing.B) {
+	runExperiment(b, "E1", func(r *experiments.Report) map[string]float64 {
+		return map[string]float64{
+			"compactC": r.Rows[0].TempC,
+			"tapC":     r.Rows[1].TempC,
+			"gasWLmm":  r.Rows[2].WirelengthMM,
+		}
+	})
+}
+
+// BenchmarkE2InterposerSize regenerates the 45 vs 50 mm interposer study.
+func BenchmarkE2InterposerSize(b *testing.B) {
+	runExperiment(b, "E2", func(r *experiments.Report) map[string]float64 {
+		return map[string]float64{
+			"t45C": r.Rows[0].TempC,
+			"t50C": r.Rows[2].TempC,
+		}
+	})
+}
+
+// BenchmarkE3CPUDRAM regenerates Fig. 5: original/compact/TAP placements of
+// the CPU-DRAM system.
+func BenchmarkE3CPUDRAM(b *testing.B) {
+	runExperiment(b, "E3", func(r *experiments.Report) map[string]float64 {
+		return map[string]float64{
+			"origC": r.Rows[0].TempC,
+			"tapC":  r.Rows[2].TempC,
+		}
+	})
+}
+
+// BenchmarkE4TDP regenerates the TDP envelope analysis.
+func BenchmarkE4TDP(b *testing.B) {
+	runExperiment(b, "E4", func(r *experiments.Report) map[string]float64 {
+		return map[string]float64{
+			"origW": r.Rows[0].Extra["TDP_W"],
+			"tapW":  r.Rows[1].Extra["TDP_W"],
+		}
+	})
+}
+
+// BenchmarkE5LinkLatency regenerates the PARSEC/SPLASH2/UHPC link-latency
+// slowdown table.
+func BenchmarkE5LinkLatency(b *testing.B) {
+	runExperiment(b, "E5", func(r *experiments.Report) map[string]float64 {
+		return map[string]float64{
+			"mean2pct": r.Rows[0].Extra["mean_pct"],
+			"mean3pct": r.Rows[13].Extra["mean_pct"],
+		}
+	})
+}
+
+// BenchmarkE6Ascend910 regenerates Fig. 6: the Ascend 910 case study.
+func BenchmarkE6Ascend910(b *testing.B) {
+	runExperiment(b, "E6", func(r *experiments.Report) map[string]float64 {
+		return map[string]float64{
+			"origC":   r.Rows[0].TempC,
+			"tapWLmm": r.Rows[2].WirelengthMM,
+		}
+	})
+}
+
+// BenchmarkE7RoutingScaling regenerates the scalability discussion.
+func BenchmarkE7RoutingScaling(b *testing.B) {
+	runExperiment(b, "E7", func(r *experiments.Report) map[string]float64 {
+		last := r.Rows[len(r.Rows)-1]
+		return map[string]float64{
+			"route32ms":   last.Extra["route_ms"],
+			"thermal32ms": last.Extra["thermal_ms"],
+		}
+	})
+}
+
+// BenchmarkE8MILPvsFast regenerates the router-vs-MILP comparison.
+func BenchmarkE8MILPvsFast(b *testing.B) {
+	runExperiment(b, "E8", func(r *experiments.Report) map[string]float64 {
+		worst := 0.0
+		for _, row := range r.Rows {
+			if g := row.Extra["gap_pct"]; g > worst {
+				worst = g
+			}
+		}
+		return map[string]float64{"worstGapPct": worst}
+	})
+}
+
+// BenchmarkE9Ablations regenerates the jump/alpha/initial-placement
+// ablations.
+func BenchmarkE9Ablations(b *testing.B) {
+	runExperiment(b, "E9", func(r *experiments.Report) map[string]float64 {
+		return map[string]float64{
+			"fullC":   r.Rows[0].TempC,
+			"noJumpC": r.Rows[1].TempC,
+		}
+	})
+}
+
+// BenchmarkE10EndToEnd regenerates the wire-delay -> link-latency ->
+// performance closure (extension experiment).
+func BenchmarkE10EndToEnd(b *testing.B) {
+	runExperiment(b, "E10", func(r *experiments.Report) map[string]float64 {
+		return map[string]float64{
+			"tapGasSlowPct": r.Rows[5].Extra["slowdown_pct"],
+			"tapGasNetPct":  r.Rows[5].Extra["net_pct"],
+		}
+	})
+}
+
+// BenchmarkE11CompactCrossCheck regenerates the B*-tree vs Sequence-Pair
+// baseline comparison (extension experiment).
+func BenchmarkE11CompactCrossCheck(b *testing.B) {
+	runExperiment(b, "E11", func(r *experiments.Report) map[string]float64 {
+		return map[string]float64{
+			"btreeWLmm": r.Rows[2].WirelengthMM, // cpudram / B*-tree
+			"spWLmm":    r.Rows[3].WirelengthMM, // cpudram / seq-pair
+		}
+	})
+}
+
+// BenchmarkE12CoolingTradeoff regenerates the placement-vs-liquid-cooling
+// comparison (extension experiment).
+func BenchmarkE12CoolingTradeoff(b *testing.B) {
+	runExperiment(b, "E12", func(r *experiments.Report) map[string]float64 {
+		return map[string]float64{
+			"origAirC": r.Rows[0].TempC,
+			"origLiqC": r.Rows[1].TempC,
+		}
+	})
+}
+
+// BenchmarkE13AlphaSweep regenerates the Eqn. 12 trade-off curve
+// (extension experiment).
+func BenchmarkE13AlphaSweep(b *testing.B) {
+	runExperiment(b, "E13", func(r *experiments.Report) map[string]float64 {
+		return map[string]float64{
+			"alpha01C": r.Rows[0].TempC,
+			"alpha09C": r.Rows[4].TempC,
+		}
+	})
+}
+
+// --- Component benchmarks (pipeline building blocks) ------------------------
+
+// BenchmarkThermalSolve times one steady-state solve at the paper's 64x64
+// resolution (the paper's HotSpot call: 23 s; this solver: ~250 ms).
+func BenchmarkThermalSolve(b *testing.B) {
+	sys, err := tap25d.BuiltinSystem("cpudram")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := tap25d.CPUDRAMOriginalPlacement()
+	for i := 0; i < b.N; i++ {
+		if _, err := tap25d.Evaluate(sys, p, tap25d.Options{ThermalGrid: 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSAStep times one full evaluate cycle (thermal + routing) at the
+// reduced in-loop fidelity used by the placer.
+func BenchmarkSAStep(b *testing.B) {
+	sys, err := tap25d.BuiltinSystem("multigpu")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One evaluation at the reduced grid stands in for one SA step.
+	p := tap25d.Placement{}
+	res, err := tap25d.PlaceCompact(sys, tap25d.Options{ThermalGrid: 32, CompactSteps: 4000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p = res.Placement
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tap25d.Evaluate(sys, p, tap25d.Options{ThermalGrid: 32}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactRouting times the MILP router (the paper's 5 s CPLEX call).
+func BenchmarkExactRouting(b *testing.B) {
+	sys, err := tap25d.BuiltinSystem("ascend910")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := tap25d.Ascend910OriginalPlacement()
+	for i := 0; i < b.N; i++ {
+		if _, err := tap25d.Evaluate(sys, p, tap25d.Options{ThermalGrid: 16, ExactRouting: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

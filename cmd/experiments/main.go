@@ -1,0 +1,70 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (see DESIGN.md for the E1-E9 index and EXPERIMENTS.md for the
+// recorded paper-vs-measured values).
+//
+// Usage:
+//
+//	experiments                 # all experiments, reduced fidelity
+//	experiments -e E3           # one experiment
+//	experiments -full           # paper-fidelity settings (hours)
+//	experiments -grid 48 -steps 800 -runs 3   # custom fidelity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tap25d/internal/experiments"
+)
+
+func main() {
+	var (
+		ids   = flag.String("e", "", "comma-separated experiment IDs (default: all of E1-E9)")
+		full  = flag.Bool("full", false, "paper-fidelity settings (64x64 grid, 4500 steps, 5 runs)")
+		grid  = flag.Int("grid", 0, "override thermal grid resolution")
+		steps = flag.Int("steps", 0, "override SA steps")
+		runs  = flag.Int("runs", 0, "override SA run count")
+		seed  = flag.Int64("seed", 0, "override random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Reduced()
+	if *full {
+		cfg = experiments.Full()
+	}
+	if *grid != 0 {
+		cfg.ThermalGrid = *grid
+	}
+	if *steps != 0 {
+		cfg.Steps = *steps
+	}
+	if *runs != 0 {
+		cfg.Runs = *runs
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	list := experiments.IDs()
+	if *ids != "" {
+		list = strings.Split(*ids, ",")
+	}
+	fmt.Printf("config: grid=%d steps=%d runs=%d compact=%d seed=%d\n\n",
+		cfg.ThermalGrid, cfg.Steps, cfg.Runs, cfg.CompactSteps, cfg.Seed)
+	failed := false
+	for _, id := range list {
+		rep, err := experiments.Run(strings.TrimSpace(id), cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		rep.Format(os.Stdout)
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

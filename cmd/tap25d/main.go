@@ -1,0 +1,156 @@
+// Command tap25d runs the TAP-2.5D placement flow on a built-in case study
+// or a JSON system description and reports the resulting temperature,
+// wirelength, placement and thermal map.
+//
+// Usage:
+//
+//	tap25d -system cpudram [-steps 1000] [-runs 5] [-grid 64] [-gas]
+//	tap25d -json mysystem.json -out placement.json -ppm heat.ppm
+//	tap25d -system multigpu -mode compact     # Compact-2.5D baseline only
+//	tap25d -system cpudram -mode evaluate -placement p.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"tap25d"
+)
+
+func main() {
+	var (
+		systemName = flag.String("system", "", "built-in system: multigpu, cpudram, ascend910")
+		jsonPath   = flag.String("json", "", "path to a JSON system description (alternative to -system)")
+		mode       = flag.String("mode", "tap", "flow: tap (thermally-aware), compact (baseline), evaluate (score -placement)")
+		placement  = flag.String("placement", "", "JSON placement file for -mode evaluate")
+		steps      = flag.Int("steps", 1000, "SA steps per run (paper: 4500)")
+		runs       = flag.Int("runs", 1, "independent SA runs, best wins (paper: 5)")
+		grid       = flag.Int("grid", 64, "thermal grid resolution (paper: 64)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		gas        = flag.Bool("gas", false, "use 2-stage gas-station links (Eqn. 9)")
+		exact      = flag.Bool("exact", false, "route the final placement with the exact MILP")
+		outPath    = flag.String("out", "", "write the resulting placement as JSON")
+		ppmPath    = flag.String("ppm", "", "write the thermal map as a PPM image")
+		quiet      = flag.Bool("q", false, "suppress the ASCII thermal map")
+	)
+	flag.Parse()
+
+	sys, err := loadSystem(*systemName, *jsonPath)
+	if err != nil {
+		fatal(err)
+	}
+	opt := tap25d.Options{
+		ThermalGrid:  *grid,
+		Steps:        *steps,
+		Runs:         *runs,
+		Seed:         *seed,
+		GasStation:   *gas,
+		ExactRouting: *exact,
+	}
+
+	var res *tap25d.Result
+	switch *mode {
+	case "tap":
+		res, err = tap25d.Place(sys, opt)
+	case "compact":
+		res, err = tap25d.PlaceCompact(sys, opt)
+	case "evaluate":
+		var p tap25d.Placement
+		if err := readJSON(*placement, &p); err != nil {
+			fatal(fmt.Errorf("reading -placement: %w", err))
+		}
+		res, err = tap25d.Evaluate(sys, p, opt)
+	default:
+		fatal(fmt.Errorf("unknown -mode %q", *mode))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("system %s: peak %.2f C (feasible <= %d C: %v), wirelength %.0f mm\n",
+		sys.Name, res.PeakC, tap25d.CriticalC, res.Feasible, res.WirelengthMM)
+	if *mode == "tap" {
+		fmt.Printf("initial (Compact-2.5D): %.2f C, %.0f mm\n", res.InitialPeakC, res.InitialWirelength)
+	}
+	for i, c := range res.Placement.Centers {
+		rot := ""
+		if res.Placement.Rotated[i] {
+			rot = " (rotated)"
+		}
+		fmt.Printf("  %-12s at (%5.1f, %5.1f) mm%s\n", sys.Chiplets[i].Name, c.X, c.Y, rot)
+	}
+	if !*quiet {
+		fmt.Println(tap25d.ThermalASCII(sys, res, 72))
+	}
+	if *outPath != "" {
+		if err := writeJSON(*outPath, res.Placement); err != nil {
+			fatal(err)
+		}
+		fmt.Println("placement written to", *outPath)
+	}
+	if *ppmPath != "" {
+		f, err := os.Create(*ppmPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tap25d.WriteThermalPPM(f, res, 8); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("thermal map written to", *ppmPath)
+	}
+}
+
+func loadSystem(name, jsonPath string) (*tap25d.System, error) {
+	switch {
+	case name != "" && jsonPath != "":
+		return nil, fmt.Errorf("use either -system or -json, not both")
+	case name != "":
+		return tap25d.BuiltinSystem(name)
+	case jsonPath != "":
+		f, err := os.Open(jsonPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return tap25d.LoadSystem(f)
+	default:
+		return nil, fmt.Errorf("specify -system (%v) or -json", tap25d.BuiltinSystemNames())
+	}
+}
+
+func readJSON(path string, v any) error {
+	if path == "" {
+		return fmt.Errorf("no file given")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return json.NewDecoder(f).Decode(v)
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tap25d:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,153 @@
+// Command thermalmap renders the thermal field of a placement: ASCII to
+// stdout and optionally a PPM image, for a built-in case study (using its
+// reference placement) or a JSON system + placement pair. With -transient it
+// also traces the power-on step response and reports the time to the
+// critical temperature.
+//
+// Usage:
+//
+//	thermalmap -system ascend910
+//	thermalmap -json sys.json -placement p.json -ppm out.ppm
+//	thermalmap -system cpudram -transient -dt 0.01 -horizon 5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"tap25d"
+)
+
+func main() {
+	var (
+		systemName = flag.String("system", "", "built-in system (multigpu, cpudram, ascend910)")
+		jsonPath   = flag.String("json", "", "JSON system description")
+		placement  = flag.String("placement", "", "JSON placement (required with -json)")
+		grid       = flag.Int("grid", 64, "thermal grid resolution")
+		cols       = flag.Int("cols", 72, "ASCII map width")
+		ppmPath    = flag.String("ppm", "", "write a PPM image")
+		transient  = flag.Bool("transient", false, "also trace the power-on step response")
+		dt         = flag.Float64("dt", 0.02, "transient time step in seconds")
+		horizon    = flag.Float64("horizon", 10, "transient horizon in seconds")
+	)
+	flag.Parse()
+
+	sys, p, err := load(*systemName, *jsonPath, *placement)
+	if err != nil {
+		fatal(err)
+	}
+	opt := tap25d.Options{ThermalGrid: *grid}
+	res, err := tap25d.Evaluate(sys, p, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: peak %.2f C, wirelength %.0f mm, feasible(<=%d C): %v\n\n",
+		sys.Name, res.PeakC, res.WirelengthMM, tap25d.CriticalC, res.Feasible)
+	fmt.Println(tap25d.ThermalASCII(sys, res, *cols))
+
+	if *ppmPath != "" {
+		f, err := os.Create(*ppmPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tap25d.WriteThermalPPM(f, res, 8); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *ppmPath)
+	}
+
+	if *transient {
+		steps := int(*horizon / *dt)
+		if steps < 1 {
+			steps = 1
+		}
+		tr, err := tap25d.Transient(sys, p, *dt, steps, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\npower-on step response (dt=%.3gs, %d steps):\n", *dt, steps)
+		stride := len(tr.TimesS) / 10
+		if stride < 1 {
+			stride = 1
+		}
+		for i := 0; i < len(tr.TimesS); i += stride {
+			fmt.Printf("  t=%7.3fs  peak=%7.2f C\n", tr.TimesS[i], tr.PeakC[i])
+		}
+		fmt.Printf("  steady state: %.2f C\n", tr.SteadyPeakC)
+		if tt, ok := tr.TimeToThresholdS(float64(tap25d.CriticalC)); ok {
+			fmt.Printf("  crosses %d C after %.3f s\n", tap25d.CriticalC, tt)
+		} else {
+			fmt.Printf("  never crosses %d C within the horizon\n", tap25d.CriticalC)
+		}
+	}
+}
+
+func load(name, jsonPath, placementPath string) (*tap25d.System, tap25d.Placement, error) {
+	var zero tap25d.Placement
+	switch {
+	case name != "":
+		sys, err := tap25d.BuiltinSystem(name)
+		if err != nil {
+			return nil, zero, err
+		}
+		var p tap25d.Placement
+		switch name {
+		case "cpudram":
+			p = tap25d.CPUDRAMOriginalPlacement()
+		case "ascend910":
+			p = tap25d.Ascend910OriginalPlacement()
+		default:
+			// No reference placement: run the compact baseline.
+			res, err := tap25d.PlaceCompact(sys, tap25d.Options{ThermalGrid: 32, Seed: 1})
+			if err != nil {
+				return nil, zero, err
+			}
+			p = res.Placement
+		}
+		if placementPath != "" {
+			if err := readJSON(placementPath, &p); err != nil {
+				return nil, zero, err
+			}
+		}
+		return sys, p, nil
+	case jsonPath != "":
+		f, err := os.Open(jsonPath)
+		if err != nil {
+			return nil, zero, err
+		}
+		defer f.Close()
+		sys, err := tap25d.LoadSystem(f)
+		if err != nil {
+			return nil, zero, err
+		}
+		var p tap25d.Placement
+		if err := readJSON(placementPath, &p); err != nil {
+			return nil, zero, fmt.Errorf("-placement is required with -json: %w", err)
+		}
+		return sys, p, nil
+	}
+	return nil, zero, fmt.Errorf("specify -system (%v) or -json", tap25d.BuiltinSystemNames())
+}
+
+func readJSON(path string, v any) error {
+	if path == "" {
+		return fmt.Errorf("no file given")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return json.NewDecoder(f).Decode(v)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thermalmap:", err)
+	os.Exit(1)
+}

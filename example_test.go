@@ -1,0 +1,95 @@
+package tap25d_test
+
+import (
+	"fmt"
+
+	"tap25d"
+)
+
+// ExamplePlace shows the full TAP-2.5D flow on a small custom system.
+func ExamplePlace() {
+	sys := &tap25d.System{
+		Name:        "example",
+		InterposerW: 30,
+		InterposerH: 30,
+		Chiplets: []tap25d.Chiplet{
+			{Name: "XPU", W: 12, H: 12, Power: 180},
+			{Name: "MEM", W: 6, H: 9, Power: 6},
+		},
+		Channels: []tap25d.Channel{{Src: 0, Dst: 1, Wires: 512}},
+	}
+	// Reduced-cost settings; the paper's configuration is ThermalGrid: 64,
+	// Steps: 4500, Runs: 5.
+	res, err := tap25d.Place(sys, tap25d.Options{ThermalGrid: 16, Steps: 100, Seed: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("placed chiplets:", len(res.Placement.Centers))
+	fmt.Println("routing valid:", tap25d.CheckRouting(sys, res.Routing) == nil)
+	// Output:
+	// placed chiplets: 2
+	// routing valid: true
+}
+
+// ExampleEvaluate scores an existing placement (here, the paper's original
+// CPU-DRAM layout) without running the placer.
+func ExampleEvaluate() {
+	sys, _ := tap25d.BuiltinSystem("cpudram")
+	res, err := tap25d.Evaluate(sys, tap25d.CPUDRAMOriginalPlacement(),
+		tap25d.Options{ThermalGrid: 16})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// The original CPU-DRAM placement is thermally infeasible — the premise
+	// of the paper's case study 2.
+	fmt.Println("above 85 C:", res.PeakC > 85)
+	fmt.Println("feasible:", res.Feasible)
+	// Output:
+	// above 85 C: true
+	// feasible: false
+}
+
+// ExampleBuiltinSystem lists the paper's case studies.
+func ExampleBuiltinSystem() {
+	for _, name := range tap25d.BuiltinSystemNames() {
+		sys, _ := tap25d.BuiltinSystem(name)
+		fmt.Printf("%s: %d chiplets, %d channels\n", name, len(sys.Chiplets), len(sys.Channels))
+	}
+	// Output:
+	// ascend910: 8 chiplets, 5 channels
+	// cpudram: 8 chiplets, 8 channels
+	// multigpu: 8 chiplets, 9 channels
+}
+
+// ExampleLinkLatencyStudy reproduces the paper's Section IV-B slowdown
+// bands over the synthetic workload suite.
+func ExampleLinkLatencyStudy() {
+	studies, err := tap25d.LinkLatencyStudy([]int{2, 3}, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, st := range studies {
+		fmt.Printf("1 -> %d cycles: mean slowdown within paper band: %v\n",
+			st.LinkLatency, st.Mean > 0.05 && st.Mean < 0.30)
+	}
+	// Output:
+	// 1 -> 2 cycles: mean slowdown within paper band: true
+	// 1 -> 3 cycles: mean slowdown within paper band: true
+}
+
+// ExampleTDPEnvelope finds the maximum power a placement tolerates at 85 C.
+func ExampleTDPEnvelope() {
+	sys, _ := tap25d.BuiltinSystem("cpudram")
+	env, err := tap25d.TDPEnvelope(sys, tap25d.CPUDRAMOriginalPlacement(),
+		tap25d.CPUDRAMCPUIndices(), tap25d.Options{ThermalGrid: 16})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("envelope found:", env.Feasible && env.EnvelopeW > 100)
+	// Output:
+	// envelope found: true
+}

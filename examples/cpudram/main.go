@@ -1,0 +1,57 @@
+// Case study 2 (Section IV-B): the CPU-DRAM system of Kannan et al.
+// (MICRO'15). The original and compact placements are thermally infeasible;
+// TAP-2.5D trades wirelength for ~15-20 C of headroom, which the TDP
+// analysis converts into a higher power envelope.
+//
+//	go run ./examples/cpudram [-steps 400] [-grid 32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"tap25d"
+)
+
+func main() {
+	steps := flag.Int("steps", 400, "SA steps (paper: 4500)")
+	grid := flag.Int("grid", 32, "thermal grid (paper: 64)")
+	flag.Parse()
+
+	sys, err := tap25d.BuiltinSystem("cpudram")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := tap25d.Options{ThermalGrid: *grid, Steps: *steps, Seed: 11}
+
+	orig, err := tap25d.Evaluate(sys, tap25d.CPUDRAMOriginalPlacement(), opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fig. 5(a) original:  %.2f C, %.0f mm (feasible: %v; paper: 115.94 C)\n",
+		orig.PeakC, orig.WirelengthMM, orig.Feasible)
+
+	tapRes, err := tap25d.Place(sys, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fig. 5(c) TAP-2.5D:  %.2f C, %.0f mm (paper: 94.89 C)\n\n",
+		tapRes.PeakC, tapRes.WirelengthMM)
+	fmt.Println(tap25d.ThermalASCII(sys, tapRes, 72))
+
+	// TDP analysis: scale the CPUs' power until the peak hits 85 C.
+	cpus := tap25d.CPUDRAMCPUIndices()
+	origTDP, err := tap25d.TDPEnvelope(sys, tap25d.CPUDRAMOriginalPlacement(), cpus, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tapTDP, err := tap25d.TDPEnvelope(sys, tapRes.Placement, cpus, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TDP envelope (85 C constraint, varying CPU power):\n")
+	fmt.Printf("  original placement: %.0f W (paper: 400 W)\n", origTDP.EnvelopeW)
+	fmt.Printf("  TAP-2.5D placement: %.0f W (paper: 550 W)\n", tapTDP.EnvelopeW)
+	fmt.Printf("  gain: +%.0f W (paper: +150 W)\n", tapTDP.EnvelopeW-origTDP.EnvelopeW)
+}

@@ -1,0 +1,58 @@
+// Case study 1 (Section IV-A): the conceptual Multi-GPU system. Compares the
+// Compact-2.5D baseline against TAP-2.5D with repeaterless and gas-station
+// links, reproducing the shape of the paper's Fig. 4, and prints thermal
+// maps for each design point.
+//
+//	go run ./examples/multigpu [-steps 400] [-grid 32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"tap25d"
+)
+
+func main() {
+	steps := flag.Int("steps", 400, "SA steps (paper: 4500)")
+	grid := flag.Int("grid", 32, "thermal grid (paper: 64)")
+	flag.Parse()
+
+	sys, err := tap25d.BuiltinSystem("multigpu")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := tap25d.Options{ThermalGrid: *grid, Steps: *steps, Seed: 7}
+
+	compact, err := tap25d.PlaceCompact(sys, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(sys, "Fig. 4(a) Compact-2.5D", compact)
+
+	tapRL, err := tap25d.Place(sys, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(sys, "Fig. 4(b) TAP-2.5D, repeaterless links", tapRL)
+
+	optGas := opt
+	optGas.GasStation = true
+	tapGas, err := tap25d.Place(sys, optGas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(sys, "Fig. 4(c) TAP-2.5D, gas-station links", tapGas)
+
+	fmt.Printf("paper reference: (a) 95.31 C / 88059 mm, (b) 91.25 C / 96906 mm, (c) 91.52 C / 51010 mm\n")
+	fmt.Printf("temperature drop vs compact: %.2f C (repeaterless), %.2f C (gas-station)\n",
+		compact.PeakC-tapRL.PeakC, compact.PeakC-tapGas.PeakC)
+	fmt.Printf("gas-station wirelength vs compact: %.0f%%\n",
+		100*tapGas.WirelengthMM/compact.WirelengthMM)
+}
+
+func show(sys *tap25d.System, title string, res *tap25d.Result) {
+	fmt.Printf("--- %s: %.2f C, %.0f mm\n", title, res.PeakC, res.WirelengthMM)
+	fmt.Println(tap25d.ThermalASCII(sys, res, 72))
+}

@@ -1,0 +1,59 @@
+// Quickstart: define a small heterogeneous 2.5D system, run the TAP-2.5D
+// thermally-aware placer, and print the solution.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tap25d"
+)
+
+func main() {
+	// A 30x30 mm interposer carrying one hot accelerator, one CPU, and two
+	// memory stacks. Wires: a 512-bit accelerator-memory bus each, and a
+	// 256-wire CPU-accelerator channel.
+	sys := &tap25d.System{
+		Name:        "quickstart",
+		InterposerW: 30,
+		InterposerH: 30,
+		Chiplets: []tap25d.Chiplet{
+			{Name: "XPU", W: 12, H: 12, Power: 180},
+			{Name: "CPU", W: 9, H: 9, Power: 60},
+			{Name: "MEM0", W: 6, H: 9, Power: 6},
+			{Name: "MEM1", W: 6, H: 9, Power: 6},
+		},
+		Channels: []tap25d.Channel{
+			{Src: 0, Dst: 2, Wires: 512},
+			{Src: 0, Dst: 3, Wires: 512},
+			{Src: 1, Dst: 0, Wires: 256},
+		},
+	}
+
+	// Reduced-cost settings: 32x32 thermal grid and 300 annealing steps run
+	// in seconds. The paper-fidelity configuration is ThermalGrid: 64,
+	// Steps: 4500, Runs: 5.
+	opt := tap25d.Options{ThermalGrid: 32, Steps: 300, Seed: 42}
+
+	compact, err := tap25d.PlaceCompact(sys, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Compact-2.5D baseline: %.2f C, %.0f mm wirelength\n",
+		compact.PeakC, compact.WirelengthMM)
+
+	res, err := tap25d.Place(sys, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TAP-2.5D:              %.2f C, %.0f mm wirelength (feasible: %v)\n\n",
+		res.PeakC, res.WirelengthMM, res.Feasible)
+
+	for i, c := range res.Placement.Centers {
+		fmt.Printf("  %-5s -> (%4.1f, %4.1f) mm\n", sys.Chiplets[i].Name, c.X, c.Y)
+	}
+	fmt.Println()
+	fmt.Println(tap25d.ThermalASCII(sys, res, 60))
+}

@@ -1,0 +1,3 @@
+module tap25d
+
+go 1.22

@@ -1,0 +1,82 @@
+package tap25d
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteHistoryCSV(t *testing.T) {
+	sys, _ := BuiltinSystem("ascend910")
+	opt := fastOpt()
+	opt.Steps = 40
+	opt.History = true
+	res, err := Place(sys, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) == 0 {
+		t.Fatal("no history recorded")
+	}
+	var buf bytes.Buffer
+	if err := WriteHistoryCSV(&buf, res.History); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(res.History)+1 {
+		t.Fatalf("rows = %d, want %d", len(records), len(res.History)+1)
+	}
+	header := strings.Join(records[0], ",")
+	if header != "step,op,temp_c,wirelength_mm,cost,k,alpha,accepted" {
+		t.Errorf("header = %q", header)
+	}
+	for i, rec := range records[1:] {
+		if len(rec) != 8 {
+			t.Fatalf("row %d has %d fields", i, len(rec))
+		}
+		if rec[1] != "move" && rec[1] != "rotate" && rec[1] != "jump" {
+			t.Errorf("row %d op = %q", i, rec[1])
+		}
+		if rec[7] != "true" && rec[7] != "false" {
+			t.Errorf("row %d accepted = %q", i, rec[7])
+		}
+	}
+}
+
+func TestWriteHistoryCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHistoryCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "step,op") {
+		t.Error("header missing for empty history")
+	}
+}
+
+func TestPlaceCompactSeqPairFacade(t *testing.T) {
+	sys, _ := BuiltinSystem("ascend910")
+	res, err := PlaceCompactSeqPair(sys, fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CheckPlacement(res.Placement); err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakC < 60 || res.WirelengthMM <= 0 {
+		t.Errorf("implausible: %.1f C, %.0f mm", res.PeakC, res.WirelengthMM)
+	}
+}
+
+func TestInterposerCostRatioFacade(t *testing.T) {
+	r := InterposerCostRatio(45, 45, 50, 50)
+	if r < 1.2 || r > 1.5 {
+		t.Errorf("45->50 ratio = %v, want ~1.33", r)
+	}
+	if InterposerCostRatio(50, 50, 45, 45) >= 1 {
+		t.Error("shrinking should cost less")
+	}
+}

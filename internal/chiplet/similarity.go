@@ -1,0 +1,99 @@
+package chiplet
+
+import "math"
+
+// Similarity quantifies how close two placements of the same system are:
+// the mean per-chiplet center distance (mm), minimized over the eight
+// symmetries of a square interposer (4 rotations × mirror), since a placement
+// and its mirror image are thermally and electrically equivalent. Chiplets
+// with identical dimensions and power are interchangeable, so within each
+// such equivalence class the assignment that minimizes total distance is
+// used (exact for the class sizes that occur here, via permutation search
+// over classes of up to 8).
+//
+// A small value means "the same floorplan up to symmetry" — the measure
+// behind the paper's Section IV-C observation that TAP-2.5D lands near the
+// commercial Ascend 910 layout.
+func (s *System) Similarity(a, b Placement) float64 {
+	best := math.Inf(1)
+	cx, cy := s.InterposerW/2, s.InterposerH/2
+	for mirror := 0; mirror < 2; mirror++ {
+		for rot := 0; rot < 4; rot++ {
+			// Transform b's centers under the symmetry. Rotations of a
+			// non-square interposer are only valid for 0 and 180 degrees;
+			// skip 90/270 when W != H.
+			if s.InterposerW != s.InterposerH && rot%2 == 1 {
+				continue
+			}
+			tb := make([]struct{ x, y float64 }, len(b.Centers))
+			for i, c := range b.Centers {
+				x, y := c.X-cx, c.Y-cy
+				if mirror == 1 {
+					x = -x
+				}
+				for r := 0; r < rot; r++ {
+					x, y = -y, x
+				}
+				tb[i].x, tb[i].y = x+cx, y+cy
+			}
+			if d := s.assignmentDistance(a, tb); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// assignmentDistance computes the mean matched distance between a's centers
+// and the transformed centers tb, allowing permutations within classes of
+// identical chiplets.
+func (s *System) assignmentDistance(a Placement, tb []struct{ x, y float64 }) float64 {
+	// Group chiplet indices by (W, H, Power) equivalence class.
+	type key struct{ w, h, p float64 }
+	classes := map[key][]int{}
+	for i, c := range s.Chiplets {
+		k := key{c.W, c.H, c.Power}
+		classes[k] = append(classes[k], i)
+	}
+	total := 0.0
+	for _, idx := range classes {
+		total += matchClass(a, tb, idx)
+	}
+	return total / float64(len(s.Chiplets))
+}
+
+// matchClass finds the minimum-total-distance assignment between the class
+// members' positions in a and tb by branch-and-bound permutation search
+// (class sizes in practice are <= 8).
+func matchClass(a Placement, tb []struct{ x, y float64 }, idx []int) float64 {
+	n := len(idx)
+	d := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		d[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			ai := a.Centers[idx[i]]
+			d[i][j] = math.Abs(ai.X-tb[idx[j]].x) + math.Abs(ai.Y-tb[idx[j]].y)
+		}
+	}
+	used := make([]bool, n)
+	best := math.Inf(1)
+	var rec func(i int, acc float64)
+	rec = func(i int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if i == n {
+			best = acc
+			return
+		}
+		for j := 0; j < n; j++ {
+			if !used[j] {
+				used[j] = true
+				rec(i+1, acc+d[i][j])
+				used[j] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}

@@ -1,0 +1,114 @@
+package chiplet
+
+import (
+	"math"
+	"testing"
+
+	"tap25d/internal/geom"
+)
+
+func simSystem() *System {
+	return &System{
+		Name:        "sim",
+		InterposerW: 40,
+		InterposerH: 40,
+		Chiplets: []Chiplet{
+			{Name: "BIG", W: 12, H: 8, Power: 100},
+			{Name: "M0", W: 6, H: 6, Power: 10},
+			{Name: "M1", W: 6, H: 6, Power: 10},
+		},
+	}
+}
+
+func TestSimilarityIdentity(t *testing.T) {
+	s := simSystem()
+	p := NewPlacement(3)
+	p.Centers[0] = geom.Point{X: 20, Y: 12}
+	p.Centers[1] = geom.Point{X: 8, Y: 30}
+	p.Centers[2] = geom.Point{X: 32, Y: 30}
+	if d := s.Similarity(p, p); d != 0 {
+		t.Errorf("self similarity = %v, want 0", d)
+	}
+}
+
+func TestSimilarityMirrorInvariant(t *testing.T) {
+	s := simSystem()
+	p := NewPlacement(3)
+	p.Centers[0] = geom.Point{X: 14, Y: 12}
+	p.Centers[1] = geom.Point{X: 8, Y: 30}
+	p.Centers[2] = geom.Point{X: 30, Y: 25}
+	// Mirror about the vertical axis (x -> 40 - x).
+	q := p.Clone()
+	for i := range q.Centers {
+		q.Centers[i].X = 40 - q.Centers[i].X
+	}
+	if d := s.Similarity(p, q); d > 1e-9 {
+		t.Errorf("mirrored placement similarity = %v, want 0", d)
+	}
+}
+
+func TestSimilarityRotationInvariant(t *testing.T) {
+	s := simSystem()
+	p := NewPlacement(3)
+	p.Centers[0] = geom.Point{X: 14, Y: 12}
+	p.Centers[1] = geom.Point{X: 8, Y: 30}
+	p.Centers[2] = geom.Point{X: 30, Y: 25}
+	// Rotate 180 degrees about the interposer center.
+	q := p.Clone()
+	for i := range q.Centers {
+		q.Centers[i].X = 40 - q.Centers[i].X
+		q.Centers[i].Y = 40 - q.Centers[i].Y
+	}
+	if d := s.Similarity(p, q); d > 1e-9 {
+		t.Errorf("rotated placement similarity = %v, want 0", d)
+	}
+}
+
+func TestSimilarityInterchangeableChiplets(t *testing.T) {
+	// Swapping the positions of two identical chiplets is a zero-distance
+	// difference.
+	s := simSystem()
+	p := NewPlacement(3)
+	p.Centers[0] = geom.Point{X: 20, Y: 12}
+	p.Centers[1] = geom.Point{X: 8, Y: 30}
+	p.Centers[2] = geom.Point{X: 32, Y: 30}
+	q := p.Clone()
+	q.Centers[1], q.Centers[2] = q.Centers[2], q.Centers[1]
+	if d := s.Similarity(p, q); d > 1e-9 {
+		t.Errorf("swap of identical chiplets similarity = %v, want 0", d)
+	}
+}
+
+func TestSimilarityDetectsDifference(t *testing.T) {
+	s := simSystem()
+	p := NewPlacement(3)
+	p.Centers[0] = geom.Point{X: 20, Y: 12}
+	p.Centers[1] = geom.Point{X: 8, Y: 30}
+	p.Centers[2] = geom.Point{X: 32, Y: 30}
+	q := p.Clone()
+	q.Centers[0] = geom.Point{X: 20, Y: 28} // move BIG 16 mm
+	d := s.Similarity(p, q)
+	if d <= 0 {
+		t.Fatalf("different placements similarity = %v, want > 0", d)
+	}
+	// One chiplet moved; mean over three chiplets is bounded by 16/3 + any
+	// symmetry gain.
+	if d > 16.0/3+1e-9 {
+		t.Errorf("similarity %v exceeds worst-case bound", d)
+	}
+}
+
+func TestSimilarityNonSquareSkips90(t *testing.T) {
+	s := simSystem()
+	s.InterposerH = 30 // non-square: only 0/180 rotations valid
+	p := NewPlacement(3)
+	p.Centers[0] = geom.Point{X: 20, Y: 12}
+	p.Centers[1] = geom.Point{X: 8, Y: 22}
+	p.Centers[2] = geom.Point{X: 32, Y: 22}
+	if d := s.Similarity(p, p); d != 0 {
+		t.Errorf("self similarity on non-square = %v", d)
+	}
+	if math.IsNaN(s.Similarity(p, p)) {
+		t.Error("NaN similarity")
+	}
+}

@@ -1,0 +1,174 @@
+// Package geom provides the planar geometry primitives used throughout
+// TAP-2.5D: points, rectangles, Manhattan distances, and the placement
+// validity predicates of the paper (Eqns. 10 and 11).
+//
+// All coordinates and lengths are in millimeters. Rectangles are axis-aligned
+// and described by their center point plus width (x extent) and height
+// (y extent), matching the paper's (X_c, Y_c, w, h) convention.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location on the interposer plane, in millimeters.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p minus q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Manhattan returns the L1 distance between p and q (Eqn. 2 uses this for
+// pin-clump to pin-clump route distances).
+func (p Point) Manhattan(q Point) float64 {
+	return math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
+}
+
+// Euclid returns the L2 distance between p and q.
+func (p Point) Euclid(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%.3f, %.3f)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle given by its center and dimensions.
+type Rect struct {
+	Center Point
+	W, H   float64
+}
+
+// RectFromBounds builds a Rect from its lower-left and upper-right corners.
+func RectFromBounds(x0, y0, x1, y1 float64) Rect {
+	return Rect{
+		Center: Point{(x0 + x1) / 2, (y0 + y1) / 2},
+		W:      x1 - x0,
+		H:      y1 - y0,
+	}
+}
+
+// MinX returns the left edge coordinate.
+func (r Rect) MinX() float64 { return r.Center.X - r.W/2 }
+
+// MaxX returns the right edge coordinate.
+func (r Rect) MaxX() float64 { return r.Center.X + r.W/2 }
+
+// MinY returns the bottom edge coordinate.
+func (r Rect) MinY() float64 { return r.Center.Y - r.H/2 }
+
+// MaxY returns the top edge coordinate.
+func (r Rect) MaxY() float64 { return r.Center.Y + r.H/2 }
+
+// Area returns the rectangle's area in mm².
+func (r Rect) Area() float64 { return r.W * r.H }
+
+// Rotated returns the rectangle rotated 90 degrees about its center
+// (width and height swapped).
+func (r Rect) Rotated() Rect { return Rect{Center: r.Center, W: r.H, H: r.W} }
+
+// Contains reports whether p lies inside or on the boundary of r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX() && p.X <= r.MaxX() && p.Y >= r.MinY() && p.Y <= r.MaxY()
+}
+
+// ContainsRect reports whether s lies entirely inside r (boundaries allowed to
+// touch). This is the paper's Eqn. (11): a chiplet must be completely on the
+// interposer.
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.MinX() >= r.MinX() && s.MaxX() <= r.MaxX() &&
+		s.MinY() >= r.MinY() && s.MaxY() <= r.MaxY()
+}
+
+// Overlaps reports whether r and s overlap with positive area.
+func (r Rect) Overlaps(s Rect) bool {
+	return r.MinX() < s.MaxX() && s.MinX() < r.MaxX() &&
+		r.MinY() < s.MaxY() && s.MinY() < r.MaxY()
+}
+
+// Gap returns the separation between r and s as defined by the paper's
+// Eqn. (10): the maximum of the four directed edge-to-edge distances. It is
+// negative when the rectangles overlap, zero when they touch, and positive
+// when there is clear space between them along at least one axis.
+func (r Rect) Gap(s Rect) float64 {
+	return math.Max(
+		math.Max(s.MinX()-r.MaxX(), r.MinX()-s.MaxX()),
+		math.Max(s.MinY()-r.MaxY(), r.MinY()-s.MaxY()),
+	)
+}
+
+// SeparatedBy reports whether the gap between r and s is at least wgap
+// (Eqn. 10 with w_gap, the 0.1 mm minimum chiplet spacing).
+func (r Rect) SeparatedBy(s Rect, wgap float64) bool {
+	return r.Gap(s) >= wgap-1e-12
+}
+
+// Intersect returns the intersection of r and s and whether it is non-empty.
+func (r Rect) Intersect(s Rect) (Rect, bool) {
+	x0 := math.Max(r.MinX(), s.MinX())
+	x1 := math.Min(r.MaxX(), s.MaxX())
+	y0 := math.Max(r.MinY(), s.MinY())
+	y1 := math.Min(r.MaxY(), s.MaxY())
+	if x0 >= x1 || y0 >= y1 {
+		return Rect{}, false
+	}
+	return RectFromBounds(x0, y0, x1, y1), true
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return RectFromBounds(
+		math.Min(r.MinX(), s.MinX()),
+		math.Min(r.MinY(), s.MinY()),
+		math.Max(r.MaxX(), s.MaxX()),
+		math.Max(r.MaxY(), s.MaxY()),
+	)
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.3f,%.3f]x[%.3f,%.3f]", r.MinX(), r.MaxX(), r.MinY(), r.MaxY())
+}
+
+// OverlapArea returns the area of the intersection of r and s (0 if disjoint).
+func (r Rect) OverlapArea(s Rect) float64 {
+	ix, ok := r.Intersect(s)
+	if !ok {
+		return 0
+	}
+	return ix.Area()
+}
+
+// BoundingBox returns the smallest rectangle containing every rectangle in rs.
+// It returns a zero Rect when rs is empty.
+func BoundingBox(rs []Rect) Rect {
+	if len(rs) == 0 {
+		return Rect{}
+	}
+	bb := rs[0]
+	for _, r := range rs[1:] {
+		bb = bb.Union(r)
+	}
+	return bb
+}
+
+// HPWL returns the half-perimeter wirelength of the bounding box of the
+// points. It is the classical floorplanning net-length estimate used by the
+// Compact-2.5D (B*-tree + fast-SA) baseline.
+func HPWL(pts []Point) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	minX, maxX := pts[0].X, pts[0].X
+	minY, maxY := pts[0].Y, pts[0].Y
+	for _, p := range pts[1:] {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	return (maxX - minX) + (maxY - minY)
+}

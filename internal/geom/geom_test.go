@@ -1,0 +1,257 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -4}
+	if got := p.Add(q); got != (Point{4, -2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+}
+
+func TestManhattan(t *testing.T) {
+	p := Point{0, 0}
+	q := Point{3, 4}
+	if got := p.Manhattan(q); !almostEq(got, 7) {
+		t.Errorf("Manhattan = %v, want 7", got)
+	}
+	if got := p.Euclid(q); !almostEq(got, 5) {
+		t.Errorf("Euclid = %v, want 5", got)
+	}
+}
+
+func TestManhattanSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		// Bound inputs to the interposer-scale range; astronomically large
+		// coordinates overflow and are not meaningful for this domain.
+		a := Point{math.Mod(ax, 1e3), math.Mod(ay, 1e3)}
+		b := Point{math.Mod(bx, 1e3), math.Mod(by, 1e3)}
+		return almostEq(a.Manhattan(b), b.Manhattan(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManhattanTriangleInequality(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a := Point{r.Float64() * 100, r.Float64() * 100}
+		b := Point{r.Float64() * 100, r.Float64() * 100}
+		c := Point{r.Float64() * 100, r.Float64() * 100}
+		if a.Manhattan(c) > a.Manhattan(b)+b.Manhattan(c)+1e-9 {
+			t.Fatalf("triangle inequality violated: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestRectBounds(t *testing.T) {
+	r := Rect{Center: Point{5, 5}, W: 4, H: 2}
+	if !almostEq(r.MinX(), 3) || !almostEq(r.MaxX(), 7) ||
+		!almostEq(r.MinY(), 4) || !almostEq(r.MaxY(), 6) {
+		t.Errorf("bounds wrong: %v", r)
+	}
+	if !almostEq(r.Area(), 8) {
+		t.Errorf("Area = %v", r.Area())
+	}
+}
+
+func TestRectFromBoundsRoundTrip(t *testing.T) {
+	f := func(x0, y0, w, h float64) bool {
+		x0, y0 = math.Mod(x0, 1e3), math.Mod(y0, 1e3)
+		w, h = math.Abs(math.Mod(w, 1e2))+0.1, math.Abs(math.Mod(h, 1e2))+0.1
+		r := RectFromBounds(x0, y0, x0+w, y0+h)
+		return almostEq(r.MinX(), x0) && almostEq(r.MinY(), y0) &&
+			almostEq(r.W, w) && almostEq(r.H, h)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2)), Values: nil}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotated(t *testing.T) {
+	r := Rect{Center: Point{1, 1}, W: 3, H: 7}
+	rr := r.Rotated()
+	if rr.W != 7 || rr.H != 3 || rr.Center != r.Center {
+		t.Errorf("Rotated = %v", rr)
+	}
+	if rr.Rotated() != r {
+		t.Errorf("double rotation not identity")
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := Rect{Center: Point{0, 0}, W: 2, H: 2}
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},
+		{Point{1, 1}, true},  // corner on boundary
+		{Point{-1, 0}, true}, // edge
+		{Point{1.1, 0}, false},
+		{Point{0, -1.01}, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestContainsRect(t *testing.T) {
+	outer := Rect{Center: Point{22.5, 22.5}, W: 45, H: 45}
+	inner := Rect{Center: Point{10, 10}, W: 16, H: 16}
+	if !outer.ContainsRect(inner) {
+		t.Error("inner should be contained")
+	}
+	edge := Rect{Center: Point{8, 8}, W: 16, H: 16} // touches boundary exactly
+	if !outer.ContainsRect(edge) {
+		t.Error("edge-touching rect should be contained")
+	}
+	out := Rect{Center: Point{7.9, 8}, W: 16, H: 16}
+	if outer.ContainsRect(out) {
+		t.Error("rect poking out should not be contained")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := Rect{Center: Point{0, 0}, W: 2, H: 2}
+	b := Rect{Center: Point{1.5, 0}, W: 2, H: 2} // overlaps by 0.5
+	c := Rect{Center: Point{2, 0}, W: 2, H: 2}   // touches exactly
+	d := Rect{Center: Point{3, 0}, W: 2, H: 2}   // disjoint
+	if !a.Overlaps(b) {
+		t.Error("a and b should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("touching rects should not count as overlapping")
+	}
+	if a.Overlaps(d) {
+		t.Error("a and d disjoint")
+	}
+}
+
+func TestGapMatchesEqn10(t *testing.T) {
+	a := Rect{Center: Point{0, 0}, W: 2, H: 2}
+	b := Rect{Center: Point{3, 0}, W: 2, H: 2}
+	if got := a.Gap(b); !almostEq(got, 1) {
+		t.Errorf("Gap = %v, want 1", got)
+	}
+	// Overlapping: negative gap.
+	c := Rect{Center: Point{1, 0}, W: 2, H: 2}
+	if got := a.Gap(c); got >= 0 {
+		t.Errorf("Gap of overlapping rects = %v, want < 0", got)
+	}
+	// Diagonal neighbors: gap is the max of per-axis clearances.
+	d := Rect{Center: Point{2.5, 2.1}, W: 2, H: 2}
+	if got := a.Gap(d); !almostEq(got, 0.5) {
+		t.Errorf("diagonal Gap = %v, want 0.5", got)
+	}
+}
+
+func TestGapSymmetry(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		a := Rect{Center: Point{r.Float64() * 40, r.Float64() * 40}, W: 1 + r.Float64()*10, H: 1 + r.Float64()*10}
+		b := Rect{Center: Point{r.Float64() * 40, r.Float64() * 40}, W: 1 + r.Float64()*10, H: 1 + r.Float64()*10}
+		if !almostEq(a.Gap(b), b.Gap(a)) {
+			t.Fatalf("gap asymmetric: %v vs %v", a.Gap(b), b.Gap(a))
+		}
+		// Gap < 0 iff overlap with positive area.
+		if (a.Gap(b) < -1e-12) != a.Overlaps(b) {
+			t.Fatalf("gap/overlap disagree: gap=%v overlaps=%v a=%v b=%v",
+				a.Gap(b), a.Overlaps(b), a, b)
+		}
+	}
+}
+
+func TestSeparatedBy(t *testing.T) {
+	a := Rect{Center: Point{0, 0}, W: 2, H: 2}
+	b := Rect{Center: Point{2.1, 0}, W: 2, H: 2} // gap 0.1
+	if !a.SeparatedBy(b, 0.1) {
+		t.Error("gap 0.1 should satisfy wgap=0.1")
+	}
+	if a.SeparatedBy(b, 0.2) {
+		t.Error("gap 0.1 should not satisfy wgap=0.2")
+	}
+}
+
+func TestIntersectUnion(t *testing.T) {
+	a := Rect{Center: Point{0, 0}, W: 4, H: 4}
+	b := Rect{Center: Point{2, 2}, W: 4, H: 4}
+	ix, ok := a.Intersect(b)
+	if !ok {
+		t.Fatal("should intersect")
+	}
+	if !almostEq(ix.Area(), 4) {
+		t.Errorf("intersection area = %v, want 4", ix.Area())
+	}
+	u := a.Union(b)
+	if !almostEq(u.Area(), 36) {
+		t.Errorf("union area = %v, want 36", u.Area())
+	}
+	if _, ok := a.Intersect(Rect{Center: Point{10, 10}, W: 1, H: 1}); ok {
+		t.Error("disjoint rects should not intersect")
+	}
+}
+
+func TestOverlapAreaProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		a := Rect{Center: Point{r.Float64() * 20, r.Float64() * 20}, W: 1 + r.Float64()*10, H: 1 + r.Float64()*10}
+		b := Rect{Center: Point{r.Float64() * 20, r.Float64() * 20}, W: 1 + r.Float64()*10, H: 1 + r.Float64()*10}
+		oa := a.OverlapArea(b)
+		if oa < 0 {
+			t.Fatal("negative overlap area")
+		}
+		if oa > a.Area()+1e-9 || oa > b.Area()+1e-9 {
+			t.Fatal("overlap area exceeds rect area")
+		}
+		if !almostEq(oa, b.OverlapArea(a)) {
+			t.Fatal("overlap area asymmetric")
+		}
+		if (oa > 1e-12) != a.Overlaps(b) {
+			t.Fatalf("overlap area / Overlaps disagree: %v vs %v", oa, a.Overlaps(b))
+		}
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	rs := []Rect{
+		{Center: Point{1, 1}, W: 2, H: 2},
+		{Center: Point{5, 5}, W: 2, H: 2},
+	}
+	bb := BoundingBox(rs)
+	if !almostEq(bb.MinX(), 0) || !almostEq(bb.MaxX(), 6) ||
+		!almostEq(bb.MinY(), 0) || !almostEq(bb.MaxY(), 6) {
+		t.Errorf("BoundingBox = %v", bb)
+	}
+	if BoundingBox(nil) != (Rect{}) {
+		t.Error("empty bounding box should be zero")
+	}
+}
+
+func TestHPWL(t *testing.T) {
+	pts := []Point{{0, 0}, {3, 4}, {1, 2}}
+	if got := HPWL(pts); !almostEq(got, 7) {
+		t.Errorf("HPWL = %v, want 7", got)
+	}
+	if HPWL(nil) != 0 {
+		t.Error("HPWL(nil) should be 0")
+	}
+	if HPWL([]Point{{2, 3}}) != 0 {
+		t.Error("HPWL of single point should be 0")
+	}
+}

@@ -1,0 +1,83 @@
+package interposercost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	m := Default()
+	m.DefectDensityPerCM2 = -1
+	if m.Validate() == nil {
+		t.Error("negative D0 accepted")
+	}
+	m = Default()
+	m.Clustering = 0
+	if m.Validate() == nil {
+		t.Error("zero alpha accepted")
+	}
+	m = Default()
+	m.WaferCostUSD = 0
+	if m.Validate() == nil {
+		t.Error("zero wafer cost accepted")
+	}
+}
+
+func TestYieldProperties(t *testing.T) {
+	m := Default()
+	y45 := m.Yield(45, 45)
+	y50 := m.Yield(50, 50)
+	if !(0 < y50 && y50 < y45 && y45 < 1) {
+		t.Errorf("yield ordering wrong: y45=%v y50=%v", y45, y50)
+	}
+	// Zero defects: perfect yield.
+	perfect := m
+	perfect.DefectDensityPerCM2 = 0
+	if y := perfect.Yield(50, 50); y != 1 {
+		t.Errorf("zero-defect yield = %v", y)
+	}
+}
+
+func TestDiesPerWafer(t *testing.T) {
+	m := Default()
+	n45 := m.DiesPerWafer(45, 45)
+	n50 := m.DiesPerWafer(50, 50)
+	if n45 <= n50 || n50 <= 0 {
+		t.Errorf("dies per wafer: 45mm %v, 50mm %v", n45, n50)
+	}
+	// An interposer bigger than the wafer yields nothing.
+	if m.DiesPerWafer(400, 400) != 0 {
+		t.Error("oversized die should give zero")
+	}
+	if !math.IsInf(m.CostUSD(400, 400), 1) {
+		t.Error("oversized die cost should be infinite")
+	}
+}
+
+func TestPaperCostRatio(t *testing.T) {
+	// The paper: growing the Multi-GPU interposer from 45x45 to 50x50 mm
+	// "comes at a 33% higher interposer cost". Pure area gives +23.5%; the
+	// default defect density closes the gap through yield.
+	ratio := Default().Ratio(45, 45, 50, 50)
+	if ratio < 1.28 || ratio > 1.38 {
+		t.Errorf("45->50 mm cost ratio = %.3f, want ~1.33 (paper)", ratio)
+	}
+}
+
+func TestCostMonotonicInArea(t *testing.T) {
+	m := Default()
+	prev := 0.0
+	for _, e := range []float64{20, 30, 40, 50} {
+		c := m.CostUSD(e, e)
+		if c <= prev {
+			t.Fatalf("cost not increasing at %v mm: %v after %v", e, c, prev)
+		}
+		prev = c
+	}
+}

@@ -1,0 +1,374 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestValidate(t *testing.T) {
+	p := &Problem{C: []float64{1}, A: [][]float64{{1, 2}}, Rel: []Rel{LE}, B: []float64{1}}
+	if err := p.Validate(); err == nil {
+		t.Error("row width mismatch accepted")
+	}
+	p = &Problem{}
+	if err := p.Validate(); err == nil {
+		t.Error("empty problem accepted")
+	}
+	p = &Problem{C: []float64{1}, A: [][]float64{{1}}, Rel: []Rel{LE}, B: []float64{1, 2}}
+	if err := p.Validate(); err == nil {
+		t.Error("B length mismatch accepted")
+	}
+	p = &Problem{C: []float64{1}, A: nil, Rel: nil, B: nil, Integer: []bool{true, false}}
+	if err := p.Validate(); err == nil {
+		t.Error("Integer mask mismatch accepted")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Error("Rel strings wrong")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || IterLimit.String() != "iteration-limit" {
+		t.Error("Status strings wrong")
+	}
+	if Rel(9).String() == "" || Status(9).String() == "" {
+		t.Error("unknown values should still format")
+	}
+}
+
+func TestSimpleMaximize(t *testing.T) {
+	// max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 -> x=2, y=6, obj=36.
+	p := &Problem{
+		Sense: Maximize,
+		C:     []float64{3, 5},
+		A:     [][]float64{{1, 0}, {0, 2}, {3, 2}},
+		Rel:   []Rel{LE, LE, LE},
+		B:     []float64{4, 12, 18},
+	}
+	s, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Objective, 36, 1e-6) || !approx(s.X[0], 2, 1e-6) || !approx(s.X[1], 6, 1e-6) {
+		t.Errorf("got X=%v obj=%v", s.X, s.Objective)
+	}
+}
+
+func TestSimpleMinimizeWithGE(t *testing.T) {
+	// min 2x + 3y st x + y >= 10, x <= 8, y <= 8 -> x=8, y=2, obj=22.
+	p := &Problem{
+		Sense: Minimize,
+		C:     []float64{2, 3},
+		A:     [][]float64{{1, 1}, {1, 0}, {0, 1}},
+		Rel:   []Rel{GE, LE, LE},
+		B:     []float64{10, 8, 8},
+	}
+	s, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.Objective, 22, 1e-6) {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestEqualityConstraints(t *testing.T) {
+	// min x + y st x + 2y == 4, x - y == 1 -> x=2, y=1, obj=3.
+	p := &Problem{
+		C:   []float64{1, 1},
+		A:   [][]float64{{1, 2}, {1, -1}},
+		Rel: []Rel{EQ, EQ},
+		B:   []float64{4, 1},
+	}
+	s, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.X[0], 2, 1e-6) || !approx(s.X[1], 1, 1e-6) {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x st -x <= -5  (i.e. x >= 5) -> x=5.
+	p := &Problem{
+		C:   []float64{1},
+		A:   [][]float64{{-1}},
+		Rel: []Rel{LE},
+		B:   []float64{-5},
+	}
+	s, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.X[0], 5, 1e-6) {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x >= 5 and x <= 3.
+	p := &Problem{
+		C:   []float64{1},
+		A:   [][]float64{{1}, {1}},
+		Rel: []Rel{GE, LE},
+		B:   []float64{5, 3},
+	}
+	s, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// max x st x >= 1.
+	p := &Problem{
+		Sense: Maximize,
+		C:     []float64{1},
+		A:     [][]float64{{1}},
+		Rel:   []Rel{GE},
+		B:     []float64{1},
+	}
+	s, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestDegenerateDoesNotCycle(t *testing.T) {
+	// Classic Beale cycling example (degenerate without anti-cycling).
+	p := &Problem{
+		Sense: Minimize,
+		C:     []float64{-0.75, 150, -0.02, 6},
+		A: [][]float64{
+			{0.25, -60, -0.04, 9},
+			{0.5, -90, -0.02, 3},
+			{0, 0, 1, 0},
+		},
+		Rel: []Rel{LE, LE, LE},
+		B:   []float64{0, 0, 1},
+	}
+	s, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.Objective, -0.05, 1e-6) {
+		t.Fatalf("got %+v, want optimal -0.05", s)
+	}
+}
+
+func TestTransportationProblem(t *testing.T) {
+	// 2 sources (supply 20, 30) x 2 sinks (demand 25, 25), costs:
+	//   c11=1 c12=4 / c21=2 c22=1.
+	// Optimal: x11=20, x21=5, x22=25 -> 20+10+25 = 55.
+	p := &Problem{
+		C: []float64{1, 4, 2, 1},
+		A: [][]float64{
+			{1, 1, 0, 0},
+			{0, 0, 1, 1},
+			{1, 0, 1, 0},
+			{0, 1, 0, 1},
+		},
+		Rel: []Rel{LE, LE, EQ, EQ},
+		B:   []float64{20, 30, 25, 25},
+	}
+	s, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.Objective, 55, 1e-6) {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestMILPKnapsack(t *testing.T) {
+	// max 10a + 13b + 7c st 3a + 4b + 2c <= 6, a,b,c in {0,1}.
+	// Best: a + c (weight 5, value 17) vs b + c (weight 6, value 20). -> 20.
+	one := []float64{1, 0, 0}
+	two := []float64{0, 1, 0}
+	three := []float64{0, 0, 1}
+	p := &Problem{
+		Sense:   Maximize,
+		C:       []float64{10, 13, 7},
+		A:       [][]float64{{3, 4, 2}, one, two, three},
+		Rel:     []Rel{LE, LE, LE, LE},
+		B:       []float64{6, 1, 1, 1},
+		Integer: []bool{true, true, true},
+	}
+	s, err := SolveMILP(p, MILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.Objective, 20, 1e-6) {
+		t.Fatalf("got %+v", s)
+	}
+	for i, v := range s.X {
+		if !approx(v, math.Round(v), 1e-9) {
+			t.Errorf("X[%d] = %v not integral", i, v)
+		}
+	}
+}
+
+func TestMILPMatchesLPWhenIntegral(t *testing.T) {
+	// Pure transportation LPs have integral optima; MILP must agree.
+	p := &Problem{
+		C: []float64{3, 1, 4, 2},
+		A: [][]float64{
+			{1, 1, 0, 0},
+			{0, 0, 1, 1},
+			{1, 0, 1, 0},
+			{0, 1, 0, 1},
+		},
+		Rel: []Rel{EQ, EQ, EQ, EQ},
+		B:   []float64{10, 10, 10, 10},
+	}
+	lpSol, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := *p
+	pi.Integer = []bool{true, true, true, true}
+	milpSol, err := SolveMILP(&pi, MILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lpSol.Status != Optimal || milpSol.Status != Optimal {
+		t.Fatalf("statuses: %v %v", lpSol.Status, milpSol.Status)
+	}
+	if !approx(lpSol.Objective, milpSol.Objective, 1e-6) {
+		t.Errorf("LP %v vs MILP %v", lpSol.Objective, milpSol.Objective)
+	}
+}
+
+func TestMILPInfeasible(t *testing.T) {
+	// 2x == 3 with x integer has no solution (LP relaxation x=1.5).
+	p := &Problem{
+		C:       []float64{1},
+		A:       [][]float64{{2}},
+		Rel:     []Rel{EQ},
+		B:       []float64{3},
+		Integer: []bool{true},
+	}
+	s, err := SolveMILP(p, MILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestMILPNilIntegerFallsBack(t *testing.T) {
+	p := &Problem{
+		Sense: Maximize,
+		C:     []float64{1},
+		A:     [][]float64{{1}},
+		Rel:   []Rel{LE},
+		B:     []float64{2.5},
+	}
+	s, err := SolveMILP(p, MILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.X[0], 2.5, 1e-9) {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestRandomLPsSatisfyConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(5)
+		p := &Problem{Sense: Minimize, C: make([]float64, n)}
+		for j := range p.C {
+			p.C[j] = rng.Float64() // positive costs + LE rows -> bounded
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.Float64()*2 - 0.5
+			}
+			p.A = append(p.A, row)
+			p.Rel = append(p.Rel, LE)
+			p.B = append(p.B, rng.Float64()*10)
+		}
+		// Add one GE row to force a nontrivial optimum.
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		p.A = append(p.A, row)
+		p.Rel = append(p.Rel, GE)
+		p.B = append(p.B, rng.Float64())
+
+		s, err := SolveLP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Status != Optimal {
+			continue // genuinely infeasible random instance
+		}
+		for i, arow := range p.A {
+			var lhs float64
+			for j, c := range arow {
+				lhs += c * s.X[j]
+			}
+			switch p.Rel[i] {
+			case LE:
+				if lhs > p.B[i]+1e-6 {
+					t.Fatalf("trial %d: row %d violated: %v <= %v", trial, i, lhs, p.B[i])
+				}
+			case GE:
+				if lhs < p.B[i]-1e-6 {
+					t.Fatalf("trial %d: row %d violated: %v >= %v", trial, i, lhs, p.B[i])
+				}
+			}
+		}
+		for j, v := range s.X {
+			if v < -1e-9 {
+				t.Fatalf("trial %d: X[%d] = %v negative", trial, j, v)
+			}
+		}
+	}
+}
+
+func BenchmarkSimplexMedium(b *testing.B) {
+	// A 40-row, 400-column assignment-flavored LP.
+	rng := rand.New(rand.NewSource(5))
+	n, m := 400, 40
+	p := &Problem{C: make([]float64, n)}
+	for j := range p.C {
+		p.C[j] = 1 + rng.Float64()*10
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			if rng.Intn(10) == 0 {
+				row[j] = 1
+			}
+		}
+		p.A = append(p.A, row)
+		p.Rel = append(p.Rel, GE)
+		p.B = append(p.B, 1+rng.Float64()*5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveLP(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

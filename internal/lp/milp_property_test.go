@@ -1,0 +1,98 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteForceBinary solves a small pure-binary maximization problem by
+// enumeration: max c'x st Ax <= b, x in {0,1}^n.
+func bruteForceBinary(c []float64, a [][]float64, b []float64) (float64, bool) {
+	n := len(c)
+	best := math.Inf(-1)
+	found := false
+	for mask := 0; mask < 1<<n; mask++ {
+		feasible := true
+		for i, row := range a {
+			var lhs float64
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					lhs += row[j]
+				}
+			}
+			if lhs > b[i]+1e-9 {
+				feasible = false
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		var obj float64
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				obj += c[j]
+			}
+		}
+		if obj > best {
+			best = obj
+			found = true
+		}
+	}
+	return best, found
+}
+
+// TestMILPMatchesBruteForce cross-checks branch and bound against exhaustive
+// enumeration on random binary knapsack-style instances.
+func TestMILPMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		nv := 3 + rng.Intn(6)
+		c := make([]float64, nv)
+		for j := range c {
+			c[j] = 1 + rng.Float64()*10
+		}
+		var a [][]float64
+		var b []float64
+		nc := 1 + rng.Intn(3)
+		for i := 0; i < nc; i++ {
+			row := make([]float64, nv)
+			for j := range row {
+				row[j] = rng.Float64() * 5
+			}
+			a = append(a, row)
+			b = append(b, 2+rng.Float64()*8)
+		}
+		want, feasible := bruteForceBinary(c, a, b)
+		if !feasible {
+			continue // x = 0 is always feasible here, so this cannot happen
+		}
+
+		// Build the MILP with 0/1 bounds as extra rows.
+		p := &Problem{Sense: Maximize, C: c, Integer: make([]bool, nv)}
+		for i := range a {
+			p.A = append(p.A, a[i])
+			p.Rel = append(p.Rel, LE)
+			p.B = append(p.B, b[i])
+		}
+		for j := 0; j < nv; j++ {
+			row := make([]float64, nv)
+			row[j] = 1
+			p.A = append(p.A, row)
+			p.Rel = append(p.Rel, LE)
+			p.B = append(p.B, 1)
+			p.Integer[j] = true
+		}
+		sol, err := SolveMILP(p, MILPOptions{MaxNodes: 50000})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		if math.Abs(sol.Objective-want) > 1e-6 {
+			t.Fatalf("trial %d: B&B %v vs brute force %v", trial, sol.Objective, want)
+		}
+	}
+}

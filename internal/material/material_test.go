@@ -1,0 +1,112 @@
+package material
+
+import "testing"
+
+func TestDefaultStackValid(t *testing.T) {
+	s := DefaultStack()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("default stack invalid: %v", err)
+	}
+	if len(s.Layers) != 6 {
+		t.Errorf("want 6 modeling layers per Fig. 1, got %d", len(s.Layers))
+	}
+	order := []string{"substrate", "c4", "interposer", "ubump", "chiplet", "tim"}
+	for i, name := range order {
+		if s.Layers[i].Name != name {
+			t.Errorf("layer %d = %q, want %q", i, s.Layers[i].Name, name)
+		}
+	}
+}
+
+func TestChipletLayerIndex(t *testing.T) {
+	s := DefaultStack()
+	idx := s.ChipletLayerIndex()
+	if idx < 0 || !s.Layers[idx].PowerLayer || !s.Layers[idx].Heterogeneous {
+		t.Fatalf("chiplet layer index wrong: %d", idx)
+	}
+	if s.Layers[idx].Name != "chiplet" {
+		t.Errorf("power layer = %q", s.Layers[idx].Name)
+	}
+	empty := Stack{}
+	if empty.ChipletLayerIndex() != -1 {
+		t.Error("empty stack should have no chiplet layer")
+	}
+}
+
+func TestConductivityOrdering(t *testing.T) {
+	// Physical sanity: metals conduct better than silicon, silicon better
+	// than composite bump layers, those better than epoxy/organic.
+	if !(Copper.Conductivity > Silicon.Conductivity) {
+		t.Error("copper should beat silicon")
+	}
+	if !(Silicon.Conductivity > MicrobumpLayer.Conductivity) {
+		t.Error("silicon should beat microbump composite")
+	}
+	if !(MicrobumpLayer.Conductivity > Underfill.Conductivity) {
+		t.Error("microbump composite should beat underfill")
+	}
+	if !(TIM.Conductivity > Organic.Conductivity) {
+		t.Error("TIM should beat organic substrate")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	bad := DefaultStack()
+	bad.Layers[0].Thickness = 0
+	if bad.Validate() == nil {
+		t.Error("zero thickness should fail")
+	}
+
+	bad = DefaultStack()
+	bad.Layers[2].Base.Conductivity = -1
+	if bad.Validate() == nil {
+		t.Error("negative conductivity should fail")
+	}
+
+	bad = DefaultStack()
+	bad.ConvectionResistance = 0
+	if bad.Validate() == nil {
+		t.Error("zero convection resistance should fail")
+	}
+
+	bad = DefaultStack()
+	bad.SinkEdgeFactor = 1.5
+	bad.SpreaderEdgeFactor = 2
+	if bad.Validate() == nil {
+		t.Error("sink smaller than spreader should fail")
+	}
+
+	var empty Stack
+	if empty.Validate() == nil {
+		t.Error("empty stack should fail")
+	}
+}
+
+func TestDefaultStackFor(t *testing.T) {
+	// The heat transfer coefficient must stay constant: R_conv scales
+	// inversely with sink area, so a 50 mm interposer has a lower convective
+	// resistance than a 45 mm one by the area ratio.
+	s45 := DefaultStackFor(45, 45)
+	s50 := DefaultStackFor(50, 50)
+	if err := s45.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ratio := s45.ConvectionResistance / s50.ConvectionResistance
+	want := (50.0 * 50.0) / (45.0 * 45.0)
+	if diff := ratio - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("resistance ratio %v, want area ratio %v", ratio, want)
+	}
+	// Back out the HTC and check it matches the constant.
+	sinkArea := 45e-3 * s45.SinkEdgeFactor * 45e-3 * s45.SinkEdgeFactor
+	htc := 1 / (s45.ConvectionResistance * sinkArea)
+	if htc < ConvectionHTC*0.999 || htc > ConvectionHTC*1.001 {
+		t.Errorf("implied HTC %v, want %v", htc, ConvectionHTC)
+	}
+}
+
+func TestLayerErrorMessage(t *testing.T) {
+	e := &LayerError{Layer: "tim", Reason: "bad"}
+	if e.Error() != "material: layer tim: bad" {
+		t.Errorf("Error() = %q", e.Error())
+	}
+}

@@ -1,0 +1,123 @@
+package perf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulateMixedAllOneCycleMatchesBaseline(t *testing.T) {
+	w := Workloads()[3]
+	cfg := Config{Seed: 5}
+	base, err := Simulate(w, cfg.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := SimulateMixed(w, cfg, map[int]int{1: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mixed.Cycles-base.Cycles) > base.Cycles*0.001 {
+		t.Errorf("all-1-cycle mix %v differs from baseline %v", mixed.Cycles, base.Cycles)
+	}
+}
+
+func TestSimulateMixedEmptyHistFallsBack(t *testing.T) {
+	w := Workloads()[0]
+	if _, err := SimulateMixed(w, Config{}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateMixedValidation(t *testing.T) {
+	w := Workloads()[0]
+	if _, err := SimulateMixed(w, Config{}, map[int]int{0: 5}); err == nil {
+		t.Error("latency class 0 accepted")
+	}
+	if _, err := SimulateMixed(w, Config{}, map[int]int{2: -1}); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := SimulateMixed(w, Config{}, map[int]int{2: 0}); err == nil {
+		t.Error("all-zero histogram accepted")
+	}
+}
+
+func TestSlowdownMixedBounds(t *testing.T) {
+	// A mix of 1- and 3-cycle links must land between the pure cases.
+	w := Workloads()[7] // ocean, memory-heavy
+	cfg := Config{Seed: 2}
+	s1, err := SlowdownMixed(w, cfg, map[int]int{1: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Slowdown(w, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := SlowdownMixed(w, cfg, map[int]int{1: 50, 3: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sm > s1 && sm < s3) {
+		t.Errorf("mixed slowdown %v not between pure cases %v and %v", sm, s1, s3)
+	}
+}
+
+func TestSlowdownMixedMonotonicInMix(t *testing.T) {
+	w := Workloads()[5]
+	cfg := Config{Seed: 2}
+	prev := -1.0
+	for _, slowFrac := range []int{0, 25, 50, 75, 100} {
+		hist := map[int]int{}
+		if slowFrac < 100 {
+			hist[1] = 100 - slowFrac
+		}
+		if slowFrac > 0 {
+			hist[2] = slowFrac
+		}
+		s, err := SlowdownMixed(w, cfg, hist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < prev-1e-3 {
+			t.Errorf("slowdown fell as slow links grew: %v after %v", s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestAssessPlacement(t *testing.T) {
+	// 30% of wires at 2 cycles, TDP allows +30% frequency: net speedup must
+	// be positive (the paper's argument that the TDP gain recovers the
+	// wirelength cost).
+	imp, err := AssessPlacement(map[int]int{1: 70, 2: 30}, 0.30, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.MeanSlowdown <= 0 {
+		t.Errorf("mean slowdown = %v, want > 0", imp.MeanSlowdown)
+	}
+	if imp.WorstSlowdown < imp.MeanSlowdown {
+		t.Error("worst slowdown below mean")
+	}
+	if imp.NetSpeedup <= 0 {
+		t.Errorf("net speedup = %v, want > 0 with +30%% frequency", imp.NetSpeedup)
+	}
+	if len(imp.PerWorkload) != len(Workloads()) {
+		t.Error("per-workload map incomplete")
+	}
+	// Sanity of the arithmetic.
+	want := (1+imp.FrequencyUplift)/(1+imp.MeanSlowdown) - 1
+	if math.Abs(imp.NetSpeedup-want) > 1e-12 {
+		t.Errorf("net speedup arithmetic wrong: %v vs %v", imp.NetSpeedup, want)
+	}
+}
+
+func TestAssessPlacementNoUplift(t *testing.T) {
+	imp, err := AssessPlacement(map[int]int{3: 100}, 0, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.NetSpeedup >= 0 {
+		t.Errorf("all-3-cycle links with no uplift should be a net loss, got %v", imp.NetSpeedup)
+	}
+}

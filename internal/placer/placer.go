@@ -1,0 +1,529 @@
+// Package placer implements the TAP-2.5D thermally-aware chiplet placement
+// algorithm (Section III-C of the paper): simulated annealing over the
+// Occupation Chiplet Matrix with move, rotate and jump operators, the
+// dynamically-weighted cost function of Eqns. (12)-(13), and the acceptance
+// probability and annealing schedule of Eqn. (14) (K decaying from 1 to 0.01
+// by a factor of 0.95).
+//
+// The placer is generic over an Evaluator so tests can use cheap synthetic
+// objectives; production code uses SystemEvaluator, which couples the
+// finite-difference thermal model with the fast inter-chiplet router.
+package placer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"tap25d/internal/btree"
+	"tap25d/internal/chiplet"
+	"tap25d/internal/geom"
+	"tap25d/internal/ocm"
+	"tap25d/internal/route"
+	"tap25d/internal/thermal"
+)
+
+// Evaluator scores a placement: peak temperature (°C) and total inter-chiplet
+// wirelength (mm). Implementations may be stateful (warm starts) and need not
+// be safe for concurrent use.
+type Evaluator interface {
+	Evaluate(p chiplet.Placement) (tempC, wirelengthMM float64, err error)
+}
+
+// SystemEvaluator is the production evaluator: thermal simulation plus the
+// fast router.
+type SystemEvaluator struct {
+	sys   *chiplet.System
+	model *thermal.Model
+	ropts route.Options
+}
+
+// NewSystemEvaluator builds an evaluator for sys with the given thermal and
+// routing options.
+func NewSystemEvaluator(sys *chiplet.System, topt thermal.Options, ropt route.Options) (*SystemEvaluator, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := thermal.NewModel(sys.InterposerW, sys.InterposerH, topt)
+	if err != nil {
+		return nil, err
+	}
+	return &SystemEvaluator{sys: sys, model: m, ropts: ropt}, nil
+}
+
+// Sources converts a placement into thermal heat sources (every chiplet
+// contributes its silicon footprint; dummy dies carry zero power but still
+// conduct heat).
+func Sources(sys *chiplet.System, p chiplet.Placement) []thermal.Source {
+	srcs := make([]thermal.Source, len(sys.Chiplets))
+	for i := range sys.Chiplets {
+		srcs[i] = thermal.Source{Rect: p.Rect(sys, i), Power: sys.Chiplets[i].Power}
+	}
+	return srcs
+}
+
+// Evaluate implements Evaluator.
+func (e *SystemEvaluator) Evaluate(p chiplet.Placement) (float64, float64, error) {
+	res, err := e.model.Solve(Sources(e.sys, p))
+	if err != nil {
+		return 0, 0, err
+	}
+	r, err := route.Route(e.sys, p, e.ropts)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.PeakC, r.TotalWirelengthMM, nil
+}
+
+// Thermal exposes the underlying thermal model (for rendering maps of the
+// final placement).
+func (e *SystemEvaluator) Thermal() *thermal.Model { return e.model }
+
+// Op identifies a neighbor-generation operator (Fig. 2b-d).
+type Op int
+
+// Neighbor operators.
+const (
+	OpMove Op = iota
+	OpRotate
+	OpJump
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpMove:
+		return "move"
+	case OpRotate:
+		return "rotate"
+	case OpJump:
+		return "jump"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Options configures the annealer. The zero value reproduces the paper's
+// settings except Steps, which defaults to 1000 for tractability; the paper
+// calibrates 4500 steps to fill a 25-hour budget with HotSpot+CPLEX in the
+// loop.
+type Options struct {
+	// Steps is the number of SA steps per run (default 1000).
+	Steps int
+	// KStart, KEnd, KDecay define the annealing temperature schedule
+	// (defaults 1, 0.01, 0.95 per Section III-C5).
+	KStart, KEnd, KDecay float64
+	// Seed makes runs reproducible. Run r of a multi-run uses Seed+r.
+	Seed int64
+	// CriticalC is the temperature threshold of Eqn. (13) (default 85).
+	CriticalC float64
+	// AmbientC is the ambient constant in Eqn. (13) (default 45).
+	AmbientC float64
+	// Initial overrides the starting placement. nil runs the Compact-2.5D
+	// baseline (B*-tree + fast-SA) and legalizes it onto the OCM grid,
+	// exactly as Section III-C2 prescribes.
+	Initial *chiplet.Placement
+	// CompactSteps is the step budget for the initial Compact-2.5D run
+	// (default 20000).
+	CompactSteps int
+	// GridPitch is the OCM pitch in mm (default 1).
+	GridPitch float64
+	// MoveWeight, RotateWeight and JumpWeight set the operator mix
+	// (defaults 0.5/0.25/0.25; the paper does not publish its mix).
+	MoveWeight, RotateWeight, JumpWeight float64
+	// DisableJump removes the jump operator (used by the E9 ablation to
+	// demonstrate the 'sliding tile puzzle' issue of Section III-C3).
+	DisableJump bool
+	// FixedAlpha, when >= 0, replaces the dynamic alpha of Eqn. (13)
+	// (used by the E9 ablation). Negative means dynamic (default).
+	FixedAlpha float64
+	// History records one Sample per step when true.
+	History bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Steps == 0 {
+		o.Steps = 1000
+	}
+	if o.KStart == 0 {
+		o.KStart = 1
+	}
+	if o.KEnd == 0 {
+		o.KEnd = 0.01
+	}
+	if o.KDecay == 0 {
+		o.KDecay = 0.95
+	}
+	if o.CriticalC == 0 {
+		o.CriticalC = 85
+	}
+	if o.AmbientC == 0 {
+		o.AmbientC = 45
+	}
+	if o.CompactSteps == 0 {
+		o.CompactSteps = 20000
+	}
+	if o.GridPitch == 0 {
+		o.GridPitch = ocm.DefaultPitchMM
+	}
+	if o.MoveWeight == 0 && o.RotateWeight == 0 && o.JumpWeight == 0 {
+		o.MoveWeight, o.RotateWeight, o.JumpWeight = 0.5, 0.25, 0.25
+	}
+	if o.DisableJump {
+		o.JumpWeight = 0
+	}
+	if o.FixedAlpha == 0 {
+		o.FixedAlpha = -1
+	}
+	return o
+}
+
+// Sample is one annealing step's record.
+type Sample struct {
+	Step         int
+	Op           Op
+	TempC        float64
+	WirelengthMM float64
+	Cost         float64
+	K            float64
+	Alpha        float64
+	Accepted     bool
+}
+
+// Result is the outcome of a placement run.
+type Result struct {
+	Placement    chiplet.Placement
+	PeakC        float64
+	WirelengthMM float64
+	// Initial diagnostics: the starting placement and its metrics.
+	Initial           chiplet.Placement
+	InitialPeakC      float64
+	InitialWirelength float64
+	Steps             int
+	Accepted          int
+	Run               int // index of the winning run in PlaceBestOf
+	History           []Sample
+}
+
+// Alpha computes the dynamic temperature weight of Eqn. (13).
+func Alpha(tempC, ambientC, criticalC float64) float64 {
+	if tempC > criticalC {
+		return math.Min(0.1+(tempC-ambientC)/100, 0.9)
+	}
+	return 0
+}
+
+// Better reports whether solution a dominates b under the paper's selection
+// rule: a thermally feasible solution (peak <= critical) beats an infeasible
+// one; among feasible solutions lower wirelength wins; among infeasible ones
+// lower temperature wins (wirelength breaking ties). Used to pick across
+// independent runs; within a run the annealer tracks its best solution with
+// the Eqn. (12) cost so wirelength keeps its weight (see betterCost).
+func Better(aTemp, aWL, bTemp, bWL, criticalC float64) bool {
+	aOK, bOK := aTemp <= criticalC, bTemp <= criticalC
+	switch {
+	case aOK && !bOK:
+		return true
+	case !aOK && bOK:
+		return false
+	case aOK && bOK:
+		return aWL < bWL
+	default:
+		if aTemp != bTemp {
+			return aTemp < bTemp
+		}
+		return aWL < bWL
+	}
+}
+
+// betterCost reports whether (aTemp, aWL) beats (bTemp, bWL) for best-seen
+// tracking inside a run: feasibility first, lower wirelength among feasible
+// solutions, and the alpha-weighted Eqn. (12) cost (under the run's current
+// min-max bounds) among infeasible ones. The last case is what keeps the
+// reported solution from trading unbounded wirelength for millidegrees when
+// the whole design space is above the critical temperature (as in the
+// paper's Multi-GPU case study, where the best solution still has only ~10%
+// more wire than Compact-2.5D at ~4 C lower temperature).
+func betterCost(aTemp, aWL, bTemp, bWL float64, bounds *normBounds, opt Options) bool {
+	crit := opt.CriticalC
+	aOK, bOK := aTemp <= crit, bTemp <= crit
+	switch {
+	case aOK && !bOK:
+		return true
+	case !aOK && bOK:
+		return false
+	case aOK && bOK:
+		return aWL < bWL
+	default:
+		alpha := opt.FixedAlpha
+		if alpha < 0 {
+			alpha = Alpha(math.Max(aTemp, bTemp), opt.AmbientC, opt.CriticalC)
+		}
+		return bounds.cost(aTemp, aWL, alpha) < bounds.cost(bTemp, bWL, alpha)
+	}
+}
+
+// normBounds implements the min-max scaling of Eqn. (12) over a sliding
+// window of recent observations. A window (rather than the all-time extremes)
+// keeps the normalized cost differences on a scale the annealing temperature
+// K (1 -> 0.01) can discriminate: with all-time bounds, one early excursion
+// to a very hot or very long-wire placement would flatten every subsequent
+// cost difference toward zero and the anneal would degenerate into a random
+// walk.
+type normBounds struct {
+	size int
+	ts   []float64
+	ws   []float64
+	idx  int
+}
+
+// windowSize is the number of recent evaluations the scaling spans.
+const windowSize = 200
+
+func newNormBounds(size int) normBounds {
+	if size <= 0 {
+		size = windowSize
+	}
+	return normBounds{size: size}
+}
+
+func (n *normBounds) observe(t, w float64) {
+	if len(n.ts) < n.size {
+		n.ts = append(n.ts, t)
+		n.ws = append(n.ws, w)
+		return
+	}
+	n.ts[n.idx] = t
+	n.ws[n.idx] = w
+	n.idx = (n.idx + 1) % n.size
+}
+
+func (n *normBounds) ranges() (tMin, tMax, wMin, wMax float64) {
+	tMin, tMax = math.Inf(1), math.Inf(-1)
+	wMin, wMax = math.Inf(1), math.Inf(-1)
+	for i := range n.ts {
+		tMin = math.Min(tMin, n.ts[i])
+		tMax = math.Max(tMax, n.ts[i])
+		wMin = math.Min(wMin, n.ws[i])
+		wMax = math.Max(wMax, n.ws[i])
+	}
+	return
+}
+
+// cost evaluates Eqn. (12) under the current window with weight alpha.
+// Values outside the window bounds extrapolate linearly, so comparisons stay
+// monotone in the raw metrics.
+func (n *normBounds) cost(t, w, alpha float64) float64 {
+	if len(n.ts) == 0 {
+		return 0
+	}
+	tMin, tMax, wMin, wMax := n.ranges()
+	tn := 0.0
+	if tMax > tMin {
+		tn = (t - tMin) / (tMax - tMin)
+	}
+	wn := 0.0
+	if wMax > wMin {
+		wn = (w - wMin) / (wMax - wMin)
+	}
+	return alpha*tn + (1-alpha)*wn
+}
+
+// Place runs one simulated-annealing placement for sys using ev.
+func Place(sys *chiplet.System, ev Evaluator, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	grid, err := ocm.NewGrid(sys, opt.GridPitch)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Initial placement: Compact-2.5D unless provided.
+	var init chiplet.Placement
+	if opt.Initial != nil {
+		init = opt.Initial.Clone()
+	} else {
+		cres, err := btree.PlaceCompact(sys, btree.Options{Seed: opt.Seed, Steps: opt.CompactSteps})
+		if err != nil {
+			return nil, fmt.Errorf("placer: initial compact placement: %w", err)
+		}
+		init = cres.Placement
+	}
+	init, err = grid.Legalize(sys, init)
+	if err != nil {
+		return nil, fmt.Errorf("placer: legalizing initial placement: %w", err)
+	}
+
+	t0, w0, err := ev.Evaluate(init)
+	if err != nil {
+		return nil, fmt.Errorf("placer: evaluating initial placement: %w", err)
+	}
+
+	res := &Result{
+		Initial:           init.Clone(),
+		InitialPeakC:      t0,
+		InitialWirelength: w0,
+	}
+
+	bounds := newNormBounds(windowSize)
+	bounds.observe(t0, w0)
+	cur := init.Clone()
+	curT, curW := t0, w0
+	best := cur.Clone()
+	bestT, bestW := curT, curW
+
+	// Annealing schedule: K decays by KDecay once per level; levels are
+	// spread evenly over the step budget.
+	levels := int(math.Ceil(math.Log(opt.KEnd/opt.KStart) / math.Log(opt.KDecay)))
+	if levels < 1 {
+		levels = 1
+	}
+	stepsPerLevel := opt.Steps / levels
+	if stepsPerLevel < 1 {
+		stepsPerLevel = 1
+	}
+
+	k := opt.KStart
+	for step := 0; step < opt.Steps; step++ {
+		if step > 0 && step%stepsPerLevel == 0 && k > opt.KEnd {
+			k *= opt.KDecay
+			if k < opt.KEnd {
+				k = opt.KEnd
+			}
+		}
+		nb, op, ok := neighbor(sys, grid, cur, rng, opt)
+		if !ok {
+			continue // no valid perturbation found this step
+		}
+		nbT, nbW, err := ev.Evaluate(nb)
+		if err != nil {
+			return nil, fmt.Errorf("placer: step %d: %w", step, err)
+		}
+		bounds.observe(nbT, nbW)
+
+		alpha := opt.FixedAlpha
+		if alpha < 0 {
+			alpha = Alpha(math.Max(curT, nbT), opt.AmbientC, opt.CriticalC)
+		}
+		curCost := bounds.cost(curT, curW, alpha)
+		nbCost := bounds.cost(nbT, nbW, alpha)
+
+		// Eqn. (14): AP = exp((cost_cur - cost_nb) / K).
+		ap := math.Exp((curCost - nbCost) / k)
+		accepted := ap >= 1 || rng.Float64() < ap
+		if accepted {
+			cur, curT, curW = nb, nbT, nbW
+			res.Accepted++
+			if betterCost(curT, curW, bestT, bestW, &bounds, opt) {
+				best, bestT, bestW = cur.Clone(), curT, curW
+			}
+		}
+		if opt.History {
+			res.History = append(res.History, Sample{
+				Step: step, Op: op, TempC: nbT, WirelengthMM: nbW,
+				Cost: nbCost, K: k, Alpha: alpha, Accepted: accepted,
+			})
+		}
+		res.Steps++
+	}
+
+	res.Placement = best
+	res.PeakC = bestT
+	res.WirelengthMM = bestW
+	return res, nil
+}
+
+// neighbor perturbs cur with one of the paper's operators, returning a valid
+// placement. It retries across operators and chiplets before giving up.
+func neighbor(sys *chiplet.System, grid *ocm.Grid, cur chiplet.Placement, rng *rand.Rand, opt Options) (chiplet.Placement, Op, bool) {
+	total := opt.MoveWeight + opt.RotateWeight + opt.JumpWeight
+	const attempts = 64
+	for a := 0; a < attempts; a++ {
+		r := rng.Float64() * total
+		var op Op
+		switch {
+		case r < opt.MoveWeight:
+			op = OpMove
+		case r < opt.MoveWeight+opt.RotateWeight:
+			op = OpRotate
+		default:
+			op = OpJump
+		}
+		c := rng.Intn(len(sys.Chiplets))
+		switch op {
+		case OpMove:
+			dir := rng.Intn(4)
+			d := []geom.Point{{X: grid.Pitch()}, {X: -grid.Pitch()}, {Y: grid.Pitch()}, {Y: -grid.Pitch()}}[dir]
+			target := cur.Centers[c].Add(d)
+			if grid.CandidateValid(sys, cur, c, target, cur.Rotated[c]) {
+				nb := cur.Clone()
+				nb.Centers[c] = target
+				return nb, op, true
+			}
+		case OpRotate:
+			if grid.CandidateValid(sys, cur, c, cur.Centers[c], !cur.Rotated[c]) {
+				nb := cur.Clone()
+				nb.Rotated[c] = !nb.Rotated[c]
+				return nb, op, true
+			}
+		case OpJump:
+			if pt, ok := grid.RandomValidPosition(sys, cur, c, rng); ok {
+				nb := cur.Clone()
+				nb.Centers[c] = pt
+				return nb, op, true
+			}
+		}
+	}
+	return chiplet.Placement{}, 0, false
+}
+
+// PlaceBestOf runs n independent annealing runs (seeds opt.Seed .. opt.Seed+n-1)
+// in parallel, each with its own Evaluator from factory, and returns the best
+// solution under Better. This is the paper's protocol of running the
+// probabilistic algorithm 5 times and picking the best.
+func PlaceBestOf(sys *chiplet.System, factory func() (Evaluator, error), n int, opt Options) (*Result, error) {
+	if n <= 0 {
+		n = 1
+	}
+	opt = opt.withDefaults()
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ev, err := factory()
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			ro := opt
+			ro.Seed = opt.Seed + int64(r)
+			res, err := Place(sys, ev, ro)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			res.Run = r
+			results[r] = res
+		}(r)
+	}
+	wg.Wait()
+	var best *Result
+	for r := 0; r < n; r++ {
+		if errs[r] != nil {
+			return nil, fmt.Errorf("placer: run %d: %w", r, errs[r])
+		}
+		if best == nil || Better(results[r].PeakC, results[r].WirelengthMM, best.PeakC, best.WirelengthMM, opt.CriticalC) {
+			best = results[r]
+		}
+	}
+	if best == nil {
+		return nil, errors.New("placer: no runs executed")
+	}
+	return best, nil
+}

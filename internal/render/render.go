@@ -1,0 +1,208 @@
+// Package render draws placements and thermal maps — the repo's equivalent
+// of the paper's Figs. 4-6 — as ASCII art for terminals and as binary PPM
+// images for reports. Rendering is pure stdlib and deterministic.
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"tap25d/internal/chiplet"
+	"tap25d/internal/thermal"
+)
+
+// ramp is the ASCII intensity ramp from coolest to hottest.
+const ramp = " .:-=+*#%@"
+
+// ThermalASCII renders the chiplet-layer temperature map with chiplet
+// outlines overlaid. cols sets the output width in characters (rows follow
+// the aspect ratio; terminal cells are ~2x taller than wide).
+func ThermalASCII(res *thermal.Result, sys *chiplet.System, p chiplet.Placement, cols int) string {
+	if cols <= 0 {
+		cols = 64
+	}
+	rows := cols * int(res.HeightMM) / int(res.WidthMM) / 2
+	if rows < 1 {
+		rows = 1
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, t := range res.ChipTempC {
+		lo = math.Min(lo, t)
+		hi = math.Max(hi, t)
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "peak %.2f C at (%.1f, %.1f) mm; range [%.2f, %.2f] C\n",
+		res.PeakC, res.PeakAt.X, res.PeakAt.Y, lo, hi)
+	// Outline-only overlay so the temperatures inside each die stay visible.
+	labels := chipletLabelGrid(sys, p, res.WidthMM, res.HeightMM, cols, rows, false)
+	// Top row of the map is max Y.
+	for r := rows - 1; r >= 0; r-- {
+		for c := 0; c < cols; c++ {
+			if l := labels[r*cols+c]; l != 0 {
+				b.WriteByte(l)
+				continue
+			}
+			x := (float64(c) + 0.5) * res.WidthMM / float64(cols)
+			y := (float64(r) + 0.5) * res.HeightMM / float64(rows)
+			t := res.TempAt(pointXY(x, y))
+			idx := int((t - lo) / span * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// PlacementASCII renders the floorplan only: chiplet outlines with initial
+// letters, empty interposer as dots.
+func PlacementASCII(sys *chiplet.System, p chiplet.Placement, cols int) string {
+	if cols <= 0 {
+		cols = 64
+	}
+	rows := cols * int(sys.InterposerH) / int(sys.InterposerW) / 2
+	if rows < 1 {
+		rows = 1
+	}
+	labels := chipletLabelGrid(sys, p, sys.InterposerW, sys.InterposerH, cols, rows, true)
+	var b strings.Builder
+	for r := rows - 1; r >= 0; r-- {
+		for c := 0; c < cols; c++ {
+			if l := labels[r*cols+c]; l != 0 {
+				b.WriteByte(l)
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// chipletLabelGrid marks character cells covered by chiplets: border cells
+// get '+', the center cell the chiplet's index digit (up to 10 chiplets),
+// and — when fill is true — interior cells the first letter of the name.
+func chipletLabelGrid(sys *chiplet.System, p chiplet.Placement, wMM, hMM float64, cols, rows int, fill bool) []byte {
+	g := make([]byte, cols*rows)
+	for i := range sys.Chiplets {
+		r := p.Rect(sys, i)
+		c0 := int(r.MinX() / wMM * float64(cols))
+		c1 := int(math.Ceil(r.MaxX() / wMM * float64(cols)))
+		r0 := int(r.MinY() / hMM * float64(rows))
+		r1 := int(math.Ceil(r.MaxY() / hMM * float64(rows)))
+		c0, c1 = clamp(c0, 0, cols), clamp(c1, 0, cols)
+		r0, r1 = clamp(r0, 0, rows), clamp(r1, 0, rows)
+		letter := byte('?')
+		if len(sys.Chiplets[i].Name) > 0 {
+			letter = sys.Chiplets[i].Name[0]
+		}
+		for rr := r0; rr < r1; rr++ {
+			for cc := c0; cc < c1; cc++ {
+				switch {
+				case rr == r0 || rr == r1-1 || cc == c0 || cc == c1-1:
+					g[rr*cols+cc] = '+'
+				case fill:
+					g[rr*cols+cc] = letter
+				}
+			}
+		}
+		// Index digit at the center.
+		cc := clamp((c0+c1)/2, 0, cols-1)
+		rr := clamp((r0+r1)/2, 0, rows-1)
+		if i < 10 {
+			g[rr*cols+cc] = byte('0' + i)
+		}
+	}
+	return g
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func pointXY(x, y float64) (p struct{ X, Y float64 }) {
+	p.X, p.Y = x, y
+	return
+}
+
+// WritePPM writes the thermal map as a binary PPM (P6) image with a
+// blue-to-red heat ramp, scale pixels per grid cell.
+func WritePPM(w io.Writer, res *thermal.Result, scale int) error {
+	if scale <= 0 {
+		scale = 4
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, t := range res.ChipTempC {
+		lo = math.Min(lo, t)
+		hi = math.Max(hi, t)
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	wPix := res.Grid * scale
+	hPix := res.Grid * scale
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", wPix, hPix); err != nil {
+		return err
+	}
+	row := make([]byte, wPix*3)
+	for py := 0; py < hPix; py++ {
+		// Image rows run top-down; grid rows bottom-up.
+		gy := res.Grid - 1 - py/scale
+		for px := 0; px < wPix; px++ {
+			gx := px / scale
+			t := res.ChipTempC[gy*res.Grid+gx]
+			r, g, b := heatColor((t - lo) / span)
+			row[px*3], row[px*3+1], row[px*3+2] = r, g, b
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// heatColor maps v in [0,1] to a blue-cyan-yellow-red ramp.
+func heatColor(v float64) (r, g, b byte) {
+	v = math.Max(0, math.Min(1, v))
+	switch {
+	case v < 1.0/3:
+		f := v * 3
+		return 0, byte(255 * f), byte(255 * (1 - f/2))
+	case v < 2.0/3:
+		f := (v - 1.0/3) * 3
+		return byte(255 * f), 255, byte(128 * (1 - f))
+	default:
+		f := (v - 2.0/3) * 3
+		return 255, byte(255 * (1 - f)), 0
+	}
+}
+
+// Legend returns a one-line mapping of the ASCII ramp characters to
+// temperatures for a given range.
+func Legend(loC, hiC float64) string {
+	var b strings.Builder
+	for i, ch := range ramp {
+		t := loC + (hiC-loC)*float64(i)/float64(len(ramp)-1)
+		fmt.Fprintf(&b, "%c=%.0fC ", ch, t)
+	}
+	return strings.TrimSpace(b.String())
+}

@@ -1,0 +1,135 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tap25d/internal/chiplet"
+	"tap25d/internal/geom"
+	"tap25d/internal/thermal"
+)
+
+func renderFixture(t *testing.T) (*thermal.Result, *chiplet.System, chiplet.Placement) {
+	t.Helper()
+	sys := &chiplet.System{
+		Name:        "r",
+		InterposerW: 40,
+		InterposerH: 40,
+		Chiplets: []chiplet.Chiplet{
+			{Name: "GPU", W: 12, H: 12, Power: 150},
+			{Name: "MEM", W: 6, H: 6, Power: 5},
+		},
+	}
+	p := chiplet.NewPlacement(2)
+	p.Centers[0] = geom.Point{X: 12, Y: 12}
+	p.Centers[1] = geom.Point{X: 30, Y: 30}
+	m, err := thermal.NewModel(40, 40, thermal.Options{Grid: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Solve([]thermal.Source{
+		{Rect: p.Rect(sys, 0), Power: 150},
+		{Rect: p.Rect(sys, 1), Power: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, sys, p
+}
+
+func TestThermalASCII(t *testing.T) {
+	res, sys, p := renderFixture(t)
+	out := ThermalASCII(res, sys, p, 60)
+	if !strings.Contains(out, "peak") {
+		t.Error("missing peak header")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+	// Map rows all equal width.
+	for _, l := range lines[1:] {
+		if len(l) != 60 {
+			t.Fatalf("row width %d, want 60", len(l))
+		}
+	}
+	// Both chiplet index digits appear.
+	if !strings.Contains(out, "0") || !strings.Contains(out, "1") {
+		t.Error("chiplet markers missing")
+	}
+	// Hot characters appear somewhere (the GPU corner).
+	if !strings.ContainsAny(out, "%@#") {
+		t.Error("no hot cells rendered")
+	}
+}
+
+func TestThermalASCIIDefaultWidth(t *testing.T) {
+	res, sys, p := renderFixture(t)
+	if out := ThermalASCII(res, sys, p, 0); len(out) == 0 {
+		t.Error("empty render with default width")
+	}
+}
+
+func TestPlacementASCII(t *testing.T) {
+	_, sys, p := renderFixture(t)
+	out := PlacementASCII(sys, p, 40)
+	if !strings.Contains(out, "G") || !strings.Contains(out, "M") {
+		t.Errorf("chiplet letters missing:\n%s", out)
+	}
+	if !strings.Contains(out, "+") {
+		t.Error("chiplet borders missing")
+	}
+	if !strings.Contains(out, ".") {
+		t.Error("empty interposer missing")
+	}
+	// GPU (chiplet 0, lower-left) should appear on a LOWER line than MEM
+	// (upper-right) — i.e. later in the string since we print top-down.
+	gIdx := strings.Index(out, "0")
+	mIdx := strings.Index(out, "1")
+	if gIdx < mIdx {
+		t.Error("orientation wrong: chiplet 0 (bottom) rendered above chiplet 1 (top)")
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	res, _, _ := renderFixture(t)
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, res, 2); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if !bytes.HasPrefix(b, []byte("P6\n32 32\n255\n")) {
+		t.Fatalf("bad PPM header: %q", b[:20])
+	}
+	wantLen := len("P6\n32 32\n255\n") + 32*32*3
+	if len(b) != wantLen {
+		t.Errorf("PPM length %d, want %d", len(b), wantLen)
+	}
+	// Default scale.
+	buf.Reset()
+	if err := WritePPM(&buf, res, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeatColorEndpoints(t *testing.T) {
+	r, _, b := heatColor(0)
+	if r != 0 || b == 0 {
+		t.Errorf("cold end should be blue: %d %d", r, b)
+	}
+	r, g, b := heatColor(1)
+	if r != 255 || g != 0 || b != 0 {
+		t.Errorf("hot end should be red: %d %d %d", r, g, b)
+	}
+	// Out-of-range clamps.
+	heatColor(-1)
+	heatColor(2)
+}
+
+func TestLegend(t *testing.T) {
+	l := Legend(45, 95)
+	if !strings.Contains(l, "=45C") || !strings.Contains(l, "=95C") {
+		t.Errorf("legend endpoints missing: %s", l)
+	}
+}

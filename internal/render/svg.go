@@ -1,0 +1,78 @@
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"tap25d/internal/chiplet"
+	"tap25d/internal/thermal"
+)
+
+// WriteSVG renders a placement as a scalable vector figure: the interposer
+// outline, each chiplet as a labeled rectangle shaded by its power density,
+// and (optionally, when res is non-nil) an underlaid thermal heat map. The
+// output is self-contained SVG 1.1 suitable for papers and READMEs.
+func WriteSVG(w io.Writer, sys *chiplet.System, p chiplet.Placement, res *thermal.Result, pxPerMM float64) error {
+	if pxPerMM <= 0 {
+		pxPerMM = 10
+	}
+	W := sys.InterposerW * pxPerMM
+	H := sys.InterposerH * pxPerMM
+	// y flips: SVG y grows downward, interposer y grows upward.
+	fy := func(yMM, hMM float64) float64 { return H - (yMM+hMM)*pxPerMM }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", W, H, W, H)
+	fmt.Fprintf(&b, `<rect x="0" y="0" width="%.0f" height="%.0f" fill="#f4f4f0" stroke="#333" stroke-width="2"/>`+"\n", W, H)
+
+	// Thermal underlay.
+	if res != nil {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, t := range res.ChipTempC {
+			lo = math.Min(lo, t)
+			hi = math.Max(hi, t)
+		}
+		span := hi - lo
+		if span <= 0 {
+			span = 1
+		}
+		cw := W / float64(res.Grid)
+		ch := H / float64(res.Grid)
+		for i := 0; i < res.Grid; i++ {
+			for j := 0; j < res.Grid; j++ {
+				t := res.ChipTempC[i*res.Grid+j]
+				r, g, bl := heatColor((t - lo) / span)
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="rgb(%d,%d,%d)" fill-opacity="0.55"/>`+"\n",
+					float64(j)*cw, H-float64(i+1)*ch, cw+0.5, ch+0.5, r, g, bl)
+			}
+		}
+	}
+
+	// Chiplets, shaded by power density.
+	maxPD := 0.0
+	for _, c := range sys.Chiplets {
+		maxPD = math.Max(maxPD, c.PowerDensity())
+	}
+	if maxPD == 0 {
+		maxPD = 1
+	}
+	for i := range sys.Chiplets {
+		r := p.Rect(sys, i)
+		c := sys.Chiplets[i]
+		shade := int(230 - 130*c.PowerDensity()/maxPD)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="rgb(%d,%d,%d)" fill-opacity="0.85" stroke="#111" stroke-width="1.5"/>`+"\n",
+			r.MinX()*pxPerMM, fy(r.MinY(), r.H), r.W*pxPerMM, r.H*pxPerMM, shade, shade, 240)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="%.0f" text-anchor="middle" fill="#111">%s</text>`+"\n",
+			r.Center.X*pxPerMM, fy(r.Center.Y, 0)+pxPerMM*0.35, math.Max(8, pxPerMM*1.2), escapeXML(c.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

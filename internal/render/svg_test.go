@@ -1,0 +1,47 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteSVGPlacementOnly(t *testing.T) {
+	_, sys, p := renderFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, sys, p, nil, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg ") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	for _, want := range []string{">GPU</text>", ">MEM</text>", `viewBox="0 0 400 400"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One outline + two chiplet rects at least.
+	if strings.Count(out, "<rect") < 3 {
+		t.Errorf("too few rects: %d", strings.Count(out, "<rect"))
+	}
+}
+
+func TestWriteSVGWithThermalUnderlay(t *testing.T) {
+	res, sys, p := renderFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, sys, p, res, 0); err != nil { // default scale
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The 16x16 thermal grid contributes 256 underlay cells.
+	if strings.Count(out, "fill-opacity=\"0.55\"") != 256 {
+		t.Errorf("underlay cells = %d, want 256", strings.Count(out, "fill-opacity=\"0.55\""))
+	}
+}
+
+func TestEscapeXML(t *testing.T) {
+	if got := escapeXML(`A<B>&"C"`); got != "A&lt;B&gt;&amp;&quot;C&quot;" {
+		t.Errorf("escapeXML = %q", got)
+	}
+}

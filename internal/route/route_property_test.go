@@ -1,0 +1,184 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"tap25d/internal/chiplet"
+	"tap25d/internal/geom"
+	"tap25d/internal/ocm"
+)
+
+// randomSystem builds a random valid system and placement for property
+// testing: n chiplets on a 45 mm interposer with a random channel set.
+func randomSystem(rng *rand.Rand, n int) (*chiplet.System, chiplet.Placement, bool) {
+	sys := &chiplet.System{
+		Name:        "prop",
+		InterposerW: 45,
+		InterposerH: 45,
+	}
+	for i := 0; i < n; i++ {
+		sys.Chiplets = append(sys.Chiplets, chiplet.Chiplet{
+			Name:  string(rune('A' + i)),
+			W:     3 + rng.Float64()*8,
+			H:     3 + rng.Float64()*8,
+			Power: rng.Float64() * 100,
+		})
+	}
+	// Random channels (connected-ish): each chiplet links to a random other.
+	for i := 1; i < n; i++ {
+		sys.Channels = append(sys.Channels, chiplet.Channel{
+			Src:   rng.Intn(i),
+			Dst:   i,
+			Wires: 1 + rng.Intn(512),
+		})
+	}
+	if rng.Intn(2) == 0 && n > 2 {
+		sys.Channels = append(sys.Channels, chiplet.Channel{Src: 0, Dst: n - 1, Wires: 1 + rng.Intn(256)})
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, chiplet.Placement{}, false
+	}
+	// Random valid placement via the OCM legalizer.
+	grid, err := ocm.NewGrid(sys, 1)
+	if err != nil {
+		return nil, chiplet.Placement{}, false
+	}
+	p := chiplet.NewPlacement(n)
+	for i := range p.Centers {
+		p.Centers[i] = geom.Point{X: rng.Float64() * 45, Y: rng.Float64() * 45}
+	}
+	q, err := grid.Legalize(sys, p)
+	if err != nil {
+		return nil, chiplet.Placement{}, false
+	}
+	return sys, q, true
+}
+
+// TestFastRouterPropertyRandomSystems: on random systems/placements the fast
+// router either reports insufficient capacity or produces a solution passing
+// every constraint check of Eqns. 4-9.
+func TestFastRouterPropertyRandomSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	routed := 0
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(5)
+		sys, p, ok := randomSystem(rng, n)
+		if !ok {
+			continue
+		}
+		for _, gas := range []bool{false, true} {
+			res, err := Route(sys, p, Options{GasStation: gas})
+			if err != nil {
+				continue // capacity-infeasible random instance: acceptable
+			}
+			routed++
+			if err := Check(sys, res, nil); err != nil {
+				t.Fatalf("trial %d gas=%v: %v", trial, gas, err)
+			}
+			if res.TotalWirelengthMM < 0 {
+				t.Fatalf("negative wirelength")
+			}
+		}
+	}
+	if routed < 40 {
+		t.Fatalf("only %d random instances routed; generator too restrictive", routed)
+	}
+}
+
+// TestMILPNeverWorseThanFastProperty: on random instances where both methods
+// succeed, the exact MILP's wirelength is never worse than the heuristic's.
+func TestMILPNeverWorseThanFastProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	compared := 0
+	for trial := 0; trial < 25; trial++ {
+		sys, p, ok := randomSystem(rng, 3+rng.Intn(3))
+		if !ok {
+			continue
+		}
+		fast, errF := Route(sys, p, Options{})
+		milp, errM := Route(sys, p, Options{Method: MethodMILP})
+		if errF != nil || errM != nil {
+			continue
+		}
+		compared++
+		if milp.TotalWirelengthMM > fast.TotalWirelengthMM+1e-6 {
+			t.Fatalf("trial %d: MILP %v worse than fast %v", trial,
+				milp.TotalWirelengthMM, fast.TotalWirelengthMM)
+		}
+		if err := Check(sys, milp, nil); err != nil {
+			t.Fatalf("trial %d: milp check: %v", trial, err)
+		}
+	}
+	if compared < 15 {
+		t.Fatalf("only %d instances compared", compared)
+	}
+}
+
+// TestGasStationReservesOwnChannels: a topology where a central chiplet is
+// the best gas station for crossing traffic must still deliver the central
+// chiplet's own channels (regression test for via-budget starvation).
+func TestGasStationReservesOwnChannels(t *testing.T) {
+	sys := &chiplet.System{
+		Name:        "hub",
+		InterposerW: 45,
+		InterposerH: 45,
+		Chiplets: []chiplet.Chiplet{
+			{Name: "L", W: 8, H: 8, Power: 10},
+			{Name: "HUB", W: 8, H: 8, Power: 10},
+			{Name: "R", W: 8, H: 8, Power: 10},
+			{Name: "T", W: 8, H: 8, Power: 10},
+		},
+		Channels: []chiplet.Channel{
+			{Src: 0, Dst: 2, Wires: 600}, // L -> R crossing traffic (big, routed first)
+			{Src: 1, Dst: 3, Wires: 300}, // HUB's own channel
+		},
+		PinsPerClumpLimit: 300,
+	}
+	p := chiplet.NewPlacement(4)
+	p.Centers[0] = geom.Point{X: 8, Y: 22}
+	p.Centers[1] = geom.Point{X: 22, Y: 22}
+	p.Centers[2] = geom.Point{X: 36, Y: 22}
+	p.Centers[3] = geom.Point{X: 22, Y: 36}
+	res, err := Route(sys, p, Options{GasStation: true})
+	if err != nil {
+		t.Fatalf("via-budget reservation failed: %v", err)
+	}
+	if err := Check(sys, res, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWirelengthLowerBound: total wirelength is at least the sum over
+// channels of wires x closest clump-pair distance (no router can beat
+// per-net geometry).
+func TestWirelengthLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		sys, p, ok := randomSystem(rng, 4)
+		if !ok {
+			continue
+		}
+		res, err := Route(sys, p, Options{})
+		if err != nil {
+			continue
+		}
+		var lower float64
+		pts := clumpPoints(sys, p)
+		for _, ch := range sys.Channels {
+			best := dist(pts, ch.Src, 0, ch.Dst, 0)
+			for l := 0; l < ClumpsPerChiplet; l++ {
+				for k := 0; k < ClumpsPerChiplet; k++ {
+					if d := dist(pts, ch.Src, l, ch.Dst, k); d < best {
+						best = d
+					}
+				}
+			}
+			lower += best * float64(ch.Wires)
+		}
+		if res.TotalWirelengthMM < lower-1e-6 {
+			t.Fatalf("trial %d: wirelength %v below geometric lower bound %v",
+				trial, res.TotalWirelengthMM, lower)
+		}
+	}
+}

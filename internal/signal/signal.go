@@ -1,0 +1,153 @@
+// Package signal models the electrical behaviour of inter-chiplet wires on a
+// passive silicon interposer: RC delay, achievable single-cycle reach, and
+// energy per bit. It supplies the physical grounding for the paper's link
+// taxonomy — repeaterless non-pipelined links are limited in reach because a
+// passive interposer has no transistors to repeat or latch signals, while
+// 2-stage gas-station links "refuel" the signal on an intermediate chiplet
+// and thereby double the reach at one extra cycle of latency (Coskun et al.,
+// ICCAD'18, which the paper builds on).
+//
+// The model is the standard distributed-RC estimate for minimum-size
+// interposer wires: delay(L) = t_drv + 0.38 * r * c * L^2 (Elmore delay of a
+// distributed line) with typical 65 nm interposer BEOL parameters. Values
+// are deliberately conservative; what matters downstream is the *relative*
+// classification of routed arcs into 1-, 2- and 3-cycle links.
+package signal
+
+import (
+	"fmt"
+	"math"
+)
+
+// WireParams describes the interposer wire technology.
+type WireParams struct {
+	// ResistancePerMM is the wire resistance in ohm/mm.
+	ResistancePerMM float64
+	// CapacitancePerMM is the wire capacitance in fF/mm.
+	CapacitancePerMM float64
+	// DriverDelayPS is the fixed driver + receiver delay in picoseconds.
+	DriverDelayPS float64
+	// DriverEnergyPJ is the fixed per-transition driver energy in pJ.
+	DriverEnergyPJ float64
+	// SupplyV is the signaling voltage.
+	SupplyV float64
+	// ActivityFactor is the average switching activity per bit.
+	ActivityFactor float64
+}
+
+// DefaultWire returns typical 65 nm passive-interposer BEOL parameters
+// (minimum-pitch intermediate metal, as in the assemblies the paper cites).
+func DefaultWire() WireParams {
+	return WireParams{
+		ResistancePerMM:  75,   // ohm/mm
+		CapacitancePerMM: 200,  // fF/mm
+		DriverDelayPS:    60,   // ps
+		DriverEnergyPJ:   0.05, // pJ
+		SupplyV:          1.0,
+		ActivityFactor:   0.15,
+	}
+}
+
+// Validate checks for physically meaningless parameters.
+func (w WireParams) Validate() error {
+	if w.ResistancePerMM <= 0 || w.CapacitancePerMM <= 0 {
+		return fmt.Errorf("signal: non-positive RC parameters")
+	}
+	if w.SupplyV <= 0 {
+		return fmt.Errorf("signal: non-positive supply voltage")
+	}
+	return nil
+}
+
+// DelayPS returns the end-to-end delay of an unrepeated wire of the given
+// length (mm) in picoseconds: driver delay plus distributed-RC (Elmore)
+// flight time.
+func (w WireParams) DelayPS(lengthMM float64) float64 {
+	if lengthMM <= 0 {
+		return w.DriverDelayPS
+	}
+	// r [ohm/mm] * c [fF/mm] * L^2 [mm^2] -> fs; 0.38 distributed factor.
+	rcFS := 0.38 * w.ResistancePerMM * w.CapacitancePerMM * lengthMM * lengthMM
+	return w.DriverDelayPS + rcFS/1000
+}
+
+// EnergyPJPerBit returns the average switching energy per transported bit
+// for a wire of the given length (mm).
+func (w WireParams) EnergyPJPerBit(lengthMM float64) float64 {
+	capF := w.CapacitancePerMM * lengthMM * 1e-15  // F
+	dynamic := capF * w.SupplyV * w.SupplyV * 1e12 // pJ per transition
+	return w.ActivityFactor * (dynamic + w.DriverEnergyPJ)
+}
+
+// ReachMM returns the maximum unrepeated wire length (mm) whose delay fits
+// within one cycle at the given clock frequency.
+func (w WireParams) ReachMM(clockGHz float64) float64 {
+	if clockGHz <= 0 {
+		return math.Inf(1)
+	}
+	periodPS := 1000 / clockGHz
+	if periodPS <= w.DriverDelayPS {
+		return 0
+	}
+	rc := 0.38 * w.ResistancePerMM * w.CapacitancePerMM / 1000 // ps per mm^2
+	return math.Sqrt((periodPS - w.DriverDelayPS) / rc)
+}
+
+// LatencyCycles classifies a link of the given length (mm) at the given
+// clock: the number of cycles a signal needs end to end on a passive
+// interposer. A repeaterless link cannot be pipelined, so a wire longer than
+// the single-cycle reach simply takes ceil(delay/period) cycles; gasStation
+// links are latched at the intermediate chiplet, so each hop is classified
+// separately by the caller.
+func (w WireParams) LatencyCycles(lengthMM, clockGHz float64) int {
+	if clockGHz <= 0 {
+		return 1
+	}
+	periodPS := 1000 / clockGHz
+	cycles := int(math.Ceil(w.DelayPS(lengthMM) / periodPS))
+	if cycles < 1 {
+		cycles = 1
+	}
+	return cycles
+}
+
+// LinkClass summarizes the latency classification of a set of routed arcs.
+type LinkClass struct {
+	// CyclesHistogram[k] counts wires whose link takes k cycles.
+	CyclesHistogram map[int]int
+	// MaxCycles is the slowest link's latency.
+	MaxCycles int
+	// MeanCycles is the wire-weighted average link latency.
+	MeanCycles float64
+	// TotalEnergyPJPerTransfer is the energy of moving one bit over every
+	// wire once.
+	TotalEnergyPJPerTransfer float64
+}
+
+// Classify buckets routed arc lengths (mm, one entry per wire bundle with
+// its wire count) into link latency classes at the given clock.
+func (w WireParams) Classify(lengths []float64, wires []int, clockGHz float64) (*LinkClass, error) {
+	if len(lengths) != len(wires) {
+		return nil, fmt.Errorf("signal: %d lengths vs %d wire counts", len(lengths), len(wires))
+	}
+	lc := &LinkClass{CyclesHistogram: map[int]int{}}
+	totalWires := 0
+	var weighted float64
+	for i, l := range lengths {
+		if wires[i] <= 0 {
+			return nil, fmt.Errorf("signal: non-positive wire count at %d", i)
+		}
+		cyc := w.LatencyCycles(l, clockGHz)
+		lc.CyclesHistogram[cyc] += wires[i]
+		if cyc > lc.MaxCycles {
+			lc.MaxCycles = cyc
+		}
+		weighted += float64(cyc) * float64(wires[i])
+		totalWires += wires[i]
+		lc.TotalEnergyPJPerTransfer += w.EnergyPJPerBit(l) * float64(wires[i])
+	}
+	if totalWires > 0 {
+		lc.MeanCycles = weighted / float64(totalWires)
+	}
+	return lc, nil
+}

@@ -1,0 +1,169 @@
+package signal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultWireValid(t *testing.T) {
+	if err := DefaultWire().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	w := DefaultWire()
+	w.ResistancePerMM = 0
+	if w.Validate() == nil {
+		t.Error("zero resistance accepted")
+	}
+	w = DefaultWire()
+	w.SupplyV = -1
+	if w.Validate() == nil {
+		t.Error("negative supply accepted")
+	}
+}
+
+func TestDelayQuadraticInLength(t *testing.T) {
+	w := DefaultWire()
+	d0 := w.DelayPS(0)
+	if d0 != w.DriverDelayPS {
+		t.Errorf("zero-length delay = %v, want driver delay %v", d0, w.DriverDelayPS)
+	}
+	// Subtracting the fixed part, delay must scale with L^2.
+	f5 := w.DelayPS(5) - d0
+	f10 := w.DelayPS(10) - d0
+	if math.Abs(f10/f5-4) > 1e-9 {
+		t.Errorf("flight time not quadratic: %v vs %v", f5, f10)
+	}
+}
+
+func TestDelayMonotonic(t *testing.T) {
+	w := DefaultWire()
+	f := func(a, b float64) bool {
+		a, b = math.Abs(math.Mod(a, 50)), math.Abs(math.Mod(b, 50))
+		if a > b {
+			a, b = b, a
+		}
+		return w.DelayPS(a) <= w.DelayPS(b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReachConsistentWithDelay(t *testing.T) {
+	w := DefaultWire()
+	for _, ghz := range []float64{0.5, 1, 2} {
+		reach := w.ReachMM(ghz)
+		if reach <= 0 {
+			t.Fatalf("reach at %v GHz = %v", ghz, reach)
+		}
+		period := 1000 / ghz
+		if d := w.DelayPS(reach); math.Abs(d-period) > 1e-6 {
+			t.Errorf("delay at reach (%v mm) = %v ps, want one period %v ps", reach, d, period)
+		}
+		// Just beyond reach needs 2 cycles.
+		if c := w.LatencyCycles(reach*1.01, ghz); c != 2 {
+			t.Errorf("just beyond reach: %d cycles, want 2", c)
+		}
+		if c := w.LatencyCycles(reach*0.99, ghz); c != 1 {
+			t.Errorf("just within reach: %d cycles, want 1", c)
+		}
+	}
+	// Faster clocks have shorter reach.
+	if !(w.ReachMM(2) < w.ReachMM(1)) {
+		t.Error("reach should shrink with frequency")
+	}
+	if !math.IsInf(w.ReachMM(0), 1) {
+		t.Error("zero clock should have infinite reach")
+	}
+	// A clock faster than the driver delay leaves no reach at all.
+	fast := DefaultWire()
+	fast.DriverDelayPS = 2000
+	if fast.ReachMM(1) != 0 {
+		t.Error("period below driver delay should give zero reach")
+	}
+}
+
+func TestReachIsPlausible(t *testing.T) {
+	// At 1 GHz a 65 nm interposer wire reaches roughly 10-15 mm unrepeated
+	// — the scale that makes gas-station links necessary on a 45 mm
+	// interposer (the point of Eqn. 9).
+	reach := DefaultWire().ReachMM(1)
+	if reach < 5 || reach > 25 {
+		t.Errorf("1 GHz reach = %.1f mm, expected O(10 mm)", reach)
+	}
+}
+
+func TestEnergyScalesWithLength(t *testing.T) {
+	w := DefaultWire()
+	e5, e10 := w.EnergyPJPerBit(5), w.EnergyPJPerBit(10)
+	if e10 <= e5 {
+		t.Errorf("energy not increasing: %v vs %v", e5, e10)
+	}
+	// Order of magnitude: interposer links are ~0.01-0.2 pJ/bit/mm range.
+	if e10 < 0.001 || e10 > 10 {
+		t.Errorf("10 mm energy = %v pJ/bit, implausible", e10)
+	}
+}
+
+func TestLatencyCyclesDegenerate(t *testing.T) {
+	w := DefaultWire()
+	if c := w.LatencyCycles(100, 0); c != 1 {
+		t.Errorf("zero clock should default to 1 cycle, got %d", c)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	w := DefaultWire()
+	reach := w.ReachMM(1)
+	// Delay is quadratic in length: 1.2x reach lands in (1, 2] periods,
+	// 2x reach in (3, 4] periods.
+	lengths := []float64{reach / 2, reach * 1.2, reach * 2}
+	wires := []int{100, 50, 10}
+	lc, err := w.Classify(lengths, wires, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.CyclesHistogram[1] != 100 {
+		t.Errorf("1-cycle wires = %d, want 100", lc.CyclesHistogram[1])
+	}
+	if lc.CyclesHistogram[2] != 50 {
+		t.Errorf("2-cycle wires = %d, want 50", lc.CyclesHistogram[2])
+	}
+	if lc.CyclesHistogram[4] != 10 {
+		t.Errorf("4-cycle wires = %d, want 10", lc.CyclesHistogram[4])
+	}
+	if lc.MaxCycles != 4 {
+		t.Errorf("max cycles = %d, want 4", lc.MaxCycles)
+	}
+	wantMean := (1.0*100 + 2*50 + 4*10) / 160.0
+	if math.Abs(lc.MeanCycles-wantMean) > 1e-9 {
+		t.Errorf("mean cycles = %v, want %v", lc.MeanCycles, wantMean)
+	}
+	if lc.TotalEnergyPJPerTransfer <= 0 {
+		t.Error("energy should be positive")
+	}
+}
+
+func TestClassifyErrors(t *testing.T) {
+	w := DefaultWire()
+	if _, err := w.Classify([]float64{1}, []int{1, 2}, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := w.Classify([]float64{1}, []int{0}, 1); err == nil {
+		t.Error("zero wires accepted")
+	}
+}
+
+func TestClassifyEmpty(t *testing.T) {
+	lc, err := DefaultWire().Classify(nil, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.MeanCycles != 0 || lc.MaxCycles != 0 {
+		t.Errorf("empty classification should be zero: %+v", lc)
+	}
+}

@@ -1,0 +1,369 @@
+// Package sparse provides the sparse linear algebra needed by the thermal
+// solver: compressed sparse row (CSR) matrices assembled from coordinate
+// triplets, and iterative solvers (Jacobi-preconditioned conjugate gradient
+// and symmetric Gauss-Seidel) for the symmetric positive-definite conductance
+// systems G·T = P arising from the finite-difference thermal model.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Builder accumulates coordinate-format (row, col, value) entries. Duplicate
+// entries are summed, which makes stencil assembly trivial.
+type Builder struct {
+	n    int
+	rows []int32
+	cols []int32
+	vals []float64
+}
+
+// NewBuilder returns a Builder for an n×n matrix.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// Add accumulates v into entry (i, j). It panics on out-of-range indices,
+// which always indicates a programming error in stencil assembly.
+func (b *Builder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.n || j < 0 || j >= b.n {
+		panic(fmt.Sprintf("sparse: Add(%d, %d) out of range for n=%d", i, j, b.n))
+	}
+	if v == 0 {
+		return
+	}
+	b.rows = append(b.rows, int32(i))
+	b.cols = append(b.cols, int32(j))
+	b.vals = append(b.vals, v)
+}
+
+// AddSym accumulates a symmetric conductance g between nodes i and j:
+// +g on both diagonals and -g on both off-diagonals. This is the natural
+// operation when wiring two grid cells together with thermal conductance g.
+func (b *Builder) AddSym(i, j int, g float64) {
+	b.Add(i, i, g)
+	b.Add(j, j, g)
+	b.Add(i, j, -g)
+	b.Add(j, i, -g)
+}
+
+// AddDiag accumulates g onto the diagonal entry (i, i) — used for conductances
+// to a fixed boundary (e.g. convection to ambient).
+func (b *Builder) AddDiag(i int, g float64) {
+	b.Add(i, i, g)
+}
+
+// Build assembles the CSR matrix, summing duplicates. Assembly is O(nnz)
+// apart from a small per-row sort: entries are bucketed by row with a
+// counting pass, then each row (a handful of stencil entries) is sorted and
+// deduplicated in place.
+func (b *Builder) Build() *CSR {
+	n := b.n
+	// Counting sort by row.
+	count := make([]int32, n+1)
+	for _, r := range b.rows {
+		count[r+1]++
+	}
+	for i := 0; i < n; i++ {
+		count[i+1] += count[i]
+	}
+	start := make([]int32, n)
+	copy(start, count[:n])
+	ordCol := make([]int32, len(b.rows))
+	ordVal := make([]float64, len(b.rows))
+	for k, r := range b.rows {
+		p := start[r]
+		ordCol[p] = b.cols[k]
+		ordVal[p] = b.vals[k]
+		start[r] = p + 1
+	}
+
+	m := &CSR{N: n, RowPtr: make([]int32, n+1)}
+	m.Col = make([]int32, 0, len(b.rows))
+	m.Val = make([]float64, 0, len(b.rows))
+	for i := 0; i < n; i++ {
+		lo, hi := count[i], count[i+1]
+		row := rowView{col: ordCol[lo:hi], val: ordVal[lo:hi]}
+		sort.Sort(row)
+		var lastC int32 = -1
+		for k := range row.col {
+			if row.col[k] == lastC {
+				m.Val[len(m.Val)-1] += row.val[k]
+				continue
+			}
+			m.Col = append(m.Col, row.col[k])
+			m.Val = append(m.Val, row.val[k])
+			lastC = row.col[k]
+		}
+		m.RowPtr[i+1] = int32(len(m.Col))
+	}
+	return m
+}
+
+// rowView sorts one row's (col, val) pairs by column.
+type rowView struct {
+	col []int32
+	val []float64
+}
+
+func (r rowView) Len() int           { return len(r.col) }
+func (r rowView) Less(i, j int) bool { return r.col[i] < r.col[j] }
+func (r rowView) Swap(i, j int) {
+	r.col[i], r.col[j] = r.col[j], r.col[i]
+	r.val[i], r.val[j] = r.val[j], r.val[i]
+}
+
+// Reset clears the builder for reuse without releasing its capacity.
+func (b *Builder) Reset() {
+	b.rows = b.rows[:0]
+	b.cols = b.cols[:0]
+	b.vals = b.vals[:0]
+}
+
+// CSR is a compressed sparse row matrix.
+type CSR struct {
+	N      int
+	RowPtr []int32
+	Col    []int32
+	Val    []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// MulVec computes y = A·x. y must have length N.
+func (m *CSR) MulVec(y, x []float64) {
+	for i := 0; i < m.N; i++ {
+		var s float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k] * x[m.Col[k]]
+		}
+		y[i] = s
+	}
+}
+
+// Diag extracts the diagonal of the matrix.
+func (m *CSR) Diag() []float64 {
+	d := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if int(m.Col[k]) == i {
+				d[i] = m.Val[k]
+				break
+			}
+		}
+	}
+	return d
+}
+
+// AddToDiag adds d[i] to each diagonal entry in place. Every row must
+// already store its diagonal (true for any conductance matrix assembled with
+// AddSym/AddDiag).
+func (m *CSR) AddToDiag(d []float64) error {
+	if len(d) != m.N {
+		return fmt.Errorf("sparse: AddToDiag length %d, want %d", len(d), m.N)
+	}
+	for i := 0; i < m.N; i++ {
+		found := false
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if int(m.Col[k]) == i {
+				m.Val[k] += d[i]
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("sparse: row %d stores no diagonal entry", i)
+		}
+	}
+	return nil
+}
+
+// At returns entry (i, j) (zero when not stored).
+func (m *CSR) At(i, j int) float64 {
+	for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+		if int(m.Col[k]) == j {
+			return m.Val[k]
+		}
+	}
+	return 0
+}
+
+// ErrNoConvergence is returned when an iterative solver exhausts its
+// iteration budget without meeting the residual tolerance.
+var ErrNoConvergence = errors.New("sparse: solver did not converge")
+
+// CGOptions configures the conjugate-gradient solver.
+type CGOptions struct {
+	// Tol is the relative residual tolerance ‖r‖/‖b‖. Default 1e-8.
+	Tol float64
+	// MaxIter caps the iteration count. Default 10·N.
+	MaxIter int
+}
+
+// SolveCG solves A·x = b for symmetric positive-definite A using
+// Jacobi-preconditioned conjugate gradients. x is used as the initial guess
+// (a warm start from the previous SA step speeds the placer up considerably)
+// and is overwritten with the solution. It returns the iteration count.
+func SolveCG(a *CSR, x, b []float64, opt CGOptions) (int, error) {
+	n := a.N
+	if len(x) != n || len(b) != n {
+		return 0, fmt.Errorf("sparse: SolveCG dimension mismatch: n=%d len(x)=%d len(b)=%d", n, len(x), len(b))
+	}
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+
+	invD := a.Diag()
+	for i, d := range invD {
+		if d <= 0 {
+			return 0, fmt.Errorf("sparse: non-positive diagonal at row %d (%g); matrix not SPD", i, d)
+		}
+		invD[i] = 1 / d
+	}
+
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	a.MulVec(r, x)
+	var bnorm, rnorm0 float64
+	for i := range r {
+		r[i] = b[i] - r[i]
+		bnorm += b[i] * b[i]
+		rnorm0 += r[i] * r[i]
+	}
+	bnorm = math.Sqrt(bnorm)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return 0, nil
+	}
+	if math.Sqrt(rnorm0) <= tol*bnorm {
+		return 0, nil // warm start already converged
+	}
+
+	var rz float64
+	for i := range z {
+		z[i] = invD[i] * r[i]
+		rz += r[i] * z[i]
+	}
+	copy(p, z)
+
+	for it := 1; it <= maxIter; it++ {
+		a.MulVec(ap, p)
+		var pap float64
+		for i := range p {
+			pap += p[i] * ap[i]
+		}
+		if pap <= 0 {
+			return it, fmt.Errorf("sparse: p'Ap = %g <= 0; matrix not SPD", pap)
+		}
+		alpha := rz / pap
+		var rnorm float64
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+			rnorm += r[i] * r[i]
+		}
+		if math.Sqrt(rnorm) <= tol*bnorm {
+			return it, nil
+		}
+		var rzNew float64
+		for i := range z {
+			z[i] = invD[i] * r[i]
+			rzNew += r[i] * z[i]
+		}
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return maxIter, ErrNoConvergence
+}
+
+// SolveGaussSeidel performs symmetric Gauss-Seidel sweeps on A·x = b until the
+// relative residual drops below tol or maxIter sweeps elapse. It is slower
+// than CG on large systems but useful as an independent cross-check in tests.
+func SolveGaussSeidel(a *CSR, x, b []float64, tol float64, maxIter int) (int, error) {
+	n := a.N
+	if len(x) != n || len(b) != n {
+		return 0, fmt.Errorf("sparse: SolveGaussSeidel dimension mismatch")
+	}
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+	diag := a.Diag()
+	for i, d := range diag {
+		if d == 0 {
+			return 0, fmt.Errorf("sparse: zero diagonal at row %d", i)
+		}
+	}
+	var bnorm float64
+	for _, v := range b {
+		bnorm += v * v
+	}
+	bnorm = math.Sqrt(bnorm)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return 0, nil
+	}
+
+	sweep := func(forward bool) {
+		if forward {
+			for i := 0; i < n; i++ {
+				s := b[i]
+				for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+					j := int(a.Col[k])
+					if j != i {
+						s -= a.Val[k] * x[j]
+					}
+				}
+				x[i] = s / diag[i]
+			}
+		} else {
+			for i := n - 1; i >= 0; i-- {
+				s := b[i]
+				for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+					j := int(a.Col[k])
+					if j != i {
+						s -= a.Val[k] * x[j]
+					}
+				}
+				x[i] = s / diag[i]
+			}
+		}
+	}
+
+	r := make([]float64, n)
+	for it := 1; it <= maxIter; it++ {
+		sweep(true)
+		sweep(false)
+		a.MulVec(r, x)
+		var rnorm float64
+		for i := range r {
+			d := b[i] - r[i]
+			rnorm += d * d
+		}
+		if math.Sqrt(rnorm) <= tol*bnorm {
+			return it, nil
+		}
+	}
+	return maxIter, ErrNoConvergence
+}

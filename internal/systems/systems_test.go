@@ -1,0 +1,121 @@
+package systems
+
+import (
+	"testing"
+
+	"tap25d/internal/route"
+)
+
+func TestAllSystemsValidate(t *testing.T) {
+	for name, sys := range All() {
+		if err := sys.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if len(sys.Chiplets) != 8 {
+			t.Errorf("%s: %d chiplets, want 8 (paper: up to 8)", name, len(sys.Chiplets))
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) != 3 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestOriginalPlacementsValid(t *testing.T) {
+	if err := CPUDRAM().CheckPlacement(CPUDRAMOriginal()); err != nil {
+		t.Errorf("CPU-DRAM original: %v", err)
+	}
+	if err := Ascend910().CheckPlacement(Ascend910Original()); err != nil {
+		t.Errorf("Ascend 910 original: %v", err)
+	}
+}
+
+func TestOriginalPlacementsRoutable(t *testing.T) {
+	if _, err := route.Route(CPUDRAM(), CPUDRAMOriginal(), route.Options{}); err != nil {
+		t.Errorf("CPU-DRAM original: %v", err)
+	}
+	if _, err := route.Route(Ascend910(), Ascend910Original(), route.Options{}); err != nil {
+		t.Errorf("Ascend 910 original: %v", err)
+	}
+}
+
+func TestAscendColumnLayout(t *testing.T) {
+	sys := Ascend910()
+	col := Ascend910ColumnLayout()
+	if err := sys.CheckPlacement(col); err != nil {
+		t.Fatalf("column layout invalid: %v", err)
+	}
+	if _, err := route.Route(sys, col, route.Options{}); err != nil {
+		t.Fatalf("column layout unroutable: %v", err)
+	}
+}
+
+func TestAscendOriginalIsWireMinimalVsColumn(t *testing.T) {
+	// The documented substitution: the 4-side reference layout must carry
+	// shorter wires than the photographed single-column layout under the
+	// 4-clump model.
+	sys := Ascend910()
+	orig, err := route.Route(sys, Ascend910Original(), route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := route.Route(sys, Ascend910ColumnLayout(), route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.TotalWirelengthMM >= col.TotalWirelengthMM {
+		t.Errorf("reference layout WL %v not below column layout %v",
+			orig.TotalWirelengthMM, col.TotalWirelengthMM)
+	}
+}
+
+func TestMultiGPUAt(t *testing.T) {
+	s := MultiGPUAt(50)
+	if s.InterposerW != 50 || s.InterposerH != 50 {
+		t.Errorf("interposer = %v x %v", s.InterposerW, s.InterposerH)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Name == MultiGPU().Name {
+		t.Error("resized system should have a distinct name")
+	}
+}
+
+func TestCPUDRAMCPUIndices(t *testing.T) {
+	sys := CPUDRAM()
+	for _, i := range CPUDRAMCPUIndices() {
+		if sys.Chiplets[i].Power < 100 {
+			t.Errorf("index %d (%s) does not look like a CPU", i, sys.Chiplets[i].Name)
+		}
+	}
+}
+
+func TestPowerBudgets(t *testing.T) {
+	// Sanity anchors for the calibration documented in DESIGN.md: the
+	// CPU-DRAM system must be the hottest (thermally infeasible compact),
+	// the Ascend 910 the coolest (feasible as built).
+	mg, cd, as := MultiGPU().TotalPower(), CPUDRAM().TotalPower(), Ascend910().TotalPower()
+	if !(cd > mg && mg > as) {
+		t.Errorf("power ordering wrong: cpudram %v, multigpu %v, ascend %v", cd, mg, as)
+	}
+}

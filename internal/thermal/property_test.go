@@ -1,0 +1,120 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tap25d/internal/geom"
+	"tap25d/internal/material"
+)
+
+// TestSuperposition: with identical footprints (hence identical conductivity
+// fields), the temperature rise is linear in the power vector, so the rise of
+// a combined load equals the sum of the individual rises.
+func TestSuperposition(t *testing.T) {
+	m := newTestModel(t, 16)
+	rectA := geom.Rect{Center: geom.Point{X: 15, Y: 15}, W: 8, H: 8}
+	rectB := geom.Rect{Center: geom.Point{X: 30, Y: 30}, W: 6, H: 10}
+
+	// All three solves keep both footprints present (zero power keeps the
+	// silicon in place) so the conductance matrix is identical.
+	onlyA, err := m.Solve([]Source{{Rect: rectA, Power: 120}, {Rect: rectB, Power: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onlyB, err := m.Solve([]Source{{Rect: rectA, Power: 0}, {Rect: rectB, Power: 80}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := m.Solve([]Source{{Rect: rectA, Power: 120}, {Rect: rectB, Power: 80}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	amb := m.AmbientC()
+	for i := range both.ChipTempC {
+		sum := (onlyA.ChipTempC[i] - amb) + (onlyB.ChipTempC[i] - amb)
+		got := both.ChipTempC[i] - amb
+		if math.Abs(got-sum) > 0.02*(1+math.Abs(sum)) {
+			t.Fatalf("superposition violated at cell %d: %v vs %v", i, got, sum)
+		}
+	}
+}
+
+// TestReciprocityOfInfluence: in a symmetric resistive network, the
+// temperature rise at B due to power at A equals the rise at A due to the
+// same power at B (thermal reciprocity), given symmetric geometry.
+func TestReciprocityOfInfluence(t *testing.T) {
+	m := newTestModel(t, 16)
+	// Two identical footprints placed symmetrically about the center.
+	rectA := geom.Rect{Center: geom.Point{X: 14, Y: 22.5}, W: 6, H: 6}
+	rectB := geom.Rect{Center: geom.Point{X: 31, Y: 22.5}, W: 6, H: 6}
+
+	atB, err := m.Solve([]Source{{Rect: rectA, Power: 100}, {Rect: rectB, Power: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	riseAtB := atB.TempAt(rectB.Center) - m.AmbientC()
+
+	atA, err := m.Solve([]Source{{Rect: rectA, Power: 0}, {Rect: rectB, Power: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	riseAtA := atA.TempAt(rectA.Center) - m.AmbientC()
+
+	if math.Abs(riseAtA-riseAtB) > 0.02*(riseAtA+riseAtB)/2 {
+		t.Errorf("reciprocity violated: %v vs %v", riseAtA, riseAtB)
+	}
+}
+
+// TestPeakInsideSourceFootprint: for a single source, the hottest cell must
+// lie within (or adjacent to) its footprint wherever it is placed.
+func TestPeakInsideSourceFootprint(t *testing.T) {
+	m := newTestModel(t, 24)
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		w := 4 + rng.Float64()*10
+		h := 4 + rng.Float64()*10
+		cx := w/2 + rng.Float64()*(45-w)
+		cy := h/2 + rng.Float64()*(45-h)
+		rect := geom.Rect{Center: geom.Point{X: cx, Y: cy}, W: w, H: h}
+		res, err := m.Solve([]Source{{Rect: rect, Power: 100}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Allow one cell of slack for discretization.
+		slack := 45.0 / 24
+		grown := geom.Rect{Center: rect.Center, W: rect.W + 2*slack, H: rect.H + 2*slack}
+		if !grown.Contains(res.PeakAt) {
+			t.Fatalf("trial %d: peak at %v outside source %v", trial, res.PeakAt, rect)
+		}
+	}
+}
+
+// TestAmbientShiftsUniformly: changing the ambient temperature shifts every
+// cell by the same offset (the solver works in rise space).
+func TestAmbientShiftsUniformly(t *testing.T) {
+	base, err := NewModel(45, 45, Options{Grid: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := material.DefaultStack()
+	stack.AmbientC = 60
+	hot, err := NewModel(45, 45, Options{Grid: 12, Stack: &stack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []Source{centeredSource(100)}
+	r1, err := base.Solve(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := hot.Solve(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs((r2.PeakC-r1.PeakC)-15) > 1e-6 {
+		t.Errorf("ambient shift: peaks %v and %v differ by %v, want 15",
+			r1.PeakC, r2.PeakC, r2.PeakC-r1.PeakC)
+	}
+}

@@ -1,0 +1,443 @@
+// Package thermal implements the steady-state thermal simulation used by
+// TAP-2.5D to evaluate chiplet placements. It mirrors the HotSpot
+// heterogeneous-3D extension the paper uses: the six modeling layers of
+// Fig. 1 (organic substrate, C4 bumps, silicon interposer, microbumps,
+// chiplet layer, TIM) stacked under a copper heat spreader and an air-forced
+// heatsink, discretized on a grid (64×64 by default) and solved as a
+// finite-difference thermal resistance network. The chiplet layer is
+// heterogeneous: silicon where dies sit, epoxy underfill elsewhere — which is
+// exactly what makes spreading chiplets apart lower the peak temperature.
+//
+// Temperatures are solved as rises over the ambient (45 °C by default); the
+// linear system G·T = P is symmetric positive definite and is solved with
+// Jacobi-preconditioned conjugate gradients, warm-started from the previous
+// solve so that consecutive simulated-annealing steps converge quickly.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"tap25d/internal/geom"
+	"tap25d/internal/material"
+	"tap25d/internal/sparse"
+)
+
+// Source is a heat source: a rectangular footprint on the chiplet layer
+// dissipating Power watts uniformly.
+type Source struct {
+	Rect  geom.Rect // mm, interposer coordinates
+	Power float64   // W
+}
+
+// Options configures a Model.
+type Options struct {
+	// Grid is the number of cells along each axis of every layer
+	// (the paper's grid model resolution, default 64).
+	Grid int
+	// Stack describes the layers and boundary; zero value means
+	// material.DefaultStack().
+	Stack *material.Stack
+	// Tol is the CG relative residual tolerance (default 1e-6, amply tight
+	// for ranking placements that differ by tenths of a degree).
+	Tol float64
+	// MaxIter caps CG iterations (default 20·grid²).
+	MaxIter int
+}
+
+// Model evaluates placements on a fixed interposer. A Model is reusable but
+// not safe for concurrent use (it keeps scratch buffers and a warm-start
+// temperature field).
+type Model struct {
+	widthMM, heightMM float64
+	grid              int
+	stack             material.Stack
+	tol               float64
+	maxIter           int
+
+	nDevLayers int // device layers (from stack)
+	chipLayer  int // index of heterogeneous power layer
+	nNodes     int
+
+	cellW, cellH float64 // device cell size, meters
+	// spreader/sink geometry (meters)
+	sprEdgeW, sprEdgeH   float64
+	sinkEdgeW, sinkEdgeH float64
+	sprCellW, sprCellH   float64
+	sinkCellW, sinkCellH float64
+	sprX0, sprY0         float64 // lower-left of spreader relative to interposer LL
+	sinkX0, sinkY0       float64
+
+	builder *sparse.Builder
+	cov     []float64 // per-cell silicon coverage of the chiplet layer
+	kChip   []float64 // per-cell conductivity of the chiplet layer (scratch)
+	power   []float64 // RHS (scratch)
+	temps   []float64 // solution, reused as warm start
+	warm    bool
+}
+
+// NewModel builds a model for an interposer of the given dimensions (mm).
+func NewModel(widthMM, heightMM float64, opt Options) (*Model, error) {
+	if widthMM <= 0 || heightMM <= 0 {
+		return nil, fmt.Errorf("thermal: non-positive interposer dimensions %g x %g", widthMM, heightMM)
+	}
+	grid := opt.Grid
+	if grid == 0 {
+		grid = 64
+	}
+	if grid < 2 {
+		return nil, fmt.Errorf("thermal: grid resolution %d too small", grid)
+	}
+	var stack material.Stack
+	if opt.Stack != nil {
+		stack = *opt.Stack
+	} else {
+		stack = material.DefaultStack()
+	}
+	if err := stack.Validate(); err != nil {
+		return nil, err
+	}
+	chip := stack.ChipletLayerIndex()
+	if chip < 0 {
+		return nil, fmt.Errorf("thermal: stack has no chiplet power layer")
+	}
+
+	m := &Model{
+		widthMM:    widthMM,
+		heightMM:   heightMM,
+		grid:       grid,
+		stack:      stack,
+		tol:        opt.Tol,
+		maxIter:    opt.MaxIter,
+		nDevLayers: len(stack.Layers),
+		chipLayer:  chip,
+	}
+	if m.tol <= 0 {
+		m.tol = 1e-6
+	}
+	if m.maxIter <= 0 {
+		m.maxIter = 20 * grid * grid
+	}
+	g2 := grid * grid
+	m.nNodes = (m.nDevLayers + 2) * g2 // +spreader +sink
+
+	wm, hm := widthMM*1e-3, heightMM*1e-3
+	m.cellW, m.cellH = wm/float64(grid), hm/float64(grid)
+
+	m.sprEdgeW = wm * stack.SpreaderEdgeFactor
+	m.sprEdgeH = hm * stack.SpreaderEdgeFactor
+	m.sinkEdgeW = wm * stack.SinkEdgeFactor
+	m.sinkEdgeH = hm * stack.SinkEdgeFactor
+	m.sprCellW, m.sprCellH = m.sprEdgeW/float64(grid), m.sprEdgeH/float64(grid)
+	m.sinkCellW, m.sinkCellH = m.sinkEdgeW/float64(grid), m.sinkEdgeH/float64(grid)
+	m.sprX0 = (wm - m.sprEdgeW) / 2
+	m.sprY0 = (hm - m.sprEdgeH) / 2
+	m.sinkX0 = (wm - m.sinkEdgeW) / 2
+	m.sinkY0 = (hm - m.sinkEdgeH) / 2
+
+	m.builder = sparse.NewBuilder(m.nNodes)
+	m.cov = make([]float64, g2)
+	m.kChip = make([]float64, g2)
+	m.power = make([]float64, m.nNodes)
+	m.temps = make([]float64, m.nNodes)
+	return m, nil
+}
+
+// Grid returns the model's per-axis grid resolution.
+func (m *Model) Grid() int { return m.grid }
+
+// AmbientC returns the ambient temperature in Celsius.
+func (m *Model) AmbientC() float64 { return m.stack.AmbientC }
+
+// node index helpers: device layers first, then spreader, then sink.
+func (m *Model) devNode(layer, i, j int) int { return (layer*m.grid+i)*m.grid + j }
+func (m *Model) sprNode(i, j int) int        { return (m.nDevLayers*m.grid+i)*m.grid + j }
+func (m *Model) sinkNode(i, j int) int       { return ((m.nDevLayers+1)*m.grid+i)*m.grid + j }
+
+// Result holds a steady-state solution.
+type Result struct {
+	// PeakC is the peak temperature in Celsius over the chiplet layer.
+	PeakC float64
+	// PeakAt is the location (mm) of the hottest chiplet-layer cell center.
+	PeakAt geom.Point
+	// AvgC is the mean chiplet-layer temperature in Celsius.
+	AvgC float64
+	// AmbientC echoes the model's ambient.
+	AmbientC float64
+	// Grid is the per-axis resolution of ChipTempC.
+	Grid int
+	// WidthMM and HeightMM give the interposer extent of the temperature map.
+	WidthMM, HeightMM float64
+	// ChipTempC is the chiplet-layer temperature map in Celsius, row-major,
+	// ChipTempC[i*Grid+j] with i indexing y (bottom to top) and j indexing x.
+	ChipTempC []float64
+	// Iterations is the CG iteration count of this solve.
+	Iterations int
+}
+
+// CellCenter returns the interposer-plane location (mm) of cell (i, j) of the
+// temperature map.
+func (r *Result) CellCenter(i, j int) geom.Point {
+	return geom.Point{
+		X: (float64(j) + 0.5) * r.WidthMM / float64(r.Grid),
+		Y: (float64(i) + 0.5) * r.HeightMM / float64(r.Grid),
+	}
+}
+
+// TempAt returns the chiplet-layer temperature (°C) at point p (mm), clamped
+// to the map bounds.
+func (r *Result) TempAt(p geom.Point) float64 {
+	j := int(p.X / r.WidthMM * float64(r.Grid))
+	i := int(p.Y / r.HeightMM * float64(r.Grid))
+	j = clampInt(j, 0, r.Grid-1)
+	i = clampInt(i, 0, r.Grid-1)
+	return r.ChipTempC[i*r.Grid+j]
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// MaxRectC returns the peak temperature within the given footprint.
+func (r *Result) MaxRectC(rect geom.Rect) float64 {
+	peak := math.Inf(-1)
+	for i := 0; i < r.Grid; i++ {
+		for j := 0; j < r.Grid; j++ {
+			if rect.Contains(r.CellCenter(i, j)) && r.ChipTempC[i*r.Grid+j] > peak {
+				peak = r.ChipTempC[i*r.Grid+j]
+			}
+		}
+	}
+	if math.IsInf(peak, -1) {
+		return r.TempAt(rect.Center)
+	}
+	return peak
+}
+
+// overlapFrac computes the fraction of device cell (i, j) covered by rect
+// (rect in mm).
+func (m *Model) cellRectMM(i, j int) geom.Rect {
+	cw := m.widthMM / float64(m.grid)
+	ch := m.heightMM / float64(m.grid)
+	return geom.RectFromBounds(float64(j)*cw, float64(i)*ch, float64(j+1)*cw, float64(i+1)*ch)
+}
+
+// rasterize fills the per-cell silicon coverage, the chiplet-layer
+// conductivity field and the power map from the source list.
+func (m *Model) rasterize(sources []Source) error {
+	g := m.grid
+	kSi := material.Silicon.Conductivity
+	base := m.stack.Layers[m.chipLayer].Base.Conductivity
+	for i := range m.cov {
+		m.cov[i] = 0
+	}
+	for i := range m.power {
+		m.power[i] = 0
+	}
+	cellAreaMM := (m.widthMM / float64(g)) * (m.heightMM / float64(g))
+	for _, s := range sources {
+		if s.Power < 0 {
+			return fmt.Errorf("thermal: negative source power %g", s.Power)
+		}
+		if s.Rect.W <= 0 || s.Rect.H <= 0 {
+			return fmt.Errorf("thermal: source with non-positive footprint %v", s.Rect)
+		}
+		perArea := s.Power / s.Rect.Area()
+		j0 := clampInt(int(s.Rect.MinX()/m.widthMM*float64(g)), 0, g-1)
+		j1 := clampInt(int(math.Ceil(s.Rect.MaxX()/m.widthMM*float64(g))), 0, g)
+		i0 := clampInt(int(s.Rect.MinY()/m.heightMM*float64(g)), 0, g-1)
+		i1 := clampInt(int(math.Ceil(s.Rect.MaxY()/m.heightMM*float64(g))), 0, g)
+		for i := i0; i < i1; i++ {
+			for j := j0; j < j1; j++ {
+				ov := m.cellRectMM(i, j).OverlapArea(s.Rect)
+				if ov <= 0 {
+					continue
+				}
+				frac := ov / cellAreaMM
+				m.cov[i*g+j] = math.Min(1, m.cov[i*g+j]+frac)
+				m.power[m.devNode(m.chipLayer, i, j)] += perArea * ov
+			}
+		}
+	}
+	for i, c := range m.cov {
+		m.kChip[i] = base + (kSi-base)*c
+	}
+	return nil
+}
+
+// Solve computes the steady-state temperature field for the given sources.
+// Sources must lie on the interposer; power is injected into the chiplet
+// layer, whose per-cell conductivity is silicon where covered by any source
+// footprint and underfill elsewhere (area-weighted in partial cells).
+func (m *Model) Solve(sources []Source) (*Result, error) {
+	g := m.grid
+	g2 := g * g
+
+	if err := m.rasterize(sources); err != nil {
+		return nil, err
+	}
+	m.assemble()
+	a := m.builder.Build()
+
+	if !m.warm {
+		// Cold start: a uniform small rise is a decent guess.
+		for i := range m.temps {
+			m.temps[i] = 1
+		}
+	}
+	iters, err := sparse.SolveCG(a, m.temps, m.power, sparse.CGOptions{Tol: m.tol, MaxIter: m.maxIter})
+	if err != nil {
+		m.warm = false
+		return nil, fmt.Errorf("thermal: %w", err)
+	}
+	m.warm = true
+
+	res := &Result{
+		AmbientC:  m.stack.AmbientC,
+		Grid:      g,
+		WidthMM:   m.widthMM,
+		HeightMM:  m.heightMM,
+		ChipTempC: make([]float64, g2),
+	}
+	res.Iterations = iters
+	peak, sum := math.Inf(-1), 0.0
+	pi, pj := 0, 0
+	for i := 0; i < g; i++ {
+		for j := 0; j < g; j++ {
+			t := m.stack.AmbientC + m.temps[m.devNode(m.chipLayer, i, j)]
+			res.ChipTempC[i*g+j] = t
+			sum += t
+			if t > peak {
+				peak, pi, pj = t, i, j
+			}
+		}
+	}
+	res.PeakC = peak
+	res.AvgC = sum / float64(g2)
+	res.PeakAt = res.CellCenter(pi, pj)
+	return res, nil
+}
+
+// layerK returns the conductivity of cell (i, j) in device layer l.
+func (m *Model) layerK(l, i, j int) float64 {
+	if l == m.chipLayer {
+		return m.kChip[i*m.grid+j]
+	}
+	return m.stack.Layers[l].Base.Conductivity
+}
+
+// assemble rebuilds the conductance matrix for the current kChip field.
+func (m *Model) assemble() {
+	b := m.builder
+	b.Reset()
+	g := m.grid
+	cw, ch := m.cellW, m.cellH
+	cellA := cw * ch
+
+	// Device layers: lateral + vertical conductances.
+	for l := 0; l < m.nDevLayers; l++ {
+		t := m.stack.Layers[l].Thickness
+		for i := 0; i < g; i++ {
+			for j := 0; j < g; j++ {
+				k := m.layerK(l, i, j)
+				n := m.devNode(l, i, j)
+				// Lateral east: series of two half-cells.
+				if j+1 < g {
+					ke := m.layerK(l, i, j+1)
+					gcond := t * ch / (cw/(2*k) + cw/(2*ke))
+					b.AddSym(n, m.devNode(l, i, j+1), gcond)
+				}
+				// Lateral north.
+				if i+1 < g {
+					kn := m.layerK(l, i+1, j)
+					gcond := t * cw / (ch/(2*k) + ch/(2*kn))
+					b.AddSym(n, m.devNode(l, i+1, j), gcond)
+				}
+				// Vertical up to next device layer.
+				if l+1 < m.nDevLayers {
+					ku := m.layerK(l+1, i, j)
+					tu := m.stack.Layers[l+1].Thickness
+					gcond := cellA / (t/(2*k) + tu/(2*ku))
+					b.AddSym(n, m.devNode(l+1, i, j), gcond)
+				}
+			}
+		}
+	}
+
+	// Substrate bottom: weak board path to ambient, distributed uniformly.
+	if m.stack.BoardConductance > 0 {
+		per := m.stack.BoardConductance / float64(g*g)
+		for i := 0; i < g; i++ {
+			for j := 0; j < g; j++ {
+				b.AddDiag(m.devNode(0, i, j), per)
+			}
+		}
+	}
+
+	// TIM top -> spreader: couple each top device cell to the spreader cell
+	// containing its center.
+	top := m.nDevLayers - 1
+	tTop := m.stack.Layers[top].Thickness
+	kCu := material.Copper.Conductivity
+	tSpr := m.stack.SpreaderThickness
+	for i := 0; i < g; i++ {
+		for j := 0; j < g; j++ {
+			cx := (float64(j) + 0.5) * cw
+			cy := (float64(i) + 0.5) * ch
+			sj := clampInt(int((cx-m.sprX0)/m.sprCellW), 0, g-1)
+			si := clampInt(int((cy-m.sprY0)/m.sprCellH), 0, g-1)
+			k := m.layerK(top, i, j)
+			gcond := cellA / (tTop/(2*k) + tSpr/(2*kCu))
+			b.AddSym(m.devNode(top, i, j), m.sprNode(si, sj), gcond)
+		}
+	}
+
+	// Spreader lateral + spreader->sink vertical.
+	sprA := m.sprCellW * m.sprCellH
+	tSink := m.stack.SinkThickness
+	for i := 0; i < g; i++ {
+		for j := 0; j < g; j++ {
+			n := m.sprNode(i, j)
+			if j+1 < g {
+				b.AddSym(n, m.sprNode(i, j+1), kCu*tSpr*m.sprCellH/m.sprCellW)
+			}
+			if i+1 < g {
+				b.AddSym(n, m.sprNode(i+1, j), kCu*tSpr*m.sprCellW/m.sprCellH)
+			}
+			// Spreader cell center -> containing sink cell.
+			cx := m.sprX0 + (float64(j)+0.5)*m.sprCellW
+			cy := m.sprY0 + (float64(i)+0.5)*m.sprCellH
+			sj := clampInt(int((cx-m.sinkX0)/m.sinkCellW), 0, g-1)
+			si := clampInt(int((cy-m.sinkY0)/m.sinkCellH), 0, g-1)
+			gcond := sprA / (tSpr/(2*kCu) + tSink/(2*kCu))
+			b.AddSym(n, m.sinkNode(si, sj), gcond)
+		}
+	}
+
+	// Sink lateral + convection to ambient. The fin factor accounts for fin
+	// mass spreading heat across the base plate.
+	fin := m.stack.SinkFinFactor
+	if fin <= 0 {
+		fin = 1
+	}
+	tSinkLat := tSink * fin
+	convPerCell := 1 / m.stack.ConvectionResistance / float64(g*g)
+	for i := 0; i < g; i++ {
+		for j := 0; j < g; j++ {
+			n := m.sinkNode(i, j)
+			if j+1 < g {
+				b.AddSym(n, m.sinkNode(i, j+1), kCu*tSinkLat*m.sinkCellH/m.sinkCellW)
+			}
+			if i+1 < g {
+				b.AddSym(n, m.sinkNode(i+1, j), kCu*tSinkLat*m.sinkCellW/m.sinkCellH)
+			}
+			b.AddDiag(n, convPerCell)
+		}
+	}
+}

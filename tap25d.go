@@ -1,0 +1,505 @@
+// Package tap25d is an open-source reproduction, in pure Go, of TAP-2.5D:
+// the thermally-aware chiplet placement methodology for heterogeneous 2.5D
+// systems of Ma et al. (DATE 2021).
+//
+// Given a system description — chiplets with dimensions and powers, a logical
+// inter-chiplet network with per-channel wire counts, and an interposer —
+// the library searches for a placement that jointly minimizes the peak
+// operating temperature and the total inter-chiplet wirelength, by
+// strategically inserting spacing between chiplets (Place). It also provides
+// the Compact-2.5D baseline placer (PlaceCompact), evaluation of arbitrary
+// placements (Evaluate), TDP envelope analysis (TDPEnvelope), the
+// link-latency performance study (LinkLatencyStudy), and rendering of
+// thermal maps (ThermalASCII, WriteThermalPPM).
+//
+// The three case studies of the paper are available via BuiltinSystem:
+// "multigpu", "cpudram" and "ascend910".
+package tap25d
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"tap25d/internal/btree"
+	"tap25d/internal/chiplet"
+	"tap25d/internal/geom"
+	"tap25d/internal/interposercost"
+	"tap25d/internal/material"
+	"tap25d/internal/perf"
+	"tap25d/internal/placer"
+	"tap25d/internal/render"
+	"tap25d/internal/route"
+	"tap25d/internal/seqpair"
+	"tap25d/internal/signal"
+	"tap25d/internal/systems"
+	"tap25d/internal/tdp"
+	"tap25d/internal/thermal"
+)
+
+// Core types, aliased from the implementation packages so user code needs
+// only this import.
+type (
+	// System describes a heterogeneous 2.5D system: interposer, chiplets,
+	// and the logical inter-chiplet channels.
+	System = chiplet.System
+	// Chiplet is a die with dimensions (mm) and power (W).
+	Chiplet = chiplet.Chiplet
+	// Channel is a logical inter-chiplet link with a required wire count.
+	Channel = chiplet.Channel
+	// Placement assigns center coordinates and rotations to chiplets.
+	Placement = chiplet.Placement
+	// Point is a location on the interposer in mm.
+	Point = geom.Point
+	// ThermalResult is a steady-state thermal solution.
+	ThermalResult = thermal.Result
+	// RouteResult is an inter-chiplet routing solution.
+	RouteResult = route.Result
+	// RouteFlow is one clump-to-clump wire bundle of a routing solution.
+	RouteFlow = route.Flow
+	// TDPResult is a thermal design power envelope.
+	TDPResult = tdp.Result
+	// PerfWorkload is a synthetic benchmark for the link-latency study.
+	PerfWorkload = perf.Workload
+	// PerfStudy is one link-latency study row.
+	PerfStudy = perf.Study
+	// SASample records one simulated-annealing step (Options.History).
+	SASample = placer.Sample
+	// WireParams is the interposer wire electrical model.
+	WireParams = signal.WireParams
+	// LinkAnalysis classifies routed links into latency classes.
+	LinkAnalysis = signal.LinkClass
+	// PlacementImpact is the end-to-end performance assessment of a
+	// placement's link-latency mix plus its TDP-funded frequency uplift.
+	PlacementImpact = perf.PlacementImpact
+	// TransientResult traces peak temperature over time after a power step.
+	TransientResult = thermal.Transient
+	// LiquidCooling parameterizes the microchannel cold-plate alternative to
+	// the forced-air heatsink (the "advanced but expensive cooling" of the
+	// paper's introduction).
+	LiquidCooling = thermal.LiquidCooling
+)
+
+// DefaultWire returns the 65 nm passive-interposer wire parameters.
+func DefaultWire() WireParams { return signal.DefaultWire() }
+
+// CriticalC is the default thermal feasibility threshold (85 °C).
+const CriticalC = systems.CriticalC
+
+// BuiltinSystemNames lists the paper's case-study systems.
+func BuiltinSystemNames() []string { return systems.Names() }
+
+// BuiltinSystem returns one of the paper's case-study systems by name
+// ("multigpu", "cpudram", "ascend910").
+func BuiltinSystem(name string) (*System, error) { return systems.ByName(name) }
+
+// MultiGPUSystem returns case study 1 on an edge×edge interposer (the paper
+// evaluates 45 and 50 mm).
+func MultiGPUSystem(edgeMM float64) *System { return systems.MultiGPUAt(edgeMM) }
+
+// CPUDRAMOriginalPlacement returns the original (pre-TAP) placement of the
+// CPU-DRAM system (Fig. 5a).
+func CPUDRAMOriginalPlacement() Placement { return systems.CPUDRAMOriginal() }
+
+// Ascend910OriginalPlacement returns the commercial Ascend 910 layout
+// (Fig. 6a).
+func Ascend910OriginalPlacement() Placement { return systems.Ascend910Original() }
+
+// CPUDRAMCPUIndices returns the chiplets whose power the paper's TDP
+// analysis varies.
+func CPUDRAMCPUIndices() []int { return systems.CPUDRAMCPUIndices() }
+
+// LoadSystem decodes and validates a JSON system description.
+func LoadSystem(r io.Reader) (*System, error) { return chiplet.DecodeJSON(r) }
+
+// Options configures the placement flow. The zero value runs a reduced-cost
+// but representative configuration; see the field docs for the paper's
+// full-fidelity settings.
+type Options struct {
+	// ThermalGrid is the thermal model resolution (default 64, as in the
+	// paper; use 32 for fast exploration).
+	ThermalGrid int
+	// Steps is the SA step budget per run (default 1000; the paper uses
+	// 4500).
+	Steps int
+	// Runs is the number of independent annealing runs; the best solution
+	// wins (default 1; the paper uses 5).
+	Runs int
+	// Seed makes the whole flow reproducible.
+	Seed int64
+	// GasStation routes with 2-stage pipelined links through intermediate
+	// chiplets (Eqn. 9) instead of repeaterless point-to-point links.
+	GasStation bool
+	// ExactRouting re-routes the final placement with the exact MILP
+	// (the paper's CPLEX step) instead of the fast heuristic router.
+	ExactRouting bool
+	// CriticalC overrides the 85 °C feasibility threshold.
+	CriticalC float64
+	// CompactSteps is the B*-tree fast-SA budget for the Compact-2.5D
+	// baseline / initial placement (default 20000).
+	CompactSteps int
+	// InitialPlacement overrides the Compact-2.5D initial placement.
+	InitialPlacement *Placement
+	// History records per-step SA samples in Result.History.
+	History bool
+	// DisableJump and FixedAlpha expose the E9 ablations.
+	DisableJump bool
+	FixedAlpha  float64
+}
+
+func (o Options) thermalOptions(sys *System) thermal.Options {
+	grid := o.ThermalGrid
+	if grid == 0 {
+		grid = 64
+	}
+	stack := material.DefaultStackFor(sys.InterposerW, sys.InterposerH)
+	return thermal.Options{Grid: grid, Stack: &stack}
+}
+
+func (o Options) routeOptions() route.Options {
+	return route.Options{GasStation: o.GasStation}
+}
+
+func (o Options) placerOptions() placer.Options {
+	fa := o.FixedAlpha
+	if fa == 0 {
+		fa = -1
+	}
+	return placer.Options{
+		Steps:        o.Steps,
+		Seed:         o.Seed,
+		CriticalC:    o.CriticalC,
+		CompactSteps: o.CompactSteps,
+		Initial:      o.InitialPlacement,
+		History:      o.History,
+		DisableJump:  o.DisableJump,
+		FixedAlpha:   fa,
+	}
+}
+
+// Result is the outcome of a placement or evaluation.
+type Result struct {
+	// Placement is the solution.
+	Placement Placement
+	// PeakC and WirelengthMM are its metrics (°C, mm).
+	PeakC        float64
+	WirelengthMM float64
+	// Feasible reports PeakC <= critical threshold.
+	Feasible bool
+	// Thermal is the full temperature field of the solution.
+	Thermal *ThermalResult
+	// Routing is the final routing solution.
+	Routing *RouteResult
+	// InitialPlacement and its metrics (TAP-2.5D flow only).
+	InitialPlacement  Placement
+	InitialPeakC      float64
+	InitialWirelength float64
+	// History holds per-step SA samples when Options.History is set
+	// (single-run flows only).
+	History []SASample
+}
+
+func (o Options) critical() float64 {
+	if o.CriticalC != 0 {
+		return o.CriticalC
+	}
+	return CriticalC
+}
+
+// finalize evaluates placement p at full fidelity and assembles a Result.
+func finalize(sys *System, p Placement, opt Options) (*Result, error) {
+	model, err := thermal.NewModel(sys.InterposerW, sys.InterposerH, opt.thermalOptions(sys))
+	if err != nil {
+		return nil, err
+	}
+	tres, err := model.Solve(placer.Sources(sys, p))
+	if err != nil {
+		return nil, err
+	}
+	ropt := opt.routeOptions()
+	if opt.ExactRouting {
+		ropt.Method = route.MethodMILP
+	}
+	rres, err := route.Route(sys, p, ropt)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Placement:    p,
+		PeakC:        tres.PeakC,
+		WirelengthMM: rres.TotalWirelengthMM,
+		Feasible:     tres.PeakC <= opt.critical(),
+		Thermal:      tres,
+		Routing:      rres,
+	}, nil
+}
+
+// Evaluate computes the thermal field and routing of an existing placement
+// (e.g. the paper's "original" layouts) without running the placer.
+func Evaluate(sys *System, p Placement, opt Options) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sys.CheckPlacement(p); err != nil {
+		return nil, err
+	}
+	return finalize(sys, p, opt)
+}
+
+// Place runs the full TAP-2.5D flow: Compact-2.5D initial placement,
+// thermally-aware simulated annealing (best of Options.Runs), and a final
+// full-fidelity evaluation.
+func Place(sys *System, opt Options) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	factory := func() (placer.Evaluator, error) {
+		return placer.NewSystemEvaluator(sys, opt.thermalOptions(sys), opt.routeOptions())
+	}
+	runs := opt.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	pres, err := placer.PlaceBestOf(sys, factory, runs, opt.placerOptions())
+	if err != nil {
+		return nil, err
+	}
+	res, err := finalize(sys, pres.Placement, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.InitialPlacement = pres.Initial
+	res.InitialPeakC = pres.InitialPeakC
+	res.InitialWirelength = pres.InitialWirelength
+	res.History = pres.History
+	return res, nil
+}
+
+// PlaceCompact runs the Compact-2.5D baseline (B*-tree + fast-SA) and
+// evaluates the resulting placement.
+func PlaceCompact(sys *System, opt Options) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	steps := opt.CompactSteps
+	if steps == 0 {
+		steps = 20000
+	}
+	cres, err := btree.PlaceCompact(sys, btree.Options{Seed: opt.Seed, Steps: steps})
+	if err != nil {
+		return nil, err
+	}
+	return finalize(sys, cres.Placement, opt)
+}
+
+// PlaceCompactSeqPair runs the alternative compact baseline built on the
+// Sequence Pair representation (Murata et al., TCAD'96 — the first of the
+// compact floorplan representations the paper's Section II surveys) and
+// evaluates the resulting placement. Useful as an independent cross-check of
+// the B*-tree baseline.
+func PlaceCompactSeqPair(sys *System, opt Options) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	steps := opt.CompactSteps
+	if steps == 0 {
+		steps = 20000
+	}
+	cres, err := seqpair.PlaceCompact(sys, seqpair.Options{Seed: opt.Seed, Steps: steps})
+	if err != nil {
+		return nil, err
+	}
+	return finalize(sys, cres.Placement, opt)
+}
+
+// InterposerCostRatio estimates the relative manufacturing cost of a
+// bWxbH mm interposer versus an aWxaH mm one, including wafer edge loss and
+// defect yield (the paper's "+33%" for 45 -> 50 mm).
+func InterposerCostRatio(aW, aH, bW, bH float64) float64 {
+	return interposercost.Default().Ratio(aW, aH, bW, bH)
+}
+
+// TDPEnvelope finds the maximum total power (W) of sys under placement p
+// that keeps the peak temperature at or below the critical threshold,
+// scaling the chiplets in vary (nil scales all). This is the paper's
+// Section IV-B analysis.
+func TDPEnvelope(sys *System, p Placement, vary []int, opt Options) (*TDPResult, error) {
+	model, err := thermal.NewModel(sys.InterposerW, sys.InterposerH, opt.thermalOptions(sys))
+	if err != nil {
+		return nil, err
+	}
+	return tdp.Envelope(sys, p, model, tdp.Options{
+		CriticalC:   opt.critical(),
+		VaryIndices: vary,
+	})
+}
+
+// EvaluateLiquid scores placement p under microchannel liquid cooling
+// instead of the forced-air heatsink: the paper's introduction frames this
+// as the expensive alternative to thermally-aware placement, and this
+// function lets the two be compared directly (experiment E12).
+func EvaluateLiquid(sys *System, p Placement, lc LiquidCooling, opt Options) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sys.CheckPlacement(p); err != nil {
+		return nil, err
+	}
+	model, err := thermal.NewModel(sys.InterposerW, sys.InterposerH, opt.thermalOptions(sys))
+	if err != nil {
+		return nil, err
+	}
+	tres, err := model.SolveLiquid(placer.Sources(sys, p), lc)
+	if err != nil {
+		return nil, err
+	}
+	ropt := opt.routeOptions()
+	if opt.ExactRouting {
+		ropt.Method = route.MethodMILP
+	}
+	rres, err := route.Route(sys, p, ropt)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Placement:    p,
+		PeakC:        tres.PeakC,
+		WirelengthMM: rres.TotalWirelengthMM,
+		Feasible:     tres.PeakC <= opt.critical(),
+		Thermal:      tres,
+		Routing:      rres,
+	}, nil
+}
+
+// Transient simulates the thermal step response of placement p: the package
+// starts at ambient, the chiplets switch on at full power, and the peak
+// temperature is traced over nsteps backward-Euler steps of dtS seconds.
+// Use TransientResult.TimeToThresholdS to answer boost-residency questions
+// ("how long until this placement hits 85 °C?") — an extension of the
+// paper's steady-state methodology.
+func Transient(sys *System, p Placement, dtS float64, nsteps int, opt Options) (*TransientResult, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sys.CheckPlacement(p); err != nil {
+		return nil, err
+	}
+	model, err := thermal.NewModel(sys.InterposerW, sys.InterposerH, opt.thermalOptions(sys))
+	if err != nil {
+		return nil, err
+	}
+	return model.SolveTransient(placer.Sources(sys, p), dtS, nsteps)
+}
+
+// LinkLatencyStudy reproduces the Section IV-B performance numbers: the
+// slowdown of each synthetic PARSEC/SPLASH2/UHPC workload when the
+// inter-chiplet link latency grows from 1 cycle to each value in latencies.
+func LinkLatencyStudy(latencies []int, seed int64) ([]PerfStudy, error) {
+	return perf.RunStudy(latencies, perf.Config{Seed: seed})
+}
+
+// PerfWorkloads returns the synthetic benchmark set of LinkLatencyStudy.
+func PerfWorkloads() []PerfWorkload { return perf.Workloads() }
+
+// AnalyzeLinks classifies every routed wire of r into link latency classes
+// at the given clock using the default interposer wire model: how many wires
+// are single-cycle, how many need gas stations or multi-cycle links, and the
+// total signaling energy per transfer.
+func AnalyzeLinks(r *RouteResult, clockGHz float64) (*LinkAnalysis, error) {
+	if r == nil {
+		return nil, fmt.Errorf("tap25d: nil routing result")
+	}
+	lengths := make([]float64, len(r.Flows))
+	wires := make([]int, len(r.Flows))
+	for i, f := range r.Flows {
+		lengths[i] = f.LengthPerWire
+		wires[i] = f.Wires
+	}
+	return signal.DefaultWire().Classify(lengths, wires, clockGHz)
+}
+
+// AssessPerformance converts a routing solution into the paper's
+// Section IV-B performance terms: the slowdown its link latency mix causes
+// on the synthetic PARSEC/SPLASH2/UHPC suite and the net speedup once
+// freqUplift (e.g. the TDP-envelope gain) is applied. clockGHz sets the
+// nominal link clock for latency classification.
+func AssessPerformance(r *RouteResult, clockGHz, freqUplift float64, seed int64) (*PlacementImpact, error) {
+	links, err := AnalyzeLinks(r, clockGHz)
+	if err != nil {
+		return nil, err
+	}
+	if len(links.CyclesHistogram) == 0 {
+		return nil, fmt.Errorf("tap25d: routing result has no flows to assess")
+	}
+	return perf.AssessPlacement(links.CyclesHistogram, freqUplift, perf.Config{Seed: seed})
+}
+
+// ThermalASCII renders a result's thermal map with chiplet outlines.
+func ThermalASCII(sys *System, res *Result, cols int) string {
+	if res.Thermal == nil {
+		return "(no thermal data)"
+	}
+	return render.ThermalASCII(res.Thermal, sys, res.Placement, cols)
+}
+
+// PlacementASCII renders a placement as a labeled floorplan.
+func PlacementASCII(sys *System, p Placement, cols int) string {
+	return render.PlacementASCII(sys, p, cols)
+}
+
+// WriteThermalPPM writes a result's thermal map as a PPM image.
+func WriteThermalPPM(w io.Writer, res *Result, scale int) error {
+	if res.Thermal == nil {
+		return fmt.Errorf("tap25d: result has no thermal data")
+	}
+	return render.WritePPM(w, res.Thermal, scale)
+}
+
+// PlacementSimilarity reports how close two placements of sys are: the mean
+// per-chiplet center distance in mm, minimized over interposer symmetries
+// and permutations of identical chiplets. Near-zero means "the same
+// floorplan" — the quantitative version of the paper's Section IV-C claim
+// that TAP-2.5D reproduces the commercial Ascend 910 layout.
+func PlacementSimilarity(sys *System, a, b Placement) float64 {
+	return sys.Similarity(a, b)
+}
+
+// WritePlacementSVG renders a placement (with the thermal field underlaid
+// when res.Thermal is present) as a self-contained SVG vector figure.
+func WritePlacementSVG(w io.Writer, sys *System, res *Result, pxPerMM float64) error {
+	return render.WriteSVG(w, sys, res.Placement, res.Thermal, pxPerMM)
+}
+
+// CheckRouting verifies a routing solution against the paper's constraints
+// (Eqns. 4-9); useful when post-processing Result.Routing.
+func CheckRouting(sys *System, r *RouteResult) error {
+	return route.Check(sys, r, nil)
+}
+
+// WriteHistoryCSV dumps simulated-annealing samples (Options.History) as CSV
+// for convergence plots: step, operator, temperature, wirelength, cost,
+// annealing temperature K, alpha, accepted.
+func WriteHistoryCSV(w io.Writer, hist []SASample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"step", "op", "temp_c", "wirelength_mm", "cost", "k", "alpha", "accepted"}); err != nil {
+		return err
+	}
+	for _, s := range hist {
+		rec := []string{
+			strconv.Itoa(s.Step),
+			s.Op.String(),
+			strconv.FormatFloat(s.TempC, 'f', 4, 64),
+			strconv.FormatFloat(s.WirelengthMM, 'f', 1, 64),
+			strconv.FormatFloat(s.Cost, 'f', 6, 64),
+			strconv.FormatFloat(s.K, 'f', 6, 64),
+			strconv.FormatFloat(s.Alpha, 'f', 4, 64),
+			strconv.FormatBool(s.Accepted),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

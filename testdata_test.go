@@ -1,0 +1,56 @@
+package tap25d
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestEdgeAITestdata exercises the documented JSON system format end to end:
+// load, compact placement, TAP placement, link analysis.
+func TestEdgeAITestdata(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "edge_ai.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sys, err := LoadSystem(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Name != "edge-ai" || len(sys.Chiplets) != 5 || len(sys.Channels) != 5 {
+		t.Fatalf("unexpected system: %+v", sys)
+	}
+	if sys.PinsPerClumpLimit != 1024 {
+		t.Errorf("pin limit = %d", sys.PinsPerClumpLimit)
+	}
+
+	opt := Options{ThermalGrid: 16, Steps: 120, CompactSteps: 3000, Seed: 5}
+	compact, err := PlaceCompact(sys, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Place(sys, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CheckPlacement(res.Placement); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckRouting(sys, res.Routing); err != nil {
+		t.Fatal(err)
+	}
+	links, err := AnalyzeLinks(res.Routing, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range links.CyclesHistogram {
+		total += n
+	}
+	if total != sys.TotalWires() {
+		t.Errorf("classified %d of %d wires", total, sys.TotalWires())
+	}
+	t.Logf("edge-ai: compact %.1f C / %.0f mm; TAP %.1f C / %.0f mm",
+		compact.PeakC, compact.WirelengthMM, res.PeakC, res.WirelengthMM)
+}
