@@ -25,6 +25,7 @@ import (
 	"tap25d/internal/interposercost"
 	"tap25d/internal/lp"
 	"tap25d/internal/material"
+	"tap25d/internal/metrics"
 	"tap25d/internal/ocm"
 	"tap25d/internal/placer"
 	"tap25d/internal/route"
@@ -105,6 +106,10 @@ type Report struct {
 	Title string
 	Rows  []Row
 	Notes []string
+	// Counters aggregates the evaluation statistics of every placement flow
+	// behind the report (thermal solves, CG iterations, delta vs full matrix
+	// assemblies, cache hits, router calls).
+	Counters metrics.Counters
 	// Elapsed is the wall-clock cost of regenerating the artifact.
 	Elapsed time.Duration
 }
@@ -134,6 +139,18 @@ func (r *Report) Format(w io.Writer) {
 	}
 	for _, n := range r.Notes {
 		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	if !r.Counters.IsZero() {
+		fmt.Fprintf(w, "  counters: %s\n", r.Counters)
+	}
+}
+
+// mergeCounters folds each result's evaluation counters into the report.
+func mergeCounters(rep *Report, results ...*tap25d.Result) {
+	for _, r := range results {
+		if r != nil {
+			rep.Counters.Merge(r.Metrics)
+		}
 	}
 }
 
@@ -198,7 +215,7 @@ func E1MultiGPU(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Report{
+	rep := &Report{
 		ID:    "E1",
 		Title: "Multi-GPU system (Fig. 4): Compact-2.5D vs TAP-2.5D",
 		Rows: []Row{
@@ -210,7 +227,9 @@ func E1MultiGPU(cfg Config) (*Report, error) {
 			"paper: (a) 95.31 C / 88059 mm, (b) 91.25 C / 96906 mm, (c) 91.52 C / 51010 mm",
 		},
 		Elapsed: time.Since(start),
-	}, nil
+	}
+	mergeCounters(rep, compact, tapRL, tapGas)
+	return rep, nil
 }
 
 // E2InterposerSize regenerates the Section IV-A interposer-size study:
@@ -219,6 +238,7 @@ func E2InterposerSize(cfg Config) (*Report, error) {
 	start := time.Now()
 	opt := cfg.options()
 	var rows []Row
+	var ctr metrics.Counters
 	results := map[string]*tap25d.Result{}
 	for _, edge := range []float64{45, 50} {
 		sys := systems.MultiGPUAt(edge)
@@ -229,6 +249,7 @@ func E2InterposerSize(cfg Config) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
+			ctr.Merge(res.Metrics)
 			link := "repeaterless"
 			if gas {
 				link = "gas-station"
@@ -250,11 +271,12 @@ func E2InterposerSize(cfg Config) (*Report, error) {
 			link, a.PeakC-b.PeakC, 100*(b.WirelengthMM-a.WirelengthMM)/a.WirelengthMM))
 	}
 	return &Report{
-		ID:      "E2",
-		Title:   "Multi-GPU interposer-size study (Section IV-A)",
-		Rows:    rows,
-		Notes:   notes,
-		Elapsed: time.Since(start),
+		ID:       "E2",
+		Title:    "Multi-GPU interposer-size study (Section IV-A)",
+		Rows:     rows,
+		Notes:    notes,
+		Counters: ctr,
+		Elapsed:  time.Since(start),
 	}, nil
 }
 
@@ -283,7 +305,7 @@ func E3CPUDRAM(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Report{
+	rep := &Report{
 		ID:    "E3",
 		Title: "CPU-DRAM system (Fig. 5): original vs Compact-2.5D vs TAP-2.5D",
 		Rows: []Row{
@@ -297,7 +319,9 @@ func E3CPUDRAM(cfg Config) (*Report, error) {
 			"shape: (a), (b) > 85 C infeasible; TAP ~20 C cooler at 2-3x the original wirelength",
 		},
 		Elapsed: time.Since(start),
-	}, nil
+	}
+	mergeCounters(rep, orig, compact, tapRL, tapGas)
+	return rep, nil
 }
 
 // E4TDP regenerates the Section IV-B TDP analysis: maximum system power at
@@ -395,7 +419,7 @@ func E6Ascend910(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Report{
+	rep := &Report{
 		ID:    "E6",
 		Title: "Huawei Ascend 910 (Fig. 6): original vs Compact-2.5D vs TAP-2.5D",
 		Rows: []Row{
@@ -413,7 +437,9 @@ func E6Ascend910(cfg Config) (*Report, error) {
 			"similarity = mean per-chiplet displacement (mm) up to interposer symmetry; lower = more alike",
 		},
 		Elapsed: time.Since(start),
-	}, nil
+	}
+	mergeCounters(rep, orig, compact, tapRes)
+	return rep, nil
 }
 
 // E7Scaling regenerates the Section III-D scalability discussion: routing
@@ -544,6 +570,7 @@ func E9Ablations(cfg Config) (*Report, error) {
 		}},
 	}
 	var rows []Row
+	var ctr metrics.Counters
 	for _, v := range variants {
 		o := base
 		v.mod(&o)
@@ -551,14 +578,16 @@ func E9Ablations(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		ctr.Merge(res.Metrics)
 		rows = append(rows, Row{Label: v.label, TempC: res.PeakC, WirelengthMM: res.WirelengthMM})
 	}
 	return &Report{
-		ID:      "E9",
-		Title:   "Ablations: jump operator, dynamic alpha, initial placement (CPU-DRAM)",
-		Rows:    rows,
-		Notes:   []string{"full TAP-2.5D should dominate or match every ablation at equal budget"},
-		Elapsed: time.Since(start),
+		ID:       "E9",
+		Title:    "Ablations: jump operator, dynamic alpha, initial placement (CPU-DRAM)",
+		Rows:     rows,
+		Notes:    []string{"full TAP-2.5D should dominate or match every ablation at equal budget"},
+		Counters: ctr,
+		Elapsed:  time.Since(start),
 	}, nil
 }
 
@@ -717,7 +746,7 @@ func E12CoolingTradeoff(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Report{
+	rep := &Report{
 		ID:    "E12",
 		Title: "Cooling trade-off: thermally-aware placement vs expensive liquid cooling (intro argument)",
 		Rows: []Row{
@@ -731,7 +760,9 @@ func E12CoolingTradeoff(cfg Config) (*Report, error) {
 			"TAP-2.5D recovers most of the thermal headroom with the stock air cooler, which is the paper's core pitch",
 		},
 		Elapsed: time.Since(start),
-	}, nil
+	}
+	mergeCounters(rep, origAir, tapRes)
+	return rep, nil
 }
 
 // E13AlphaSweep maps the temperature-wirelength trade-off curve behind
@@ -745,6 +776,7 @@ func E13AlphaSweep(cfg Config) (*Report, error) {
 	base.Runs = 1
 
 	var rows []Row
+	var ctr metrics.Counters
 	for _, alpha := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
 		o := base
 		o.FixedAlpha = alpha
@@ -752,6 +784,7 @@ func E13AlphaSweep(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		ctr.Merge(res.Metrics)
 		rows = append(rows, Row{
 			Label:        fmt.Sprintf("fixed alpha = %.1f", alpha),
 			TempC:        res.PeakC,
@@ -762,13 +795,15 @@ func E13AlphaSweep(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctr.Merge(dyn.Metrics)
 	rows = append(rows, Row{Label: "dynamic alpha (Eqn. 13)", TempC: dyn.PeakC, WirelengthMM: dyn.WirelengthMM})
 	return &Report{
-		ID:      "E13",
-		Title:   "Alpha sweep: the Eqn. 12 temperature-wirelength trade-off curve (extension)",
-		Rows:    rows,
-		Notes:   []string{"higher alpha trades wirelength for temperature; the dynamic policy picks its point by the thermal level"},
-		Elapsed: time.Since(start),
+		ID:       "E13",
+		Title:    "Alpha sweep: the Eqn. 12 temperature-wirelength trade-off curve (extension)",
+		Rows:     rows,
+		Notes:    []string{"higher alpha trades wirelength for temperature; the dynamic policy picks its point by the thermal level"},
+		Counters: ctr,
+		Elapsed:  time.Since(start),
 	}, nil
 }
 

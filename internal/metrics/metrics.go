@@ -1,0 +1,71 @@
+// Package metrics defines the evaluation counters shared by the thermal
+// solver, the router and the placer. The incremental thermal fast path
+// (fixed-pattern CSR, delta rasterization, evaluation cache) is only
+// trustworthy when its savings are observable: these counters record how many
+// solves ran, how many matrix assemblies were full rebuilds versus delta
+// updates, how many conjugate-gradient iterations were spent, and how often
+// the placement-keyed evaluation cache short-circuited an evaluation.
+//
+// A Counters value is not synchronized: each solver/evaluator owns its own
+// instance, and concurrent annealing runs merge their counters only after
+// their goroutines have been joined.
+package metrics
+
+import "fmt"
+
+// Counters accumulates evaluation statistics along one placement flow.
+type Counters struct {
+	// Evaluations counts placement evaluations requested from an evaluator
+	// (cache hits and misses both count).
+	Evaluations int64
+	// CacheHits and CacheMisses split Evaluations by whether the
+	// placement-keyed cache short-circuited the thermal solve and routing.
+	CacheHits   int64
+	CacheMisses int64
+	// ThermalSolves counts steady-state thermal solves actually performed.
+	ThermalSolves int64
+	// CGIterations sums conjugate-gradient iterations over all solves.
+	CGIterations int64
+	// FullAssembles counts conductance-matrix value rebuilds over the whole
+	// grid; DeltaAssembles counts in-place updates confined to the cells
+	// whose chiplet-layer conductivity changed; SkippedAssembles counts
+	// solves that reused the matrix untouched (identical source list).
+	FullAssembles    int64
+	DeltaAssembles   int64
+	SkippedAssembles int64
+	// RouteCalls counts invocations of the inter-chiplet router.
+	RouteCalls int64
+}
+
+// Merge adds o into c.
+func (c *Counters) Merge(o Counters) {
+	c.Evaluations += o.Evaluations
+	c.CacheHits += o.CacheHits
+	c.CacheMisses += o.CacheMisses
+	c.ThermalSolves += o.ThermalSolves
+	c.CGIterations += o.CGIterations
+	c.FullAssembles += o.FullAssembles
+	c.DeltaAssembles += o.DeltaAssembles
+	c.SkippedAssembles += o.SkippedAssembles
+	c.RouteCalls += o.RouteCalls
+}
+
+// IsZero reports whether no counter has been incremented.
+func (c Counters) IsZero() bool {
+	return c == Counters{}
+}
+
+// String renders the counters as a compact single-line summary, omitting
+// groups that never triggered.
+func (c Counters) String() string {
+	s := fmt.Sprintf("evals=%d solves=%d cg_iters=%d assembles=%d/%d/%d (full/delta/skip)",
+		c.Evaluations, c.ThermalSolves, c.CGIterations,
+		c.FullAssembles, c.DeltaAssembles, c.SkippedAssembles)
+	if c.CacheHits+c.CacheMisses > 0 {
+		s += fmt.Sprintf(" cache=%d/%d (hit/miss)", c.CacheHits, c.CacheMisses)
+	}
+	if c.RouteCalls > 0 {
+		s += fmt.Sprintf(" routes=%d", c.RouteCalls)
+	}
+	return s
+}

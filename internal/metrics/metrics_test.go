@@ -1,0 +1,40 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMergeAccumulates(t *testing.T) {
+	a := Counters{Evaluations: 2, ThermalSolves: 2, CGIterations: 50, FullAssembles: 1, DeltaAssembles: 1}
+	b := Counters{Evaluations: 3, CacheHits: 1, CacheMisses: 2, SkippedAssembles: 4, RouteCalls: 3}
+	a.Merge(b)
+	if a.Evaluations != 5 || a.CacheHits != 1 || a.CacheMisses != 2 ||
+		a.ThermalSolves != 2 || a.CGIterations != 50 ||
+		a.FullAssembles != 1 || a.DeltaAssembles != 1 || a.SkippedAssembles != 4 ||
+		a.RouteCalls != 3 {
+		t.Fatalf("merge result %+v", a)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var c Counters
+	if !c.IsZero() {
+		t.Fatal("zero value not IsZero")
+	}
+	c.CGIterations = 1
+	if c.IsZero() {
+		t.Fatal("non-zero counters reported IsZero")
+	}
+}
+
+func TestStringMentionsCacheOnlyWhenUsed(t *testing.T) {
+	c := Counters{Evaluations: 4, ThermalSolves: 4, CGIterations: 100, FullAssembles: 1, DeltaAssembles: 3}
+	if s := c.String(); strings.Contains(s, "cache") {
+		t.Fatalf("cache shown without hits/misses: %q", s)
+	}
+	c.CacheHits = 2
+	if s := c.String(); !strings.Contains(s, "cache") {
+		t.Fatalf("cache hits not reported: %q", s)
+	}
+}

@@ -1,0 +1,133 @@
+package placer
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+
+	"tap25d/internal/chiplet"
+	"tap25d/internal/metrics"
+)
+
+// MetricsProvider is implemented by evaluators that expose evaluation
+// counters. Read the counters only after the evaluator's run has finished;
+// they are not synchronized.
+type MetricsProvider interface {
+	Metrics() metrics.Counters
+}
+
+// counterSource lets a wrapping evaluator share its inner evaluator's
+// counter instance, so Evaluations/CacheHits/CacheMisses accumulate in one
+// place regardless of nesting.
+type counterSource interface {
+	counters() *metrics.Counters
+}
+
+// placementKey serializes a placement into an exact byte-for-byte cache key:
+// the IEEE-754 bits of every center coordinate followed by the rotation
+// flags. Two placements share a key iff they are bit-identical, so a cache
+// hit can never conflate distinct placements.
+func placementKey(p chiplet.Placement) string {
+	buf := make([]byte, 0, len(p.Centers)*16+len(p.Rotated))
+	var b [8]byte
+	for _, c := range p.Centers {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(c.X))
+		buf = append(buf, b[:]...)
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(c.Y))
+		buf = append(buf, b[:]...)
+	}
+	for _, r := range p.Rotated {
+		if r {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return string(buf)
+}
+
+type cacheEntry struct {
+	key   string
+	tempC float64
+	wlMM  float64
+}
+
+// CachingEvaluator memoizes (peak temperature, wirelength) by placement in a
+// bounded LRU. The annealer revisits placements — rejected moves retried
+// later, jump returns to earlier configurations — and a hit skips both the
+// thermal solve and the router.
+//
+// Caveat: a skipped thermal solve also skips advancing the thermal model's
+// warm-start field, so subsequent *misses* start CG from a different guess
+// than an uncached run would. Solutions still satisfy the CG tolerance, but
+// they are not bit-identical to the uncached trajectory, which can flip
+// near-tie acceptance decisions in the annealer. Wrap an evaluator with this
+// only when exact cross-run reproducibility against an uncached baseline is
+// not required (reproducibility at fixed seed *with* the cache is still
+// deterministic).
+type CachingEvaluator struct {
+	inner Evaluator
+	cap   int
+	ll    *list.List
+	byKey map[string]*list.Element
+	ctr   *metrics.Counters
+	owned bool // ctr is owned by this wrapper (inner exposes none)
+}
+
+// NewCachingEvaluator wraps ev with an LRU of the given capacity (defaults
+// to 4096 entries when size <= 0).
+func NewCachingEvaluator(ev Evaluator, size int) *CachingEvaluator {
+	if size <= 0 {
+		size = 4096
+	}
+	c := &CachingEvaluator{
+		inner: ev,
+		cap:   size,
+		ll:    list.New(),
+		byKey: make(map[string]*list.Element, size),
+	}
+	if cs, ok := ev.(counterSource); ok {
+		c.ctr = cs.counters()
+	} else {
+		c.ctr = &metrics.Counters{}
+		c.owned = true
+	}
+	return c
+}
+
+func (c *CachingEvaluator) counters() *metrics.Counters { return c.ctr }
+
+// Metrics returns the accumulated counters (shared with the inner evaluator
+// when it exposes its own).
+func (c *CachingEvaluator) Metrics() metrics.Counters { return *c.ctr }
+
+// Evaluate implements Evaluator.
+func (c *CachingEvaluator) Evaluate(p chiplet.Placement) (float64, float64, error) {
+	key := placementKey(p)
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.ctr.Evaluations++
+		c.ctr.CacheHits++
+		return e.tempC, e.wlMM, nil
+	}
+	t, w, err := c.inner.Evaluate(p)
+	if c.owned {
+		c.ctr.Evaluations++ // inner exposes no counters; count here
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	c.ctr.CacheMisses++
+	el := c.ll.PushFront(&cacheEntry{key: key, tempC: t, wlMM: w})
+	c.byKey[key] = el
+	if c.ll.Len() > c.cap {
+		old := c.ll.Back()
+		c.ll.Remove(old)
+		delete(c.byKey, old.Value.(*cacheEntry).key)
+	}
+	return t, w, nil
+}
+
+// Len returns the number of cached entries (for tests).
+func (c *CachingEvaluator) Len() int { return c.ll.Len() }

@@ -1,0 +1,82 @@
+package placer
+
+import (
+	"testing"
+
+	"tap25d/internal/chiplet"
+	"tap25d/internal/geom"
+)
+
+// countingEval returns a distinct result on every call, so a cache hit (which
+// must replay the first result) is distinguishable from a re-evaluation.
+type countingEval struct{ calls int }
+
+func (e *countingEval) Evaluate(chiplet.Placement) (float64, float64, error) {
+	e.calls++
+	return 100 + float64(e.calls), 10 * float64(e.calls), nil
+}
+
+func placementAt(x float64) chiplet.Placement {
+	return chiplet.Placement{
+		Centers: []geom.Point{{X: x, Y: 1}, {X: x + 5, Y: 2}},
+		Rotated: []bool{false, true},
+	}
+}
+
+func TestCachingEvaluatorHitReturnsCachedResult(t *testing.T) {
+	inner := &countingEval{}
+	c := NewCachingEvaluator(inner, 8)
+	p := placementAt(3)
+	t1, w1, err := c.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, w2, err := c.Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 || w1 != w2 {
+		t.Fatalf("hit returned (%v, %v), first evaluation gave (%v, %v)", t2, w2, t1, w1)
+	}
+	if inner.calls != 1 {
+		t.Fatalf("inner evaluated %d times, want 1", inner.calls)
+	}
+	m := c.Metrics()
+	if m.Evaluations != 2 || m.CacheHits != 1 || m.CacheMisses != 1 {
+		t.Fatalf("counters evals=%d hits=%d misses=%d, want 2/1/1", m.Evaluations, m.CacheHits, m.CacheMisses)
+	}
+}
+
+func TestCachingEvaluatorDistinguishesPlacements(t *testing.T) {
+	inner := &countingEval{}
+	c := NewCachingEvaluator(inner, 8)
+	c.Evaluate(placementAt(1))
+	rot := placementAt(1)
+	rot.Rotated[0] = true
+	c.Evaluate(rot) // same centers, different rotation: must miss
+	if inner.calls != 2 {
+		t.Fatalf("inner evaluated %d times, want 2", inner.calls)
+	}
+}
+
+func TestCachingEvaluatorLRUEviction(t *testing.T) {
+	inner := &countingEval{}
+	c := NewCachingEvaluator(inner, 2)
+	a, b, d := placementAt(1), placementAt(2), placementAt(3)
+	c.Evaluate(a)
+	c.Evaluate(b)
+	c.Evaluate(a) // refresh a: b is now least recently used
+	c.Evaluate(d) // evicts b
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.Len())
+	}
+	before := inner.calls
+	c.Evaluate(a) // still cached
+	if inner.calls != before {
+		t.Fatal("a was evicted; want b evicted (LRU order)")
+	}
+	c.Evaluate(b) // evicted, re-evaluates
+	if inner.calls != before+1 {
+		t.Fatal("b not re-evaluated after eviction")
+	}
+}

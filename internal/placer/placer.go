@@ -15,11 +15,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
 
 	"tap25d/internal/btree"
 	"tap25d/internal/chiplet"
 	"tap25d/internal/geom"
+	"tap25d/internal/metrics"
 	"tap25d/internal/ocm"
 	"tap25d/internal/route"
 	"tap25d/internal/thermal"
@@ -38,19 +40,27 @@ type SystemEvaluator struct {
 	sys   *chiplet.System
 	model *thermal.Model
 	ropts route.Options
+	ctr   *metrics.Counters
 }
 
 // NewSystemEvaluator builds an evaluator for sys with the given thermal and
-// routing options.
+// routing options. The thermal model's counters are shared with the
+// evaluator's own (topt.Counters is honored when set; otherwise one is
+// allocated), so Metrics reports solver and evaluation statistics together.
 func NewSystemEvaluator(sys *chiplet.System, topt thermal.Options, ropt route.Options) (*SystemEvaluator, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
+	}
+	ctr := topt.Counters
+	if ctr == nil {
+		ctr = &metrics.Counters{}
+		topt.Counters = ctr
 	}
 	m, err := thermal.NewModel(sys.InterposerW, sys.InterposerH, topt)
 	if err != nil {
 		return nil, err
 	}
-	return &SystemEvaluator{sys: sys, model: m, ropts: ropt}, nil
+	return &SystemEvaluator{sys: sys, model: m, ropts: ropt, ctr: ctr}, nil
 }
 
 // Sources converts a placement into thermal heat sources (every chiplet
@@ -66,10 +76,12 @@ func Sources(sys *chiplet.System, p chiplet.Placement) []thermal.Source {
 
 // Evaluate implements Evaluator.
 func (e *SystemEvaluator) Evaluate(p chiplet.Placement) (float64, float64, error) {
+	e.ctr.Evaluations++
 	res, err := e.model.Solve(Sources(e.sys, p))
 	if err != nil {
 		return 0, 0, err
 	}
+	e.ctr.RouteCalls++
 	r, err := route.Route(e.sys, p, e.ropts)
 	if err != nil {
 		return 0, 0, err
@@ -80,6 +92,11 @@ func (e *SystemEvaluator) Evaluate(p chiplet.Placement) (float64, float64, error
 // Thermal exposes the underlying thermal model (for rendering maps of the
 // final placement).
 func (e *SystemEvaluator) Thermal() *thermal.Model { return e.model }
+
+// Metrics returns the evaluation counters accumulated so far.
+func (e *SystemEvaluator) Metrics() metrics.Counters { return *e.ctr }
+
+func (e *SystemEvaluator) counters() *metrics.Counters { return e.ctr }
 
 // Op identifies a neighbor-generation operator (Fig. 2b-d).
 type Op int
@@ -203,6 +220,9 @@ type Result struct {
 	Accepted          int
 	Run               int // index of the winning run in PlaceBestOf
 	History           []Sample
+	// Metrics carries the evaluator's counters when the evaluator exposes
+	// them; for PlaceBestOf it aggregates the counters of every run.
+	Metrics metrics.Counters
 }
 
 // Alpha computes the dynamic temperature weight of Eqn. (13).
@@ -433,6 +453,9 @@ func Place(sys *chiplet.System, ev Evaluator, opt Options) (*Result, error) {
 	res.Placement = best
 	res.PeakC = bestT
 	res.WirelengthMM = bestW
+	if mp, ok := ev.(MetricsProvider); ok {
+		res.Metrics = mp.Metrics()
+	}
 	return res, nil
 }
 
@@ -484,6 +507,12 @@ func neighbor(sys *chiplet.System, grid *ocm.Grid, cur chiplet.Placement, rng *r
 // in parallel, each with its own Evaluator from factory, and returns the best
 // solution under Better. This is the paper's protocol of running the
 // probabilistic algorithm 5 times and picking the best.
+//
+// At most GOMAXPROCS runs execute at once: each run holds a full thermal
+// model (grid² × layers of solver state), so unbounded fan-out at large n
+// trades no extra parallelism for a large peak footprint. Seeds are assigned
+// by run index before the semaphore, so results are independent of scheduling
+// order. The returned Result's Metrics aggregates the counters of all runs.
 func PlaceBestOf(sys *chiplet.System, factory func() (Evaluator, error), n int, opt Options) (*Result, error) {
 	if n <= 0 {
 		n = 1
@@ -491,11 +520,14 @@ func PlaceBestOf(sys *chiplet.System, factory func() (Evaluator, error), n int, 
 	opt = opt.withDefaults()
 	results := make([]*Result, n)
 	errs := make([]error, n)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
 	for r := 0; r < n; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
 			ev, err := factory()
 			if err != nil {
 				errs[r] = err
@@ -514,10 +546,12 @@ func PlaceBestOf(sys *chiplet.System, factory func() (Evaluator, error), n int, 
 	}
 	wg.Wait()
 	var best *Result
+	var merged metrics.Counters
 	for r := 0; r < n; r++ {
 		if errs[r] != nil {
 			return nil, fmt.Errorf("placer: run %d: %w", r, errs[r])
 		}
+		merged.Merge(results[r].Metrics)
 		if best == nil || Better(results[r].PeakC, results[r].WirelengthMM, best.PeakC, best.WirelengthMM, opt.CriticalC) {
 			best = results[r]
 		}
@@ -525,5 +559,6 @@ func PlaceBestOf(sys *chiplet.System, factory func() (Evaluator, error), n int, 
 	if best == nil {
 		return nil, errors.New("placer: no runs executed")
 	}
+	best.Metrics = merged
 	return best, nil
 }

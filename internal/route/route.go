@@ -24,6 +24,7 @@ package route
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"tap25d/internal/chiplet"
@@ -231,6 +232,18 @@ func routeFast(sys *chiplet.System, pts [][ClumpsPerChiplet]geom.Point, caps []i
 	type arcKey struct{ net, fc, fl, tc, tl int }
 	agg := map[arcKey]int{}
 
+	// The candidate buffer is reused across nets: with gas stations enabled it
+	// holds O(chiplets · ClumpsPerChiplet⁴) entries, and the annealer calls
+	// routeFast once per accepted-or-rejected move, so regrowing it from nil
+	// for every net dominated the router's allocation profile. ord carries the
+	// cost order as compact (cost, index) pairs so the sort swaps 16 bytes per
+	// element instead of the whole 48-byte pathCand.
+	var cands []pathCand
+	type candOrd struct {
+		cost float64
+		idx  int32
+	}
+	var ord []candOrd
 	for _, n := range order {
 		ch := sys.Channels[n]
 		s, t := ch.Src, ch.Dst
@@ -238,7 +251,7 @@ func routeFast(sys *chiplet.System, pts [][ClumpsPerChiplet]geom.Point, caps []i
 
 		// Enumerate candidate paths once; availability is rechecked each
 		// augmentation.
-		var cands []pathCand
+		cands = cands[:0]
 		for l := 0; l < ClumpsPerChiplet; l++ {
 			for k := 0; k < ClumpsPerChiplet; k++ {
 				cands = append(cands, pathCand{cost: dist(pts, s, l, t, k), l: l, k: k, via: -1})
@@ -249,13 +262,22 @@ func routeFast(sys *chiplet.System, pts [][ClumpsPerChiplet]geom.Point, caps []i
 				if via == s || via == t {
 					continue
 				}
+				// The exit-leg length depends only on (via, lout, t, k), so
+				// hoist it out of the (l, kin) loops: 16 dist calls per via
+				// instead of 256, with identical costs in identical order.
+				var exitLeg [ClumpsPerChiplet * ClumpsPerChiplet]float64
+				for lout := 0; lout < ClumpsPerChiplet; lout++ {
+					for k := 0; k < ClumpsPerChiplet; k++ {
+						exitLeg[lout*ClumpsPerChiplet+k] = dist(pts, via, lout, t, k)
+					}
+				}
 				for l := 0; l < ClumpsPerChiplet; l++ {
 					for kin := 0; kin < ClumpsPerChiplet; kin++ {
 						d1 := dist(pts, s, l, via, kin)
 						for lout := 0; lout < ClumpsPerChiplet; lout++ {
 							for k := 0; k < ClumpsPerChiplet; k++ {
 								cands = append(cands, pathCand{
-									cost: d1 + dist(pts, via, lout, t, k),
+									cost: d1 + exitLeg[lout*ClumpsPerChiplet+k],
 									l:    l, k: k, via: via, kin: kin, lout: lout,
 								})
 							}
@@ -264,11 +286,28 @@ func routeFast(sys *chiplet.System, pts [][ClumpsPerChiplet]geom.Point, caps []i
 				}
 			}
 		}
-		sort.Slice(cands, func(a, b int) bool { return cands[a].cost < cands[b].cost })
+		// Sorting (cost, index) pairs with slices.SortFunc yields the exact
+		// candidate order sort.Slice on the structs did: pdqsort's permutation
+		// is a function of the element count and comparator outcomes alone,
+		// and both see the identical cost sequence (equal-cost ties included).
+		ord = ord[:0]
+		for i := range cands {
+			ord = append(ord, candOrd{cost: cands[i].cost, idx: int32(i)})
+		}
+		slices.SortFunc(ord, func(a, b candOrd) int {
+			switch {
+			case a.cost < b.cost:
+				return -1
+			case b.cost < a.cost:
+				return 1
+			}
+			return 0
+		})
 
 		for demand > 0 {
 			routed := false
-			for _, c := range cands {
+			for _, o := range ord {
+				c := cands[o.idx]
 				bw := availability(rem, s, t, c)
 				if c.via >= 0 {
 					if vb := viaBudget[c.via] / 2; vb < bw {

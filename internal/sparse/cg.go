@@ -1,0 +1,253 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"unsafe"
+)
+
+// ParallelThresholdRows is the matrix size above which CGSolver partitions
+// its matrix-vector products across GOMAXPROCS goroutines. Small systems stay
+// serial: below this size the per-product goroutine wake-up costs more than
+// the arithmetic it distributes. Row partitioning computes each row exactly
+// as the serial kernel does, so parallel products are bit-identical to serial
+// ones for any worker count.
+var ParallelThresholdRows = 16384
+
+// MulVecParallel computes y = A·x with rows partitioned across workers
+// goroutines. Each row's dot product runs exactly as in the serial kernel, so
+// the result is bit-identical to MulVec regardless of worker count. workers
+// values below 2 fall back to the serial path.
+func (m *CSR) MulVecParallel(y, x []float64, workers int) {
+	if workers > m.N {
+		workers = m.N
+	}
+	if workers < 2 {
+		m.MulVec(y, x)
+		return
+	}
+	chunk := (m.N + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < m.N; lo += chunk {
+		hi := lo + chunk
+		if hi > m.N {
+			hi = m.N
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			m.mulVecRange(y, x, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// CGSolver is a reusable Jacobi-preconditioned conjugate-gradient solver
+// bound to one matrix. It exists because the placer's inner loop calls the
+// solver thousands of times on a matrix whose pattern never changes: the
+// solver allocates its scratch vectors (residual, preconditioned residual,
+// search direction, A·p product, inverse diagonal) once, and locates the
+// diagonal value slots once, instead of re-deriving all of them on every
+// SolveCG call. Values of the bound matrix may change freely between Solve
+// calls (the diagonal is re-read each time); the pattern must not.
+//
+// A CGSolver is not safe for concurrent use.
+type CGSolver struct {
+	a        *CSR
+	diagSlot []int32 // per-row index into a.Val of the diagonal, -1 if absent
+
+	invD, r, z, p, ap []float64
+	workers           int
+}
+
+// NewCGSolver prepares a reusable solver for a. The pattern of a is frozen
+// from the solver's point of view; its values may be updated in place between
+// Solve calls.
+func NewCGSolver(a *CSR) *CGSolver {
+	n := a.N
+	s := &CGSolver{
+		a:        a,
+		diagSlot: make([]int32, n),
+		invD:     make([]float64, n),
+		r:        make([]float64, n),
+		z:        make([]float64, n),
+		p:        make([]float64, n),
+		ap:       make([]float64, n),
+		workers:  1,
+	}
+	for i := 0; i < n; i++ {
+		s.diagSlot[i] = -1
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if int(a.Col[k]) == i {
+				s.diagSlot[i] = k
+				break
+			}
+		}
+	}
+	if w := runtime.GOMAXPROCS(0); w > 1 && n >= ParallelThresholdRows {
+		s.workers = w
+	}
+	return s
+}
+
+// mulVec computes y = A·x with the solver's worker setting.
+func (s *CGSolver) mulVec(y, x []float64) {
+	if s.workers > 1 {
+		s.a.MulVecParallel(y, x, s.workers)
+	} else {
+		s.a.MulVec(y, x)
+	}
+}
+
+// mulVecDot computes y = A·x and returns dot(w, y). The dot accumulates in
+// row order, so the result is bit-identical to a separate MulVec followed by
+// a serial dot product.
+//
+// The serial path gathers through raw pointers: the column index c is
+// data-dependent, so the x[c] bounds check cannot be proven away, and this
+// loop is the single hottest in the annealer (it runs once per CG iteration
+// over every stored entry). Safety rests on the CSR invariants — RowPtr
+// ascending within [0, nnz], every Col entry in [0, N) — which Build and
+// BuildFixed establish and nothing mutates.
+func (s *CGSolver) mulVecDot(y, x, w []float64) float64 {
+	a := s.a
+	if s.workers > 1 {
+		a.MulVecParallel(y, x, s.workers)
+		var d float64
+		for i, v := range y {
+			d += w[i] * v
+		}
+		return d
+	}
+	n := a.N
+	rowPtr := a.RowPtr
+	colp := unsafe.Pointer(unsafe.SliceData(a.Col))
+	valp := unsafe.Pointer(unsafe.SliceData(a.Val))
+	xp := unsafe.Pointer(unsafe.SliceData(x))
+	y = y[:n]
+	w = w[:n]
+	var d float64
+	lo := int(rowPtr[0])
+	for i := 0; i < n; i++ {
+		hi := int(rowPtr[i+1])
+		var sum float64
+		k := lo
+		// Two elements per trip halves the loop bookkeeping; the two adds
+		// into sum stay sequential, so the accumulation order — and thus the
+		// rounded result — is exactly that of the one-element loop.
+		for ; k+1 < hi; k += 2 {
+			c0 := int(*(*int32)(unsafe.Add(colp, uintptr(k)*4)))
+			c1 := int(*(*int32)(unsafe.Add(colp, uintptr(k+1)*4)))
+			v0 := *(*float64)(unsafe.Add(valp, uintptr(k)*8))
+			v1 := *(*float64)(unsafe.Add(valp, uintptr(k+1)*8))
+			sum += v0 * *(*float64)(unsafe.Add(xp, uintptr(c0)*8))
+			sum += v1 * *(*float64)(unsafe.Add(xp, uintptr(c1)*8))
+		}
+		if k < hi {
+			c := int(*(*int32)(unsafe.Add(colp, uintptr(k)*4)))
+			sum += *(*float64)(unsafe.Add(valp, uintptr(k)*8)) *
+				*(*float64)(unsafe.Add(xp, uintptr(c)*8))
+		}
+		y[i] = sum
+		d += w[i] * sum
+		lo = hi
+	}
+	return d
+}
+
+// Solve solves A·x = b with x as the warm-start initial guess, overwriting x
+// with the solution and returning the iteration count. The arithmetic —
+// preconditioning, update order, convergence checks — reproduces SolveCG
+// exactly, so a reused CGSolver returns bit-identical solutions; only the
+// scratch allocations and diagonal extraction are hoisted out of the call.
+func (s *CGSolver) Solve(x, b []float64, opt CGOptions) (int, error) {
+	a := s.a
+	n := a.N
+	if len(x) != n || len(b) != n {
+		return 0, fmt.Errorf("sparse: SolveCG dimension mismatch: n=%d len(x)=%d len(b)=%d", n, len(x), len(b))
+	}
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+
+	// Refresh the Jacobi preconditioner from the (possibly updated) diagonal:
+	// O(N) via the precomputed slots instead of an O(nnz) scan.
+	invD := s.invD
+	for i, slot := range s.diagSlot {
+		d := 0.0
+		if slot >= 0 {
+			d = a.Val[slot]
+		}
+		if d <= 0 {
+			return 0, fmt.Errorf("sparse: non-positive diagonal at row %d (%g); matrix not SPD", i, d)
+		}
+		invD[i] = 1 / d
+	}
+
+	x, b = x[:n], b[:n]
+	r, z, p, ap := s.r[:n], s.z[:n], s.p[:n], s.ap[:n]
+	invD = invD[:n]
+
+	s.mulVec(r, x)
+	var bnorm, rnorm0 float64
+	for i := range r {
+		r[i] = b[i] - r[i]
+		bnorm += b[i] * b[i]
+		rnorm0 += r[i] * r[i]
+	}
+	bnorm = math.Sqrt(bnorm)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return 0, nil
+	}
+	if math.Sqrt(rnorm0) <= tol*bnorm {
+		return 0, nil // warm start already converged
+	}
+
+	var rz float64
+	for i := range z {
+		z[i] = invD[i] * r[i]
+		rz += r[i] * z[i]
+	}
+	copy(p, z)
+
+	for it := 1; it <= maxIter; it++ {
+		pap := s.mulVecDot(ap, p, p)
+		if pap <= 0 {
+			return it, fmt.Errorf("sparse: p'Ap = %g <= 0; matrix not SPD", pap)
+		}
+		alpha := rz / pap
+		// One fused pass updates x and r and accumulates both rnorm and the
+		// next r·z. Each accumulator still sums in ascending index order, so
+		// the values match the unfused two-pass form bit for bit; on the
+		// converging iteration the z/rzNew work is computed and discarded.
+		var rnorm, rzNew float64
+		for i := range x {
+			x[i] += alpha * p[i]
+			ri := r[i] - alpha*ap[i]
+			r[i] = ri
+			rnorm += ri * ri
+			zi := invD[i] * ri
+			z[i] = zi
+			rzNew += ri * zi
+		}
+		if math.Sqrt(rnorm) <= tol*bnorm {
+			return it, nil
+		}
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return maxIter, ErrNoConvergence
+}

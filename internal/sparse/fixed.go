@@ -1,0 +1,141 @@
+package sparse
+
+import "sort"
+
+// Fixed is a CSR matrix with a frozen sparsity pattern whose values can be
+// updated in place, term by term. It is built once from a Builder's full
+// coordinate list (BuildFixed) and then supports two operations the thermal
+// solver's inner loop needs:
+//
+//   - SetTerm rewrites the value of one original Add entry ("term");
+//   - RefreshSlot recomputes one stored CSR value as the sum of its terms.
+//
+// The summation order of each slot is recorded at build time as the exact
+// order Builder.Build would have summed the duplicate entries, so a Fixed
+// whose terms are rewritten and whose slots are refreshed holds values
+// bit-identical to a from-scratch Build over the same entries. That property
+// is what lets the thermal model's delta-assembly path reproduce the full
+// rebuild exactly, keeping simulated-annealing trajectories reproducible to
+// the last bit.
+type Fixed struct {
+	// Mat is the live matrix; its Val entries are rewritten by RefreshSlot.
+	Mat *CSR
+
+	terms    []float64 // current value of each original Add entry
+	termSlot []int32   // term index -> slot (index into Mat.Val)
+	slotPtr  []int32   // slot -> range into slotTerm
+	slotTerm []int32   // terms of each slot in Build's summation order
+}
+
+// taggedRowView sorts one row's (col, val, term) triples by column. Its Less
+// depends only on the columns, so it applies the same permutation
+// Builder.Build's rowView sort would.
+type taggedRowView struct {
+	col []int32
+	val []float64
+	tag []int32
+}
+
+func (r taggedRowView) Len() int           { return len(r.col) }
+func (r taggedRowView) Less(i, j int) bool { return r.col[i] < r.col[j] }
+func (r taggedRowView) Swap(i, j int) {
+	r.col[i], r.col[j] = r.col[j], r.col[i]
+	r.val[i], r.val[j] = r.val[j], r.val[i]
+	r.tag[i], r.tag[j] = r.tag[j], r.tag[i]
+}
+
+// NumEntries returns the number of accumulated (non-zero) entries so far.
+// Callers planning in-place updates use it to learn the term index the next
+// Add/AddSym call will receive.
+func (b *Builder) NumEntries() int { return len(b.vals) }
+
+// BuildFixed assembles the CSR matrix exactly like Build — same pattern, same
+// values, bit for bit — and additionally records, for every accumulated
+// entry, which value slot it landed in and in which order each slot sums its
+// entries. The builder's entries keep their insertion indices as term IDs.
+func (b *Builder) BuildFixed() *Fixed {
+	n := b.n
+	nTerms := len(b.vals)
+
+	// Counting sort by row (stable), carrying term indices.
+	count := make([]int32, n+1)
+	for _, r := range b.rows {
+		count[r+1]++
+	}
+	for i := 0; i < n; i++ {
+		count[i+1] += count[i]
+	}
+	start := make([]int32, n)
+	copy(start, count[:n])
+	ordCol := make([]int32, nTerms)
+	ordVal := make([]float64, nTerms)
+	ordTerm := make([]int32, nTerms)
+	for k, r := range b.rows {
+		p := start[r]
+		ordCol[p] = b.cols[k]
+		ordVal[p] = b.vals[k]
+		ordTerm[p] = int32(k)
+		start[r] = p + 1
+	}
+
+	m := &CSR{N: n, RowPtr: make([]int32, n+1)}
+	m.Col = make([]int32, 0, nTerms)
+	m.Val = make([]float64, 0, nTerms)
+	f := &Fixed{
+		Mat:      m,
+		terms:    append([]float64(nil), b.vals...),
+		termSlot: make([]int32, nTerms),
+		slotPtr:  make([]int32, 0, nTerms+1),
+		slotTerm: ordTerm,
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := count[i], count[i+1]
+		row := taggedRowView{col: ordCol[lo:hi], val: ordVal[lo:hi], tag: ordTerm[lo:hi]}
+		sort.Sort(row)
+		var lastC int32 = -1
+		for k := lo; k < hi; k++ {
+			if ordCol[k] == lastC {
+				m.Val[len(m.Val)-1] += ordVal[k]
+			} else {
+				m.Col = append(m.Col, ordCol[k])
+				m.Val = append(m.Val, ordVal[k])
+				lastC = ordCol[k]
+				f.slotPtr = append(f.slotPtr, k)
+			}
+			f.termSlot[ordTerm[k]] = int32(len(m.Val) - 1)
+		}
+		m.RowPtr[i+1] = int32(len(m.Col))
+	}
+	f.slotPtr = append(f.slotPtr, int32(nTerms))
+	return f
+}
+
+// NumTerms returns the number of recorded terms.
+func (f *Fixed) NumTerms() int { return len(f.terms) }
+
+// SetTerm rewrites the value of term t without touching the matrix; call
+// RefreshSlot (or RefreshAll) on the affected slots afterwards.
+func (f *Fixed) SetTerm(t int32, v float64) { f.terms[t] = v }
+
+// TermSlot returns the value slot term t contributes to.
+func (f *Fixed) TermSlot(t int32) int32 { return f.termSlot[t] }
+
+// RefreshSlot recomputes slot s as the sum of its terms, in the exact order a
+// full Build would have summed them.
+func (f *Fixed) RefreshSlot(s int32) {
+	lo, hi := f.slotPtr[s], f.slotPtr[s+1]
+	sum := f.terms[f.slotTerm[lo]]
+	for _, t := range f.slotTerm[lo+1 : hi] {
+		sum += f.terms[t]
+	}
+	f.Mat.Val[s] = sum
+}
+
+// RefreshAll recomputes every slot from the current terms. The result is
+// bit-identical to rebuilding the matrix from scratch with the same entry
+// values.
+func (f *Fixed) RefreshAll() {
+	for s := range f.Mat.Val {
+		f.RefreshSlot(int32(s))
+	}
+}

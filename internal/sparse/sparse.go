@@ -136,10 +136,22 @@ func (m *CSR) NNZ() int { return len(m.Val) }
 
 // MulVec computes y = A·x. y must have length N.
 func (m *CSR) MulVec(y, x []float64) {
-	for i := 0; i < m.N; i++ {
+	m.mulVecRange(y, x, 0, m.N)
+}
+
+// mulVecRange computes y[i] = (A·x)[i] for rows lo ≤ i < hi. Each row is an
+// independent serial dot product, so any row partition yields results
+// bit-identical to the full serial MulVec. The row slices are re-sliced to a
+// common length so the compiler can drop bounds checks from the inner loop.
+func (m *CSR) mulVecRange(y, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		a, b := m.RowPtr[i], m.RowPtr[i+1]
+		cols := m.Col[a:b]
+		vals := m.Val[a:b]
+		vals = vals[:len(cols)]
 		var s float64
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			s += m.Val[k] * x[m.Col[k]]
+		for k, c := range cols {
+			s += vals[k] * x[c]
 		}
 		y[i] = s
 	}
@@ -208,89 +220,12 @@ type CGOptions struct {
 // Jacobi-preconditioned conjugate gradients. x is used as the initial guess
 // (a warm start from the previous SA step speeds the placer up considerably)
 // and is overwritten with the solution. It returns the iteration count.
+//
+// SolveCG sets up a fresh CGSolver per call; callers solving repeatedly
+// against one matrix should hold a CGSolver to reuse its scratch buffers and
+// diagonal index map.
 func SolveCG(a *CSR, x, b []float64, opt CGOptions) (int, error) {
-	n := a.N
-	if len(x) != n || len(b) != n {
-		return 0, fmt.Errorf("sparse: SolveCG dimension mismatch: n=%d len(x)=%d len(b)=%d", n, len(x), len(b))
-	}
-	tol := opt.Tol
-	if tol <= 0 {
-		tol = 1e-8
-	}
-	maxIter := opt.MaxIter
-	if maxIter <= 0 {
-		maxIter = 10 * n
-	}
-
-	invD := a.Diag()
-	for i, d := range invD {
-		if d <= 0 {
-			return 0, fmt.Errorf("sparse: non-positive diagonal at row %d (%g); matrix not SPD", i, d)
-		}
-		invD[i] = 1 / d
-	}
-
-	r := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
-
-	a.MulVec(r, x)
-	var bnorm, rnorm0 float64
-	for i := range r {
-		r[i] = b[i] - r[i]
-		bnorm += b[i] * b[i]
-		rnorm0 += r[i] * r[i]
-	}
-	bnorm = math.Sqrt(bnorm)
-	if bnorm == 0 {
-		for i := range x {
-			x[i] = 0
-		}
-		return 0, nil
-	}
-	if math.Sqrt(rnorm0) <= tol*bnorm {
-		return 0, nil // warm start already converged
-	}
-
-	var rz float64
-	for i := range z {
-		z[i] = invD[i] * r[i]
-		rz += r[i] * z[i]
-	}
-	copy(p, z)
-
-	for it := 1; it <= maxIter; it++ {
-		a.MulVec(ap, p)
-		var pap float64
-		for i := range p {
-			pap += p[i] * ap[i]
-		}
-		if pap <= 0 {
-			return it, fmt.Errorf("sparse: p'Ap = %g <= 0; matrix not SPD", pap)
-		}
-		alpha := rz / pap
-		var rnorm float64
-		for i := range x {
-			x[i] += alpha * p[i]
-			r[i] -= alpha * ap[i]
-			rnorm += r[i] * r[i]
-		}
-		if math.Sqrt(rnorm) <= tol*bnorm {
-			return it, nil
-		}
-		var rzNew float64
-		for i := range z {
-			z[i] = invD[i] * r[i]
-			rzNew += r[i] * z[i]
-		}
-		beta := rzNew / rz
-		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
-	}
-	return maxIter, ErrNoConvergence
+	return NewCGSolver(a).Solve(x, b, opt)
 }
 
 // SolveGaussSeidel performs symmetric Gauss-Seidel sweeps on A·x = b until the

@@ -56,6 +56,7 @@ func (m *Model) SolveLiquid(sources []Source, lc LiquidCooling) (*Result, error)
 	if lc.FlowLPM <= 0 || lc.HTC <= 0 {
 		return nil, fmt.Errorf("thermal: non-positive liquid cooling parameters")
 	}
+	m.invalidateIncremental() // overwrites the fields the fixed matrix is keyed on
 	if err := m.rasterize(sources); err != nil {
 		return nil, err
 	}

@@ -91,6 +91,110 @@ func TestPeakInsideSourceFootprint(t *testing.T) {
 	}
 }
 
+// TestIncrementalMatchesFullAssembly: the incremental solve path (delta
+// rasterization + in-place matrix refresh) must agree with the full
+// rasterize/assemble/build path cell by cell across a long random perturbation
+// sequence. Both models see the identical source history, so their CG warm
+// starts line up and the comparison isolates the assembly machinery; the
+// incremental path is designed to be bit-identical, and this test enforces a
+// 1e-9 relative ceiling per cell.
+func TestIncrementalMatchesFullAssembly(t *testing.T) {
+	inc, err := NewModel(45, 45, Options{Grid: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewModel(45, 45, Options{Grid: 20, DisableIncremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	srcs := []Source{
+		{Rect: geom.Rect{Center: geom.Point{X: 12, Y: 12}, W: 8, H: 6}, Power: 90},
+		{Rect: geom.Rect{Center: geom.Point{X: 30, Y: 14}, W: 5, H: 9}, Power: 140},
+		{Rect: geom.Rect{Center: geom.Point{X: 15, Y: 32}, W: 7, H: 7}, Power: 60},
+		{Rect: geom.Rect{Center: geom.Point{X: 33, Y: 33}, W: 10, H: 4}, Power: 0},
+	}
+	for step := 0; step < 50; step++ {
+		switch k := rng.Intn(len(srcs)); rng.Intn(5) {
+		case 0: // nudge by a fraction of a cell — exercises tiny deltas
+			srcs[k].Rect.Center.X += (rng.Float64() - 0.5) * 3
+			srcs[k].Rect.Center.Y += (rng.Float64() - 0.5) * 3
+		case 1: // rotate
+			srcs[k].Rect.W, srcs[k].Rect.H = srcs[k].Rect.H, srcs[k].Rect.W
+		case 2: // jump anywhere, including partially off-chip (clipped)
+			srcs[k].Rect.Center = geom.Point{X: rng.Float64() * 45, Y: rng.Float64() * 45}
+		case 3: // change power, sometimes to zero
+			srcs[k].Power = float64(rng.Intn(4)) * 55
+		case 4: // no-op — the matrix-unchanged fast path must still agree
+		}
+		ri, err := inc.Solve(srcs)
+		if err != nil {
+			t.Fatalf("step %d: incremental: %v", step, err)
+		}
+		rf, err := full.Solve(srcs)
+		if err != nil {
+			t.Fatalf("step %d: full: %v", step, err)
+		}
+		for c := range rf.ChipTempC {
+			got, want := ri.ChipTempC[c], rf.ChipTempC[c]
+			if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Fatalf("step %d: cell %d: incremental %v vs full %v", step, c, got, want)
+			}
+		}
+		if math.Abs(ri.PeakC-rf.PeakC) > 1e-9*math.Max(1, math.Abs(rf.PeakC)) {
+			t.Fatalf("step %d: peak %v vs %v", step, ri.PeakC, rf.PeakC)
+		}
+	}
+}
+
+// BenchmarkThermalSolveIncremental contrasts the three solve regimes the
+// annealer sees: a cold first solve (full assembly), re-solving unchanged
+// sources (matrix untouched, warm start converges immediately), and a small
+// move (delta rasterization over two footprints).
+func BenchmarkThermalSolveIncremental(b *testing.B) {
+	mkSources := func(dx float64) []Source {
+		return []Source{
+			{Rect: geom.Rect{Center: geom.Point{X: 12 + dx, Y: 12}, W: 8, H: 6}, Power: 90},
+			{Rect: geom.Rect{Center: geom.Point{X: 30, Y: 14}, W: 5, H: 9}, Power: 140},
+			{Rect: geom.Rect{Center: geom.Point{X: 15, Y: 32}, W: 7, H: 7}, Power: 60},
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		src := mkSources(0)
+		for i := 0; i < b.N; i++ {
+			m := newTestModel(b, 24)
+			if _, err := m.Solve(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		m := newTestModel(b, 24)
+		src := mkSources(0)
+		if _, err := m.Solve(src); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Solve(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("delta", func(b *testing.B) {
+		m := newTestModel(b, 24)
+		if _, err := m.Solve(mkSources(0)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Solve(mkSources(float64(i%2) * 1.5)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // TestAmbientShiftsUniformly: changing the ambient temperature shifts every
 // cell by the same offset (the solver works in rise space).
 func TestAmbientShiftsUniformly(t *testing.T) {

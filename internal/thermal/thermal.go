@@ -20,6 +20,7 @@ import (
 
 	"tap25d/internal/geom"
 	"tap25d/internal/material"
+	"tap25d/internal/metrics"
 	"tap25d/internal/sparse"
 )
 
@@ -43,6 +44,16 @@ type Options struct {
 	Tol float64
 	// MaxIter caps CG iterations (default 20·grid²).
 	MaxIter int
+	// DisableIncremental forces every Solve through the full
+	// rasterize/assemble/build path. The incremental path produces
+	// bit-identical temperatures (the equivalence property test enforces
+	// this), so this switch exists for benchmarking and verification, not
+	// correctness.
+	DisableIncremental bool
+	// Counters, when non-nil, receives the model's solve/assembly statistics.
+	// The model does not synchronize access: share a Counters only among
+	// models used from one goroutine.
+	Counters *metrics.Counters
 }
 
 // Model evaluates placements on a fixed interposer. A Model is reusable but
@@ -74,6 +85,22 @@ type Model struct {
 	power   []float64 // RHS (scratch)
 	temps   []float64 // solution, reused as warm start
 	warm    bool
+
+	// Incremental fast-path state (see incremental.go). fixed == nil means
+	// the next Solve assembles from scratch and freezes the pattern.
+	noInc       bool
+	fixed       *sparse.Fixed
+	cg          *sparse.CGSolver
+	plan        []chipDep
+	cellDeps    [][]int32
+	prevSources []Source
+	epoch       int32
+	cellEpoch   []int32 // last epoch each chiplet-layer cell was re-rasterized
+	depEpoch    []int32 // last epoch each plan entry was recomputed
+	slotEpoch   []int32 // last epoch each CSR value slot was refreshed
+	dirtyCells, changedCells, dirtySlots []int32
+
+	ctr *metrics.Counters
 }
 
 // NewModel builds a model for an interposer of the given dimensions (mm).
@@ -140,6 +167,8 @@ func NewModel(widthMM, heightMM float64, opt Options) (*Model, error) {
 	m.kChip = make([]float64, g2)
 	m.power = make([]float64, m.nNodes)
 	m.temps = make([]float64, m.nNodes)
+	m.noInc = opt.DisableIncremental
+	m.ctr = opt.Counters
 	return m, nil
 }
 
@@ -228,6 +257,25 @@ func (m *Model) cellRectMM(i, j int) geom.Rect {
 	return geom.RectFromBounds(float64(j)*cw, float64(i)*ch, float64(j+1)*cw, float64(i+1)*ch)
 }
 
+func errNegativePower(p float64) error {
+	return fmt.Errorf("thermal: negative source power %g", p)
+}
+
+func errBadFootprint(r geom.Rect) error {
+	return fmt.Errorf("thermal: source with non-positive footprint %v", r)
+}
+
+// sourceWindow returns the half-open grid-cell window [i0,i1)×[j0,j1)
+// containing source s's footprint.
+func (m *Model) sourceWindow(s Source) (i0, i1, j0, j1 int) {
+	g := m.grid
+	j0 = clampInt(int(s.Rect.MinX()/m.widthMM*float64(g)), 0, g-1)
+	j1 = clampInt(int(math.Ceil(s.Rect.MaxX()/m.widthMM*float64(g))), 0, g)
+	i0 = clampInt(int(s.Rect.MinY()/m.heightMM*float64(g)), 0, g-1)
+	i1 = clampInt(int(math.Ceil(s.Rect.MaxY()/m.heightMM*float64(g))), 0, g)
+	return
+}
+
 // rasterize fills the per-cell silicon coverage, the chiplet-layer
 // conductivity field and the power map from the source list.
 func (m *Model) rasterize(sources []Source) error {
@@ -243,16 +291,13 @@ func (m *Model) rasterize(sources []Source) error {
 	cellAreaMM := (m.widthMM / float64(g)) * (m.heightMM / float64(g))
 	for _, s := range sources {
 		if s.Power < 0 {
-			return fmt.Errorf("thermal: negative source power %g", s.Power)
+			return errNegativePower(s.Power)
 		}
 		if s.Rect.W <= 0 || s.Rect.H <= 0 {
-			return fmt.Errorf("thermal: source with non-positive footprint %v", s.Rect)
+			return errBadFootprint(s.Rect)
 		}
 		perArea := s.Power / s.Rect.Area()
-		j0 := clampInt(int(s.Rect.MinX()/m.widthMM*float64(g)), 0, g-1)
-		j1 := clampInt(int(math.Ceil(s.Rect.MaxX()/m.widthMM*float64(g))), 0, g)
-		i0 := clampInt(int(s.Rect.MinY()/m.heightMM*float64(g)), 0, g-1)
-		i1 := clampInt(int(math.Ceil(s.Rect.MaxY()/m.heightMM*float64(g))), 0, g)
+		i0, i1, j0, j1 := m.sourceWindow(s)
 		for i := i0; i < i1; i++ {
 			for j := j0; j < j1; j++ {
 				ov := m.cellRectMM(i, j).OverlapArea(s.Rect)
@@ -275,15 +320,52 @@ func (m *Model) rasterize(sources []Source) error {
 // Sources must lie on the interposer; power is injected into the chiplet
 // layer, whose per-cell conductivity is silicon where covered by any source
 // footprint and underfill elsewhere (area-weighted in partial cells).
+//
+// By default consecutive solves take the incremental path: the conductance
+// matrix is assembled once, and later source lists update only the matrix
+// values and power cells under the changed footprints. The temperatures are
+// bit-identical to the full rebuild either way.
 func (m *Model) Solve(sources []Source) (*Result, error) {
+	if m.noInc {
+		if err := m.rasterize(sources); err != nil {
+			return nil, err
+		}
+		m.assemble()
+		a := m.builder.Build()
+		if m.ctr != nil {
+			m.ctr.FullAssembles++
+		}
+		return m.solveAssembled(a, nil)
+	}
+
+	if m.fixed == nil {
+		if err := m.initIncremental(sources); err != nil {
+			return nil, err
+		}
+	} else {
+		changed, err := m.rasterizeDelta(sources)
+		if err != nil {
+			return nil, err
+		}
+		m.assembleDelta(changed)
+		if m.ctr != nil {
+			if len(changed) == 0 {
+				m.ctr.SkippedAssembles++
+			} else {
+				m.ctr.DeltaAssembles++
+			}
+		}
+	}
+	m.prevSources = append(m.prevSources[:0], sources...)
+	return m.solveAssembled(m.fixed.Mat, m.cg)
+}
+
+// solveAssembled runs CG on the assembled system and extracts the result.
+// When cg is non-nil its scratch buffers are reused; otherwise a one-shot
+// solve runs on a (bit-identical, just slower to set up).
+func (m *Model) solveAssembled(a *sparse.CSR, cg *sparse.CGSolver) (*Result, error) {
 	g := m.grid
 	g2 := g * g
-
-	if err := m.rasterize(sources); err != nil {
-		return nil, err
-	}
-	m.assemble()
-	a := m.builder.Build()
 
 	if !m.warm {
 		// Cold start: a uniform small rise is a decent guess.
@@ -291,12 +373,23 @@ func (m *Model) Solve(sources []Source) (*Result, error) {
 			m.temps[i] = 1
 		}
 	}
-	iters, err := sparse.SolveCG(a, m.temps, m.power, sparse.CGOptions{Tol: m.tol, MaxIter: m.maxIter})
+	opt := sparse.CGOptions{Tol: m.tol, MaxIter: m.maxIter}
+	var iters int
+	var err error
+	if cg != nil {
+		iters, err = cg.Solve(m.temps, m.power, opt)
+	} else {
+		iters, err = sparse.SolveCG(a, m.temps, m.power, opt)
+	}
 	if err != nil {
 		m.warm = false
 		return nil, fmt.Errorf("thermal: %w", err)
 	}
 	m.warm = true
+	if m.ctr != nil {
+		m.ctr.ThermalSolves++
+		m.ctr.CGIterations += int64(iters)
+	}
 
 	res := &Result{
 		AmbientC:  m.stack.AmbientC,
@@ -332,39 +425,96 @@ func (m *Model) layerK(l, i, j int) float64 {
 	return m.stack.Layers[l].Base.Conductivity
 }
 
+// Conductance formulas, shared verbatim between the full assembly and the
+// incremental delta path so both produce bit-identical values for the same
+// kChip field.
+
+// latCondE is the lateral conductance between cells (i,j) and (i,j+1) of
+// layer l: two half-cell resistances in series.
+func (m *Model) latCondE(l, i, j int) float64 {
+	t := m.stack.Layers[l].Thickness
+	k := m.layerK(l, i, j)
+	ke := m.layerK(l, i, j+1)
+	return t * m.cellH / (m.cellW/(2*k) + m.cellW/(2*ke))
+}
+
+// latCondN is the lateral conductance between cells (i,j) and (i+1,j).
+func (m *Model) latCondN(l, i, j int) float64 {
+	t := m.stack.Layers[l].Thickness
+	k := m.layerK(l, i, j)
+	kn := m.layerK(l, i+1, j)
+	return t * m.cellW / (m.cellH/(2*k) + m.cellH/(2*kn))
+}
+
+// vertCond is the vertical conductance between cell (i,j) of layers l and l+1.
+func (m *Model) vertCond(l, i, j int) float64 {
+	t := m.stack.Layers[l].Thickness
+	tu := m.stack.Layers[l+1].Thickness
+	k := m.layerK(l, i, j)
+	ku := m.layerK(l+1, i, j)
+	return m.cellW * m.cellH / (t/(2*k) + tu/(2*ku))
+}
+
+// sprCouplingCond is the conductance from top device cell (i,j) into the
+// spreader cell above it.
+func (m *Model) sprCouplingCond(i, j int) float64 {
+	top := m.nDevLayers - 1
+	tTop := m.stack.Layers[top].Thickness
+	kCu := material.Copper.Conductivity
+	tSpr := m.stack.SpreaderThickness
+	k := m.layerK(top, i, j)
+	return m.cellW * m.cellH / (tTop/(2*k) + tSpr/(2*kCu))
+}
+
 // assemble rebuilds the conductance matrix for the current kChip field.
-func (m *Model) assemble() {
+func (m *Model) assemble() { m.assembleFull(false) }
+
+// assembleFull rebuilds the full coordinate list in the builder. With record
+// set, it additionally notes every kChip-dependent entry in m.plan so the
+// delta path can later rewrite exactly those values.
+func (m *Model) assembleFull(record bool) {
 	b := m.builder
 	b.Reset()
 	g := m.grid
 	cw, ch := m.cellW, m.cellH
-	cellA := cw * ch
 
 	// Device layers: lateral + vertical conductances.
 	for l := 0; l < m.nDevLayers; l++ {
-		t := m.stack.Layers[l].Thickness
+		onChip := l == m.chipLayer
+		belowChip := l+1 == m.chipLayer
 		for i := 0; i < g; i++ {
 			for j := 0; j < g; j++ {
-				k := m.layerK(l, i, j)
 				n := m.devNode(l, i, j)
 				// Lateral east: series of two half-cells.
 				if j+1 < g {
-					ke := m.layerK(l, i, j+1)
-					gcond := t * ch / (cw/(2*k) + cw/(2*ke))
-					b.AddSym(n, m.devNode(l, i, j+1), gcond)
+					gcond := m.latCondE(l, i, j)
+					if record && onChip {
+						m.addSymRecorded(depLatE, i, j, n, m.devNode(l, i, j+1), gcond)
+					} else {
+						b.AddSym(n, m.devNode(l, i, j+1), gcond)
+					}
 				}
 				// Lateral north.
 				if i+1 < g {
-					kn := m.layerK(l, i+1, j)
-					gcond := t * cw / (ch/(2*k) + ch/(2*kn))
-					b.AddSym(n, m.devNode(l, i+1, j), gcond)
+					gcond := m.latCondN(l, i, j)
+					if record && onChip {
+						m.addSymRecorded(depLatN, i, j, n, m.devNode(l, i+1, j), gcond)
+					} else {
+						b.AddSym(n, m.devNode(l, i+1, j), gcond)
+					}
 				}
 				// Vertical up to next device layer.
 				if l+1 < m.nDevLayers {
-					ku := m.layerK(l+1, i, j)
-					tu := m.stack.Layers[l+1].Thickness
-					gcond := cellA / (t/(2*k) + tu/(2*ku))
-					b.AddSym(n, m.devNode(l+1, i, j), gcond)
+					gcond := m.vertCond(l, i, j)
+					if record && (onChip || belowChip) {
+						kind := depVertDn
+						if onChip {
+							kind = depVertUp
+						}
+						m.addSymRecorded(kind, i, j, n, m.devNode(l+1, i, j), gcond)
+					} else {
+						b.AddSym(n, m.devNode(l+1, i, j), gcond)
+					}
 				}
 			}
 		}
@@ -383,18 +533,21 @@ func (m *Model) assemble() {
 	// TIM top -> spreader: couple each top device cell to the spreader cell
 	// containing its center.
 	top := m.nDevLayers - 1
-	tTop := m.stack.Layers[top].Thickness
 	kCu := material.Copper.Conductivity
 	tSpr := m.stack.SpreaderThickness
+	chipOnTop := top == m.chipLayer
 	for i := 0; i < g; i++ {
 		for j := 0; j < g; j++ {
 			cx := (float64(j) + 0.5) * cw
 			cy := (float64(i) + 0.5) * ch
 			sj := clampInt(int((cx-m.sprX0)/m.sprCellW), 0, g-1)
 			si := clampInt(int((cy-m.sprY0)/m.sprCellH), 0, g-1)
-			k := m.layerK(top, i, j)
-			gcond := cellA / (tTop/(2*k) + tSpr/(2*kCu))
-			b.AddSym(m.devNode(top, i, j), m.sprNode(si, sj), gcond)
+			gcond := m.sprCouplingCond(i, j)
+			if record && chipOnTop {
+				m.addSymRecorded(depSpr, i, j, m.devNode(top, i, j), m.sprNode(si, sj), gcond)
+			} else {
+				b.AddSym(m.devNode(top, i, j), m.sprNode(si, sj), gcond)
+			}
 		}
 	}
 

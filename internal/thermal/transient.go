@@ -35,6 +35,7 @@ func (m *Model) SolveTransient(sources []Source, dt float64, nsteps int) (*Trans
 	if nsteps <= 0 {
 		return nil, fmt.Errorf("thermal: non-positive step count %d", nsteps)
 	}
+	m.invalidateIncremental() // overwrites the fields the fixed matrix is keyed on
 	if err := m.rasterize(sources); err != nil {
 		return nil, err
 	}

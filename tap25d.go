@@ -27,6 +27,7 @@ import (
 	"tap25d/internal/geom"
 	"tap25d/internal/interposercost"
 	"tap25d/internal/material"
+	"tap25d/internal/metrics"
 	"tap25d/internal/perf"
 	"tap25d/internal/placer"
 	"tap25d/internal/render"
@@ -79,6 +80,10 @@ type (
 	// the forced-air heatsink (the "advanced but expensive cooling" of the
 	// paper's introduction).
 	LiquidCooling = thermal.LiquidCooling
+	// EvalCounters aggregates evaluation statistics of a flow: thermal
+	// solves, CG iterations, full/delta/skipped matrix assemblies, cache
+	// hits, router calls.
+	EvalCounters = metrics.Counters
 )
 
 // DefaultWire returns the 65 nm passive-interposer wire parameters.
@@ -146,6 +151,13 @@ type Options struct {
 	// DisableJump and FixedAlpha expose the E9 ablations.
 	DisableJump bool
 	FixedAlpha  float64
+	// EvalCache bounds the placement-keyed evaluation cache wrapped around
+	// each annealing run's evaluator: a positive value sets the entry
+	// capacity, 0 keeps the cache off (the default — a cache hit skips a
+	// thermal solve and therefore shifts the warm-start trajectory, so
+	// cached runs are reproducible at fixed seed but not bit-identical to
+	// uncached ones).
+	EvalCache int
 }
 
 func (o Options) thermalOptions(sys *System) thermal.Options {
@@ -198,6 +210,9 @@ type Result struct {
 	// History holds per-step SA samples when Options.History is set
 	// (single-run flows only).
 	History []SASample
+	// Metrics aggregates the evaluation counters of the whole flow: every
+	// annealing run's evaluator plus the final full-fidelity evaluation.
+	Metrics EvalCounters
 }
 
 func (o Options) critical() float64 {
@@ -209,7 +224,10 @@ func (o Options) critical() float64 {
 
 // finalize evaluates placement p at full fidelity and assembles a Result.
 func finalize(sys *System, p Placement, opt Options) (*Result, error) {
-	model, err := thermal.NewModel(sys.InterposerW, sys.InterposerH, opt.thermalOptions(sys))
+	topt := opt.thermalOptions(sys)
+	var ctr EvalCounters
+	topt.Counters = &ctr
+	model, err := thermal.NewModel(sys.InterposerW, sys.InterposerH, topt)
 	if err != nil {
 		return nil, err
 	}
@@ -221,6 +239,8 @@ func finalize(sys *System, p Placement, opt Options) (*Result, error) {
 	if opt.ExactRouting {
 		ropt.Method = route.MethodMILP
 	}
+	ctr.Evaluations++
+	ctr.RouteCalls++
 	rres, err := route.Route(sys, p, ropt)
 	if err != nil {
 		return nil, err
@@ -232,6 +252,7 @@ func finalize(sys *System, p Placement, opt Options) (*Result, error) {
 		Feasible:     tres.PeakC <= opt.critical(),
 		Thermal:      tres,
 		Routing:      rres,
+		Metrics:      ctr,
 	}, nil
 }
 
@@ -255,7 +276,14 @@ func Place(sys *System, opt Options) (*Result, error) {
 		return nil, err
 	}
 	factory := func() (placer.Evaluator, error) {
-		return placer.NewSystemEvaluator(sys, opt.thermalOptions(sys), opt.routeOptions())
+		ev, err := placer.NewSystemEvaluator(sys, opt.thermalOptions(sys), opt.routeOptions())
+		if err != nil {
+			return nil, err
+		}
+		if opt.EvalCache > 0 {
+			return placer.NewCachingEvaluator(ev, opt.EvalCache), nil
+		}
+		return ev, nil
 	}
 	runs := opt.Runs
 	if runs <= 0 {
@@ -273,6 +301,7 @@ func Place(sys *System, opt Options) (*Result, error) {
 	res.InitialPeakC = pres.InitialPeakC
 	res.InitialWirelength = pres.InitialWirelength
 	res.History = pres.History
+	res.Metrics.Merge(pres.Metrics)
 	return res, nil
 }
 
