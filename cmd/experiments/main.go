@@ -1,5 +1,5 @@
 // Command experiments regenerates the tables and figures of the paper's
-// evaluation (see DESIGN.md for the E1-E9 index and EXPERIMENTS.md for the
+// evaluation (see DESIGN.md for the E1-E13 index and EXPERIMENTS.md for the
 // recorded paper-vs-measured values).
 //
 // Usage:
@@ -8,25 +8,43 @@
 //	experiments -e E3           # one experiment
 //	experiments -full           # paper-fidelity settings (hours)
 //	experiments -grid 48 -steps 800 -runs 3   # custom fidelity
+//
+// Long campaigns survive interruption: with -checkpoint-dir set, every
+// annealing run snapshots its state periodically (-checkpoint-every) and on
+// SIGINT/SIGTERM, and a later invocation with -resume picks up where the
+// interrupted flow stopped. -journal appends structured progress events as
+// JSON Lines. See docs/OPERATIONS.md for the full runbook.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sort"
 	"strings"
+	"sync"
+	"syscall"
 
+	"tap25d"
 	"tap25d/internal/experiments"
 )
 
 func main() {
 	var (
-		ids   = flag.String("e", "", "comma-separated experiment IDs (default: all of E1-E9)")
-		full  = flag.Bool("full", false, "paper-fidelity settings (64x64 grid, 4500 steps, 5 runs)")
-		grid  = flag.Int("grid", 0, "override thermal grid resolution")
-		steps = flag.Int("steps", 0, "override SA steps")
-		runs  = flag.Int("runs", 0, "override SA run count")
-		seed  = flag.Int64("seed", 0, "override random seed")
+		ids       = flag.String("e", "", "comma-separated experiment IDs (default: all of E1-E13)")
+		full      = flag.Bool("full", false, "paper-fidelity settings (64x64 grid, 4500 steps, 5 runs)")
+		grid      = flag.Int("grid", 0, "override thermal grid resolution")
+		steps     = flag.Int("steps", 0, "override SA steps")
+		runs      = flag.Int("runs", 0, "override SA run count")
+		seed      = flag.Int64("seed", 0, "override random seed")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for resumable run snapshots (enables checkpointing)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "snapshot cadence in SA steps (0: only on interrupt)")
+		resume    = flag.Bool("resume", false, "resume interrupted runs from -checkpoint-dir snapshots")
+		journal   = flag.String("journal", "", "append progress events to this JSONL file")
+		progEvery = flag.Int("progress-every", 0, "emit a step event every N SA steps (0: lifecycle events only)")
 	)
 	flag.Parse()
 
@@ -46,6 +64,47 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -resume requires -checkpoint-dir")
+		os.Exit(2)
+	}
+
+	// First SIGINT cancels cooperatively (runs checkpoint and unwind);
+	// a second one falls back to the default handler and kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	orch := experiments.Orchestration{
+		Context:         ctx,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Resume:          *resume,
+		ProgressEvery:   *progEvery,
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+
+	var sink *tap25d.JSONLSink
+	if *journal != "" {
+		f, err := os.OpenFile(*journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = tap25d.NewJSONLSink(f)
+	}
+	tracker := &bestTracker{best: map[int]tap25d.RunEvent{}}
+	orch.Progress = func(e tap25d.RunEvent) {
+		tracker.observe(e)
+		if sink != nil {
+			sink.Emit(e)
+		}
+	}
 
 	list := experiments.IDs()
 	if *ids != "" {
@@ -54,9 +113,16 @@ func main() {
 	fmt.Printf("config: grid=%d steps=%d runs=%d compact=%d seed=%d\n\n",
 		cfg.ThermalGrid, cfg.Steps, cfg.Runs, cfg.CompactSteps, cfg.Seed)
 	failed := false
+	interrupted := false
 	for _, id := range list {
-		rep, err := experiments.Run(strings.TrimSpace(id), cfg)
+		id = strings.TrimSpace(id)
+		rep, err := experiments.RunOrchestrated(id, cfg, orch)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(os.Stderr, "%s: interrupted: %v\n", id, err)
+				interrupted = true
+				break
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			failed = true
 			continue
@@ -64,7 +130,60 @@ func main() {
 		rep.Format(os.Stdout)
 		fmt.Println()
 	}
+	if sink != nil {
+		if err := sink.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: journal write:", err)
+			failed = true
+		}
+	}
+	if interrupted {
+		tracker.report(os.Stdout)
+		if *ckptDir != "" {
+			fmt.Printf("checkpoints saved under %s; rerun with -resume to continue\n", *ckptDir)
+		}
+		// Interruption is an orderly, resumable stop, not a failure.
+		os.Exit(0)
+	}
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// bestTracker keeps the latest event per run index of the flow currently in
+// flight; events carry the run's best-so-far metrics, so on interruption the
+// tracker can report what the search had already found.
+type bestTracker struct {
+	mu   sync.Mutex
+	best map[int]tap25d.RunEvent
+}
+
+func (t *bestTracker) observe(e tap25d.RunEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e.Kind == tap25d.EventFinal {
+		// A finished run's flow may be followed by another flow reusing the
+		// same run indices; start that flow's bookkeeping fresh.
+		delete(t.best, e.Run)
+		return
+	}
+	t.best[e.Run] = e
+}
+
+func (t *bestTracker) report(w *os.File) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.best) == 0 {
+		return
+	}
+	runs := make([]int, 0, len(t.best))
+	for r := range t.best {
+		runs = append(runs, r)
+	}
+	sort.Ints(runs)
+	fmt.Fprintln(w, "best-so-far at interruption:")
+	for _, r := range runs {
+		e := t.best[r]
+		fmt.Fprintf(w, "  run %d: step %d/%d, best %.2f C / %.0f mm\n",
+			r, e.Step, e.Steps, e.BestTempC, e.BestWirelengthMM)
 	}
 }

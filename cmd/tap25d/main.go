@@ -8,13 +8,24 @@
 //	tap25d -json mysystem.json -out placement.json -ppm heat.ppm
 //	tap25d -system multigpu -mode compact     # Compact-2.5D baseline only
 //	tap25d -system cpudram -mode evaluate -placement p.json
+//
+// Long flows survive interruption: with -checkpoint-dir set, every annealing
+// run snapshots its state periodically (-checkpoint-every) and on SIGINT /
+// SIGTERM; rerunning with -resume continues from the snapshots and produces
+// the same result as an uninterrupted run at the same seed. -journal appends
+// structured progress events as JSON Lines. See docs/OPERATIONS.md.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 
 	"tap25d"
 )
@@ -34,6 +45,11 @@ func main() {
 		outPath    = flag.String("out", "", "write the resulting placement as JSON")
 		ppmPath    = flag.String("ppm", "", "write the thermal map as a PPM image")
 		quiet      = flag.Bool("q", false, "suppress the ASCII thermal map")
+		ckptDir    = flag.String("checkpoint-dir", "", "directory for resumable run snapshots (enables checkpointing, -mode tap)")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "snapshot cadence in SA steps (0: only on interrupt)")
+		resume     = flag.Bool("resume", false, "resume interrupted runs from -checkpoint-dir snapshots")
+		journal    = flag.String("journal", "", "append progress events to this JSONL file")
+		progEvery  = flag.Int("progress-every", 0, "emit a step event every N SA steps (0: lifecycle events only)")
 	)
 	flag.Parse()
 
@@ -41,13 +57,54 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *resume && *ckptDir == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint-dir"))
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	opt := tap25d.Options{
-		ThermalGrid:  *grid,
-		Steps:        *steps,
-		Runs:         *runs,
-		Seed:         *seed,
-		GasStation:   *gas,
-		ExactRouting: *exact,
+		ThermalGrid:   *grid,
+		Steps:         *steps,
+		Runs:          *runs,
+		Seed:          *seed,
+		GasStation:    *gas,
+		ExactRouting:  *exact,
+		Context:       ctx,
+		ProgressEvery: *progEvery,
+	}
+	var sink *tap25d.JSONLSink
+	if *journal != "" {
+		f, err := os.OpenFile(*journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		sink = tap25d.NewJSONLSink(f)
+		opt.Progress = sink.Emit
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fatal(err)
+		}
+		dir := *ckptDir
+		ckptPath := func(run int) string {
+			return filepath.Join(dir, fmt.Sprintf("ckpt-r%d.json", run))
+		}
+		opt.CheckpointEvery = *ckptEvery
+		opt.Checkpoint = func(cp *tap25d.RunCheckpoint) error {
+			return tap25d.SaveCheckpoint(ckptPath(cp.Run), cp)
+		}
+		if *resume {
+			opt.Restore = func(run int) (*tap25d.RunCheckpoint, error) {
+				cp, err := tap25d.LoadCheckpoint(ckptPath(run))
+				if errors.Is(err, os.ErrNotExist) {
+					return nil, nil
+				}
+				return cp, err
+			}
+		}
 	}
 
 	var res *tap25d.Result
@@ -65,13 +122,28 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -mode %q", *mode))
 	}
-	if err != nil {
+	interrupted := err != nil && res != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	if err != nil && !interrupted {
 		fatal(err)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "tap25d: interrupted: %v\n", err)
+		fmt.Println("reporting best solution found before the interruption:")
+		if *ckptDir != "" {
+			fmt.Printf("checkpoints saved under %s; rerun with -resume to continue\n", *ckptDir)
+		}
+	} else if *ckptDir != "" {
+		// Clean completion: periodic snapshots are spent, remove them so a
+		// later -resume doesn't replay a finished optimization.
+		for r := 0; r < *runs; r++ {
+			os.Remove(filepath.Join(*ckptDir, fmt.Sprintf("ckpt-r%d.json", r)))
+		}
 	}
 
 	fmt.Printf("system %s: peak %.2f C (feasible <= %d C: %v), wirelength %.0f mm\n",
 		sys.Name, res.PeakC, tap25d.CriticalC, res.Feasible, res.WirelengthMM)
-	if *mode == "tap" {
+	if *mode == "tap" && !res.Interrupted {
 		fmt.Printf("initial (Compact-2.5D): %.2f C, %.0f mm\n", res.InitialPeakC, res.InitialWirelength)
 	}
 	for i, c := range res.Placement.Centers {

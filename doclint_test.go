@@ -1,0 +1,99 @@
+package tap25d
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestPackageComments enforces the godoc convention on every package of the
+// repository: the root facade and each internal package must carry a doc
+// comment beginning "Package <name> ..." so `go doc` renders a useful
+// synopsis. CI runs this as the docs gate.
+func TestPackageComments(t *testing.T) {
+	dirs := []string{"."}
+	entries, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join("internal", e.Name()))
+		}
+	}
+	if len(dirs) < 20 {
+		t.Fatalf("expected the facade plus >= 19 internal packages, found %d dirs", len(dirs))
+	}
+
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			doc := ""
+			for _, f := range pkg.Files {
+				if f.Doc != nil {
+					doc = f.Doc.Text()
+					break
+				}
+			}
+			if doc == "" {
+				t.Errorf("package %s (%s) has no package comment", name, dir)
+				continue
+			}
+			if want := "Package " + name + " "; !strings.HasPrefix(doc, want) {
+				t.Errorf("package %s (%s): doc comment does not start with %q: %.60q",
+					name, dir, want, doc)
+			}
+		}
+	}
+}
+
+var markdownLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks resolves every relative link in the reader-facing
+// markdown (README, DESIGN, EXPERIMENTS, ROADMAP, docs/) against the
+// repository tree, so documentation reorganizations cannot silently strand
+// cross-references.
+func TestMarkdownLinks(t *testing.T) {
+	files := []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"}
+	docs, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) == 0 {
+		t.Fatal("docs/ holds no markdown — the docs pass regressed")
+	}
+	files = append(files, docs...)
+
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		for _, m := range markdownLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; not checked offline
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue // same-document anchor
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (resolved %s): %v", file, m[1], resolved, err)
+			}
+		}
+	}
+}

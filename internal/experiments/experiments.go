@@ -12,9 +12,13 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -45,6 +49,99 @@ type Config struct {
 	CompactSteps int
 	// Seed drives all randomness.
 	Seed int64
+
+	// orch carries the campaign's run-orchestration state when the
+	// experiment was started through RunOrchestrated; nil means plain
+	// uncancellable execution (Run).
+	orch *orchestrator
+}
+
+// Orchestration wires resilience into an experiment campaign: cooperative
+// cancellation, periodic checkpoints that survive a kill, resuming an
+// interrupted campaign, and structured progress events.
+type Orchestration struct {
+	// Context cancels in-flight placement flows (nil means background).
+	// On cancellation the current flow checkpoints and stops, and the
+	// campaign returns the context's error.
+	Context context.Context
+	// CheckpointDir is where run snapshots are written (one JSON file per
+	// annealing run, named ckpt-f<flow>-r<run>.json by the flow's position
+	// in the experiment and the run index). Empty disables checkpointing.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot cadence in SA steps (0 disables
+	// periodic snapshots; a final snapshot is still written on
+	// cancellation when CheckpointDir is set).
+	CheckpointEvery int
+	// Resume makes each flow look for existing snapshots in CheckpointDir
+	// and continue from them. Flows that previously completed cleanly have
+	// no snapshots (they are removed on completion) and re-run from
+	// scratch; only the interrupted flow resumes mid-anneal.
+	Resume bool
+	// Progress receives structured run events (see tap25d.RunEvent); with
+	// Runs > 1 it must be safe for concurrent use.
+	Progress func(tap25d.RunEvent)
+	// ProgressEvery is the step-event cadence (0 disables step events).
+	ProgressEvery int
+}
+
+// orchestrator threads Orchestration through an experiment and assigns each
+// tap25d.Place call a deterministic flow sequence number. Experiments invoke
+// their placement flows in fixed source order, so flow numbering — and hence
+// checkpoint file naming — is stable across processes, which is what lets a
+// resumed campaign match snapshots back to the flows that wrote them.
+type orchestrator struct {
+	Orchestration
+	flow int
+}
+
+func (o *orchestrator) path(flow, run int) string {
+	return filepath.Join(o.CheckpointDir, fmt.Sprintf("ckpt-f%d-r%d.json", flow, run))
+}
+
+// place runs one placement flow with orchestration attached.
+func (o *orchestrator) place(sys *tap25d.System, opt tap25d.Options) (*tap25d.Result, error) {
+	flow := o.flow
+	o.flow++
+	opt.Context = o.Context
+	opt.Progress = o.Progress
+	opt.ProgressEvery = o.ProgressEvery
+	if o.CheckpointDir != "" {
+		opt.CheckpointEvery = o.CheckpointEvery
+		opt.Checkpoint = func(cp *tap25d.RunCheckpoint) error {
+			return tap25d.SaveCheckpoint(o.path(flow, cp.Run), cp)
+		}
+	}
+	if o.CheckpointDir != "" && o.Resume {
+		opt.Restore = func(run int) (*tap25d.RunCheckpoint, error) {
+			cp, err := tap25d.LoadCheckpoint(o.path(flow, run))
+			if errors.Is(err, os.ErrNotExist) {
+				return nil, nil
+			}
+			return cp, err
+		}
+	}
+	res, err := tap25d.Place(sys, opt)
+	if err == nil && o.CheckpointDir != "" {
+		// The flow finished: drop its snapshots so a later --resume of the
+		// campaign re-runs it fresh instead of replaying a mid-run state.
+		runs := opt.Runs
+		if runs <= 0 {
+			runs = 1
+		}
+		for r := 0; r < runs; r++ {
+			os.Remove(o.path(flow, r))
+		}
+	}
+	return res, err
+}
+
+// place is the orchestration-aware stand-in for tap25d.Place that every
+// experiment uses for its annealing flows.
+func (c Config) place(sys *tap25d.System, opt tap25d.Options) (*tap25d.Result, error) {
+	if c.orch == nil {
+		return tap25d.Place(sys, opt)
+	}
+	return c.orch.place(sys, opt)
 }
 
 // Reduced returns the default quick-turnaround preset used by `go test
@@ -161,7 +258,18 @@ func IDs() []string {
 
 // Run dispatches one experiment by ID.
 func Run(id string, cfg Config) (*Report, error) {
+	return RunOrchestrated(id, cfg, Orchestration{})
+}
+
+// RunOrchestrated dispatches one experiment with run orchestration attached:
+// the experiment's placement flows honor orch.Context, checkpoint into
+// orch.CheckpointDir, resume from earlier snapshots when orch.Resume is set,
+// and report progress through orch.Progress. On cancellation the returned
+// error wraps context.Canceled (or DeadlineExceeded); checkpoints for the
+// interrupted flow remain on disk for a later resume.
+func RunOrchestrated(id string, cfg Config, orch Orchestration) (*Report, error) {
 	cfg = cfg.withDefaults()
+	cfg.orch = &orchestrator{Orchestration: orch}
 	switch strings.ToUpper(id) {
 	case "E1":
 		return E1MultiGPU(cfg)
@@ -205,13 +313,13 @@ func E1MultiGPU(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	tapRL, err := tap25d.Place(sys, opt)
+	tapRL, err := cfg.place(sys, opt)
 	if err != nil {
 		return nil, err
 	}
 	optGas := opt
 	optGas.GasStation = true
-	tapGas, err := tap25d.Place(sys, optGas)
+	tapGas, err := cfg.place(sys, optGas)
 	if err != nil {
 		return nil, err
 	}
@@ -245,7 +353,7 @@ func E2InterposerSize(cfg Config) (*Report, error) {
 		for _, gas := range []bool{false, true} {
 			o := opt
 			o.GasStation = gas
-			res, err := tap25d.Place(sys, o)
+			res, err := cfg.place(sys, o)
 			if err != nil {
 				return nil, err
 			}
@@ -295,13 +403,13 @@ func E3CPUDRAM(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	tapRL, err := tap25d.Place(sys, opt)
+	tapRL, err := cfg.place(sys, opt)
 	if err != nil {
 		return nil, err
 	}
 	optGas := opt
 	optGas.GasStation = true
-	tapGas, err := tap25d.Place(sys, optGas)
+	tapGas, err := cfg.place(sys, optGas)
 	if err != nil {
 		return nil, err
 	}
@@ -336,7 +444,7 @@ func E4TDP(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	tapRes, err := tap25d.Place(sys, opt)
+	tapRes, err := cfg.place(sys, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -415,7 +523,7 @@ func E6Ascend910(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	tapRes, err := tap25d.Place(sys, opt)
+	tapRes, err := cfg.place(sys, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -574,7 +682,7 @@ func E9Ablations(cfg Config) (*Report, error) {
 	for _, v := range variants {
 		o := base
 		v.mod(&o)
-		res, err := tap25d.Place(sys, o)
+		res, err := cfg.place(sys, o)
 		if err != nil {
 			return nil, err
 		}
@@ -614,7 +722,7 @@ func E10EndToEnd(cfg Config) (*Report, error) {
 	// is exactly the failure mode the paper's 2-stage links avoid.
 	optGas := opt
 	optGas.GasStation = true
-	tapRes, err := tap25d.Place(sys, optGas)
+	tapRes, err := cfg.place(sys, optGas)
 	if err != nil {
 		return nil, err
 	}
@@ -738,7 +846,7 @@ func E12CoolingTradeoff(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	tapRes, err := tap25d.Place(sys, opt)
+	tapRes, err := cfg.place(sys, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -780,7 +888,7 @@ func E13AlphaSweep(cfg Config) (*Report, error) {
 	for _, alpha := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
 		o := base
 		o.FixedAlpha = alpha
-		res, err := tap25d.Place(sys, o)
+		res, err := cfg.place(sys, o)
 		if err != nil {
 			return nil, err
 		}
@@ -791,7 +899,7 @@ func E13AlphaSweep(cfg Config) (*Report, error) {
 			WirelengthMM: res.WirelengthMM,
 		})
 	}
-	dyn, err := tap25d.Place(sys, base)
+	dyn, err := cfg.place(sys, base)
 	if err != nil {
 		return nil, err
 	}

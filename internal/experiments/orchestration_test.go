@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"tap25d"
+)
+
+// TestCampaignInterruptAndResume drives the full resilience loop at the
+// campaign level: an experiment is killed mid-anneal via context
+// cancellation, leaves checkpoints on disk, and a resumed invocation of the
+// same experiment finishes with exactly the report an uninterrupted campaign
+// produces.
+func TestCampaignInterruptAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs placement flows")
+	}
+	cfg := tinyConfig()
+	baseline, err := Run("E6", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	var steps atomic.Int32
+	orch := Orchestration{
+		Context:       ctx,
+		CheckpointDir: dir,
+		Resume:        false,
+		ProgressEvery: 1,
+		Progress: func(e tap25d.RunEvent) {
+			if e.Kind == tap25d.EventStep && steps.Add(1) == 20 {
+				cancel()
+			}
+		},
+	}
+	if _, err := RunOrchestrated("E6", cfg, orch); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted campaign error = %v, want context.Canceled", err)
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "ckpt-*.json"))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no checkpoints on disk after interrupt (err=%v)", err)
+	}
+
+	resumeOrch := Orchestration{CheckpointDir: dir, Resume: true}
+	rep, err := RunOrchestrated("E6", cfg, resumeOrch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(baseline.Rows) {
+		t.Fatalf("resumed report has %d rows, baseline %d", len(rep.Rows), len(baseline.Rows))
+	}
+	for i := range rep.Rows {
+		if rep.Rows[i].TempC != baseline.Rows[i].TempC ||
+			rep.Rows[i].WirelengthMM != baseline.Rows[i].WirelengthMM {
+			t.Errorf("row %d (%s): resumed (%.10g C, %.10g mm) != baseline (%.10g C, %.10g mm)",
+				i, rep.Rows[i].Label,
+				rep.Rows[i].TempC, rep.Rows[i].WirelengthMM,
+				baseline.Rows[i].TempC, baseline.Rows[i].WirelengthMM)
+		}
+	}
+
+	// Clean completion must have consumed the snapshots.
+	snaps, _ = filepath.Glob(filepath.Join(dir, "ckpt-*.json"))
+	if len(snaps) != 0 {
+		t.Errorf("stale checkpoints left after clean completion: %v", snaps)
+	}
+}
+
+// TestOrchestrationDisabledIsPlainRun: a zero Orchestration must not change
+// behavior or write anything.
+func TestOrchestrationDisabledIsPlainRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs placement flows")
+	}
+	cfg := tinyConfig()
+	plain, err := Run("E6", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orch, err := RunOrchestrated("E6", cfg, Orchestration{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Rows {
+		if plain.Rows[i].TempC != orch.Rows[i].TempC {
+			t.Fatalf("row %d differs between Run and zero-Orchestration RunOrchestrated", i)
+		}
+	}
+	if _, err := os.Stat("checkpoints"); err == nil {
+		t.Error("zero orchestration created a checkpoint directory")
+	}
+}

@@ -35,6 +35,10 @@ type Counters struct {
 	SkippedAssembles int64
 	// RouteCalls counts invocations of the inter-chiplet router.
 	RouteCalls int64
+	// Checkpoints counts annealing-state snapshots written by the placer's
+	// run orchestration; Resumes counts runs continued from such a snapshot.
+	Checkpoints int64
+	Resumes     int64
 }
 
 // Merge adds o into c.
@@ -48,6 +52,8 @@ func (c *Counters) Merge(o Counters) {
 	c.DeltaAssembles += o.DeltaAssembles
 	c.SkippedAssembles += o.SkippedAssembles
 	c.RouteCalls += o.RouteCalls
+	c.Checkpoints += o.Checkpoints
+	c.Resumes += o.Resumes
 }
 
 // IsZero reports whether no counter has been incremented.
@@ -66,6 +72,9 @@ func (c Counters) String() string {
 	}
 	if c.RouteCalls > 0 {
 		s += fmt.Sprintf(" routes=%d", c.RouteCalls)
+	}
+	if c.Checkpoints+c.Resumes > 0 {
+		s += fmt.Sprintf(" ckpts=%d resumes=%d", c.Checkpoints, c.Resumes)
 	}
 	return s
 }

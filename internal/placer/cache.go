@@ -2,6 +2,7 @@ package placer
 
 import (
 	"container/list"
+	"context"
 	"encoding/binary"
 	"math"
 
@@ -103,6 +104,13 @@ func (c *CachingEvaluator) Metrics() metrics.Counters { return *c.ctr }
 
 // Evaluate implements Evaluator.
 func (c *CachingEvaluator) Evaluate(p chiplet.Placement) (float64, float64, error) {
+	return c.EvaluateContext(context.Background(), p)
+}
+
+// EvaluateContext implements ContextEvaluator: misses dispatch through the
+// inner evaluator's EvaluateContext when it has one, so cancellation reaches
+// the thermal solve; hits never block on ctx.
+func (c *CachingEvaluator) EvaluateContext(ctx context.Context, p chiplet.Placement) (float64, float64, error) {
 	key := placementKey(p)
 	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
@@ -111,7 +119,7 @@ func (c *CachingEvaluator) Evaluate(p chiplet.Placement) (float64, float64, erro
 		c.ctr.CacheHits++
 		return e.tempC, e.wlMM, nil
 	}
-	t, w, err := c.inner.Evaluate(p)
+	t, w, err := evaluate(ctx, c.inner, p)
 	if c.owned {
 		c.ctr.Evaluations++ // inner exposes no counters; count here
 	}
@@ -131,3 +139,24 @@ func (c *CachingEvaluator) Evaluate(p chiplet.Placement) (float64, float64, erro
 
 // Len returns the number of cached entries (for tests).
 func (c *CachingEvaluator) Len() int { return c.ll.Len() }
+
+// CheckpointState implements StateCheckpointer by delegating to the inner
+// evaluator. The cache contents themselves are deliberately not snapshotted:
+// a resumed run re-misses warm entries, which matches the cache's existing
+// reproducibility caveat (deterministic at fixed seed with the cache, not
+// bit-identical to an uncached run).
+func (c *CachingEvaluator) CheckpointState() ([]byte, error) {
+	if sc, ok := c.inner.(StateCheckpointer); ok {
+		return sc.CheckpointState()
+	}
+	return nil, nil
+}
+
+// RestoreState implements StateCheckpointer by delegating to the inner
+// evaluator.
+func (c *CachingEvaluator) RestoreState(state []byte) error {
+	if sc, ok := c.inner.(StateCheckpointer); ok {
+		return sc.RestoreState(state)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package placer
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"tap25d/internal/chiplet"
+)
+
+// CheckpointVersion is the current snapshot format version. Load rejects
+// snapshots written by an incompatible version.
+const CheckpointVersion = 1
+
+// Checkpoint is a complete, serializable snapshot of an annealing run: the
+// schedule position, the RNG state (seed plus raw draw count — see rng.go),
+// the current and best OCM placements, the sliding-window normalization state
+// behind the dynamic-alpha cost of Eqn. (12), and an opaque evaluator state
+// blob (for SystemEvaluator, the thermal model's warm-start field).
+//
+// A run resumed from a Checkpoint at the same seed is bit-compatible with an
+// uninterrupted run: it visits the same placements, makes the same
+// accept/reject decisions, and returns the same final result. The one
+// documented exception is a CachingEvaluator-wrapped run, whose cache
+// contents are not snapshotted (matching the cache's own reproducibility
+// caveat).
+type Checkpoint struct {
+	// Version stamps the snapshot format (CheckpointVersion).
+	Version int `json:"version"`
+	// Label is free-form caller context (e.g. the system name); Resume
+	// ignores it.
+	Label string `json:"label,omitempty"`
+	// Run is the run index within a PlaceBestOf fan-out.
+	Run int `json:"run"`
+	// Step is the next step index to execute on resume.
+	Step int `json:"step"`
+	// K is the annealing temperature after the last completed step.
+	K float64 `json:"k"`
+	// RNGSeed and RNGDraws reconstruct the generator: re-seed and discard
+	// RNGDraws raw outputs.
+	RNGSeed  int64  `json:"rng_seed"`
+	RNGDraws uint64 `json:"rng_draws"`
+	// Options echoes the run's algorithmic configuration (function-valued
+	// orchestration hooks are not serialized). Resume uses these as the
+	// authoritative settings so a resumed run cannot silently diverge.
+	Options Options `json:"options"`
+	// Cur and Best are the current and best-so-far placements with their
+	// metrics.
+	Cur              chiplet.Placement `json:"cur"`
+	CurTempC         float64           `json:"cur_temp_c"`
+	CurWirelengthMM  float64           `json:"cur_wirelength_mm"`
+	Best             chiplet.Placement `json:"best"`
+	BestTempC        float64           `json:"best_temp_c"`
+	BestWirelengthMM float64           `json:"best_wirelength_mm"`
+	// Initial preserves the run's starting placement diagnostics for the
+	// final Result.
+	Initial             chiplet.Placement `json:"initial"`
+	InitialPeakC        float64           `json:"initial_peak_c"`
+	InitialWirelengthMM float64           `json:"initial_wirelength_mm"`
+	// Accepted and CompletedSteps restore the Result counters.
+	Accepted       int `json:"accepted"`
+	CompletedSteps int `json:"completed_steps"`
+	// BoundsT/BoundsW/BoundsIdx serialize the sliding min-max window of
+	// Eqn. (12); BoundsSize is its capacity.
+	BoundsT    []float64 `json:"bounds_t"`
+	BoundsW    []float64 `json:"bounds_w"`
+	BoundsIdx  int       `json:"bounds_idx"`
+	BoundsSize int       `json:"bounds_size"`
+	// History carries the per-step samples recorded so far (Options.History
+	// runs only).
+	History []Sample `json:"history,omitempty"`
+	// EvalState is the evaluator's opaque state (StateCheckpointer); JSON
+	// encodes it as base64.
+	EvalState []byte `json:"eval_state,omitempty"`
+}
+
+// CheckpointFunc persists a snapshot. It is called from inside the annealing
+// loop, so a slow sink directly slows the run; PlaceBestOf calls it
+// concurrently from parallel runs (distinguish them by cp.Run). A returned
+// error aborts the run.
+type CheckpointFunc func(cp *Checkpoint) error
+
+// RestoreFunc supplies the checkpoint a run should resume from, or nil for a
+// fresh start. PlaceBestOf queries it once per run index before that run
+// begins.
+type RestoreFunc func(run int) (*Checkpoint, error)
+
+// StateCheckpointer is implemented by evaluators whose internal state affects
+// future evaluations (SystemEvaluator's thermal model warm-starts CG from the
+// previous temperature field). Checkpointing captures that state so a resumed
+// run replays the exact evaluation trajectory; stateless evaluators simply
+// don't implement the interface.
+type StateCheckpointer interface {
+	// CheckpointState serializes the evaluator state.
+	CheckpointState() ([]byte, error)
+	// RestoreState re-installs state captured by CheckpointState.
+	RestoreState(state []byte) error
+}
+
+// Validate checks the structural integrity of a decoded snapshot against the
+// system it will resume on.
+func (cp *Checkpoint) Validate(sys *chiplet.System) error {
+	if cp.Version != CheckpointVersion {
+		return fmt.Errorf("placer: checkpoint version %d, this build reads %d", cp.Version, CheckpointVersion)
+	}
+	n := len(sys.Chiplets)
+	for name, p := range map[string]chiplet.Placement{"cur": cp.Cur, "best": cp.Best, "initial": cp.Initial} {
+		if len(p.Centers) != n || len(p.Rotated) != n {
+			return fmt.Errorf("placer: checkpoint %s placement has %d chiplets, system has %d", name, len(p.Centers), n)
+		}
+	}
+	if len(cp.BoundsT) != len(cp.BoundsW) {
+		return fmt.Errorf("placer: checkpoint bounds arrays disagree (%d vs %d)", len(cp.BoundsT), len(cp.BoundsW))
+	}
+	if cp.Step < 0 || cp.Step > cp.Options.Steps {
+		return fmt.Errorf("placer: checkpoint step %d outside budget %d", cp.Step, cp.Options.Steps)
+	}
+	return nil
+}
+
+// Encode writes the checkpoint as indented JSON.
+func (cp *Checkpoint) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(cp)
+}
+
+// DecodeCheckpoint reads a JSON checkpoint. Callers should Validate it
+// against the target system before resuming.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("placer: decoding checkpoint: %w", err)
+	}
+	return &cp, nil
+}
+
+// SaveCheckpointFile atomically writes cp to path: the snapshot lands in a
+// temporary sibling file first and is renamed into place, so a crash mid-
+// write never corrupts an existing checkpoint.
+func SaveCheckpointFile(path string, cp *Checkpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := cp.Encode(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCheckpointFile reads a checkpoint previously written by
+// SaveCheckpointFile.
+func LoadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeCheckpoint(f)
+}

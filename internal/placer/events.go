@@ -1,0 +1,97 @@
+package placer
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"tap25d/internal/metrics"
+)
+
+// Event kinds, carried in Event.Kind so one JSONL journal can interleave
+// per-step samples with run-lifecycle records.
+const (
+	// EventStep is a periodic progress sample (every Options.ProgressEvery
+	// steps).
+	EventStep = "step"
+	// EventCheckpoint is emitted right after a checkpoint snapshot was
+	// handed to Options.Checkpoint.
+	EventCheckpoint = "checkpoint"
+	// EventResume is emitted once when a run continues from a checkpoint,
+	// before its first step executes.
+	EventResume = "resume"
+	// EventFinal is emitted once when a run completes its full step budget.
+	EventFinal = "final"
+	// EventInterrupted is emitted once when a run aborts on context
+	// cancellation; the best-so-far fields describe the solution the run
+	// returns.
+	EventInterrupted = "interrupted"
+)
+
+// Event is one structured progress record of an annealing run. Events are
+// emitted through Options.Progress and are designed to serialize cleanly as
+// one JSON object per line (see JSONLSink).
+type Event struct {
+	// Kind is one of the Event* constants.
+	Kind string `json:"kind"`
+	// Run is the run index within a PlaceBestOf fan-out (0 for Place).
+	Run int `json:"run"`
+	// Step is the number of completed SA steps; Steps is the run's budget.
+	Step  int `json:"step"`
+	Steps int `json:"steps"`
+	// K is the current annealing temperature, Alpha the current Eqn. (13)
+	// weight (zero for lifecycle events emitted outside a step).
+	K     float64 `json:"k"`
+	Alpha float64 `json:"alpha,omitempty"`
+	// Op and Accepted describe the step's perturbation (step events only).
+	Op       string `json:"op,omitempty"`
+	Accepted bool   `json:"accepted,omitempty"`
+	// TempC, WirelengthMM and Cost are the metrics of the step's candidate
+	// placement (step events only).
+	TempC        float64 `json:"temp_c,omitempty"`
+	WirelengthMM float64 `json:"wirelength_mm,omitempty"`
+	Cost         float64 `json:"cost,omitempty"`
+	// BestTempC and BestWirelengthMM track the run's best solution so far.
+	BestTempC        float64 `json:"best_temp_c"`
+	BestWirelengthMM float64 `json:"best_wirelength_mm"`
+	// AcceptRate is accepted moves over completed steps.
+	AcceptRate float64 `json:"accept_rate"`
+	// Counters snapshots the evaluator's metrics (thermal solves, CG
+	// iterations, cache hits, ...) when the evaluator exposes them.
+	Counters *metrics.Counters `json:"counters,omitempty"`
+}
+
+// EventFunc receives progress events. PlaceBestOf runs anneal in parallel, so
+// an EventFunc shared across runs must be safe for concurrent use (JSONLSink
+// is; an ad-hoc closure needs its own locking).
+type EventFunc func(Event)
+
+// JSONLSink appends events as JSON Lines to an underlying writer. It is safe
+// for concurrent use by parallel runs; its Emit method is an EventFunc.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink wraps w (typically an *os.File holding the run journal).
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event as a JSON line. Write errors do not abort the run;
+// the first one is retained and readable via Err.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.enc.Encode(e); err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
+// Err returns the first write error encountered, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

@@ -11,6 +11,9 @@
 package placer
 
 import (
+	"bytes"
+	"context"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"math"
@@ -32,6 +35,23 @@ import (
 // be safe for concurrent use.
 type Evaluator interface {
 	Evaluate(p chiplet.Placement) (tempC, wirelengthMM float64, err error)
+}
+
+// ContextEvaluator is implemented by evaluators that support cooperative
+// cancellation. The annealer prefers EvaluateContext when available, so a
+// deadline or SIGINT can abort mid-solve instead of waiting out a full
+// thermal evaluation.
+type ContextEvaluator interface {
+	Evaluator
+	EvaluateContext(ctx context.Context, p chiplet.Placement) (tempC, wirelengthMM float64, err error)
+}
+
+// evaluate dispatches through EvaluateContext when the evaluator supports it.
+func evaluate(ctx context.Context, ev Evaluator, p chiplet.Placement) (float64, float64, error) {
+	if ce, ok := ev.(ContextEvaluator); ok {
+		return ce.EvaluateContext(ctx, p)
+	}
+	return ev.Evaluate(p)
 }
 
 // SystemEvaluator is the production evaluator: thermal simulation plus the
@@ -76,8 +96,15 @@ func Sources(sys *chiplet.System, p chiplet.Placement) []thermal.Source {
 
 // Evaluate implements Evaluator.
 func (e *SystemEvaluator) Evaluate(p chiplet.Placement) (float64, float64, error) {
+	return e.EvaluateContext(context.Background(), p)
+}
+
+// EvaluateContext implements ContextEvaluator: the thermal solve polls ctx
+// and aborts with its error when the context is done (the router is fast
+// enough to always run to completion).
+func (e *SystemEvaluator) EvaluateContext(ctx context.Context, p chiplet.Placement) (float64, float64, error) {
 	e.ctr.Evaluations++
-	res, err := e.model.Solve(Sources(e.sys, p))
+	res, err := e.model.SolveContext(ctx, Sources(e.sys, p))
 	if err != nil {
 		return 0, 0, err
 	}
@@ -87,6 +114,33 @@ func (e *SystemEvaluator) Evaluate(p chiplet.Placement) (float64, float64, error
 		return 0, 0, err
 	}
 	return res.PeakC, r.TotalWirelengthMM, nil
+}
+
+// systemEvalState is the serialized form of a SystemEvaluator's mutable
+// state: the thermal model's warm-start field (the router is stateless).
+type systemEvalState struct {
+	WarmTemps []float64
+}
+
+// CheckpointState implements StateCheckpointer by capturing the thermal
+// model's warm-start temperature field, which seeds the next solve's CG
+// iteration and therefore shapes the exact evaluation trajectory.
+func (e *SystemEvaluator) CheckpointState() ([]byte, error) {
+	var buf bytes.Buffer
+	st := systemEvalState{WarmTemps: e.model.WarmState()}
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("placer: encoding evaluator state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements StateCheckpointer.
+func (e *SystemEvaluator) RestoreState(state []byte) error {
+	var st systemEvalState
+	if err := gob.NewDecoder(bytes.NewReader(state)).Decode(&st); err != nil {
+		return fmt.Errorf("placer: decoding evaluator state: %w", err)
+	}
+	return e.model.RestoreWarmState(st.WarmTemps)
 }
 
 // Thermal exposes the underlying thermal model (for rendering maps of the
@@ -156,6 +210,32 @@ type Options struct {
 	FixedAlpha float64
 	// History records one Sample per step when true.
 	History bool
+
+	// Run orchestration. These fields do not affect the annealing
+	// trajectory; the function-valued hooks are excluded from checkpoint
+	// serialization and re-supplied by the resuming caller.
+
+	// RunIndex identifies this run in events and checkpoints. PlaceBestOf
+	// sets it to the run's index; leave zero for single runs.
+	RunIndex int
+	// Progress, when non-nil, receives structured events: one EventStep
+	// every ProgressEvery completed steps, plus lifecycle events (resume,
+	// checkpoint, final, interrupted). Shared across parallel runs it must
+	// be safe for concurrent use.
+	Progress EventFunc `json:"-"`
+	// ProgressEvery is the step-event cadence (0 disables step events;
+	// lifecycle events are emitted regardless whenever Progress is set).
+	ProgressEvery int
+	// CheckpointEvery hands a snapshot to Checkpoint every CheckpointEvery
+	// completed steps (0 disables periodic snapshots). A final snapshot is
+	// always written on context cancellation when Checkpoint is set.
+	CheckpointEvery int
+	// Checkpoint persists snapshots; a returned error aborts the run.
+	Checkpoint CheckpointFunc `json:"-"`
+	// Restore, when non-nil, is consulted once per run index before the run
+	// starts: a non-nil checkpoint resumes that run in place of a fresh
+	// start (see Resume for the bit-compatibility contract).
+	Restore RestoreFunc `json:"-"`
 }
 
 func (o Options) withDefaults() Options {
@@ -220,6 +300,10 @@ type Result struct {
 	Accepted          int
 	Run               int // index of the winning run in PlaceBestOf
 	History           []Sample
+	// Interrupted reports that the run stopped early on context
+	// cancellation; Placement then holds the best solution found before the
+	// interruption and Steps the number of steps actually completed.
+	Interrupted bool
 	// Metrics carries the evaluator's counters when the evaluator exposes
 	// them; for PlaceBestOf it aggregates the counters of every run.
 	Metrics metrics.Counters
@@ -349,17 +433,72 @@ func (n *normBounds) cost(t, w, alpha float64) float64 {
 	return alpha*tn + (1-alpha)*wn
 }
 
+// saState is the complete mutable state of one annealing run. Everything a
+// checkpoint must capture lives here (or is derivable from opt), which is
+// what makes snapshot/resume a mechanical copy rather than a re-derivation.
+type saState struct {
+	sys  *chiplet.System
+	grid *ocm.Grid
+	ev   Evaluator
+	opt  Options
+
+	src *countingSource
+	rng *rand.Rand
+
+	res    *Result
+	bounds normBounds
+
+	cur, best    chiplet.Placement
+	curT, curW   float64
+	bestT, bestW float64
+	k            float64
+	step         int
+
+	// Step-entry snapshots, refreshed at the top of every anneal iteration;
+	// interrupt checkpoints use these so a step aborted mid-evaluation is
+	// re-executed from scratch on resume (same neighbor draw, same K).
+	drawsAtTop uint64
+	kAtTop     float64
+}
+
 // Place runs one simulated-annealing placement for sys using ev.
 func Place(sys *chiplet.System, ev Evaluator, opt Options) (*Result, error) {
+	return PlaceContext(context.Background(), sys, ev, opt)
+}
+
+// PlaceContext is Place with run orchestration: ctx cancellation (or
+// deadline expiry) aborts the run cleanly — the best-so-far Result is
+// returned alongside ctx's error, a final checkpoint is written when
+// Options.Checkpoint is set, and an EventInterrupted is emitted. When
+// Options.Restore yields a checkpoint for this run index, the run resumes
+// from it instead of starting fresh.
+//
+// On interruption both return values are non-nil: callers that want the
+// partial solution must check the Result even when err != nil
+// (errors.Is(err, context.Canceled) or context.DeadlineExceeded).
+func PlaceContext(ctx context.Context, sys *chiplet.System, ev Evaluator, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Restore != nil {
+		cp, err := opt.Restore(opt.RunIndex)
+		if err != nil {
+			return nil, fmt.Errorf("placer: restoring run %d: %w", opt.RunIndex, err)
+		}
+		if cp != nil {
+			return Resume(ctx, sys, ev, cp, opt)
+		}
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	grid, err := ocm.NewGrid(sys, opt.GridPitch)
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
+	src := newCountingSource(opt.Seed)
+	rng := rand.New(src)
 
 	// Initial placement: Compact-2.5D unless provided.
 	var init chiplet.Placement
@@ -377,23 +516,112 @@ func Place(sys *chiplet.System, ev Evaluator, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("placer: legalizing initial placement: %w", err)
 	}
 
-	t0, w0, err := ev.Evaluate(init)
+	t0, w0, err := evaluate(ctx, ev, init)
 	if err != nil {
 		return nil, fmt.Errorf("placer: evaluating initial placement: %w", err)
 	}
 
-	res := &Result{
-		Initial:           init.Clone(),
-		InitialPeakC:      t0,
-		InitialWirelength: w0,
+	st := &saState{
+		sys: sys, grid: grid, ev: ev, opt: opt,
+		src: src, rng: rng,
+		res: &Result{
+			Initial:           init.Clone(),
+			InitialPeakC:      t0,
+			InitialWirelength: w0,
+			Run:               opt.RunIndex,
+		},
+		bounds: newNormBounds(windowSize),
+		cur:    init.Clone(),
+		curT:   t0, curW: w0,
+		bestT: t0, bestW: w0,
+		k: opt.KStart,
+	}
+	st.drawsAtTop, st.kAtTop = st.src.draws, st.k
+	st.bounds.observe(t0, w0)
+	st.best = st.cur.Clone()
+	return st.anneal(ctx)
+}
+
+// Resume continues a checkpointed run. The algorithmic configuration comes
+// from the checkpoint (so a resumed run cannot silently diverge from the
+// original); only the orchestration hooks — Progress, ProgressEvery,
+// CheckpointEvery, Checkpoint — are taken from live. The evaluator should be
+// freshly constructed with the same configuration as the original run; when
+// it implements StateCheckpointer, its snapshotted state is restored and the
+// resumed trajectory is bit-compatible with an uninterrupted run at the same
+// seed.
+func Resume(ctx context.Context, sys *chiplet.System, ev Evaluator, cp *Checkpoint, live Options) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cp.Validate(sys); err != nil {
+		return nil, err
+	}
+	opt := cp.Options.withDefaults()
+	opt.Progress = live.Progress
+	opt.ProgressEvery = live.ProgressEvery
+	opt.CheckpointEvery = live.CheckpointEvery
+	opt.Checkpoint = live.Checkpoint
+	opt.RunIndex = cp.Run
+
+	grid, err := ocm.NewGrid(sys, opt.GridPitch)
+	if err != nil {
+		return nil, err
+	}
+	src := newCountingSource(cp.RNGSeed)
+	src.skip(cp.RNGDraws)
+
+	if len(cp.EvalState) > 0 {
+		if sc, ok := ev.(StateCheckpointer); ok {
+			if err := sc.RestoreState(cp.EvalState); err != nil {
+				return nil, err
+			}
+		}
 	}
 
-	bounds := newNormBounds(windowSize)
-	bounds.observe(t0, w0)
-	cur := init.Clone()
-	curT, curW := t0, w0
-	best := cur.Clone()
-	bestT, bestW := curT, curW
+	size := cp.BoundsSize
+	if size <= 0 {
+		size = windowSize
+	}
+	bounds := newNormBounds(size)
+	bounds.ts = append(bounds.ts, cp.BoundsT...)
+	bounds.ws = append(bounds.ws, cp.BoundsW...)
+	bounds.idx = cp.BoundsIdx
+
+	st := &saState{
+		sys: sys, grid: grid, ev: ev, opt: opt,
+		src: src, rng: rand.New(src),
+		res: &Result{
+			Initial:           cp.Initial.Clone(),
+			InitialPeakC:      cp.InitialPeakC,
+			InitialWirelength: cp.InitialWirelengthMM,
+			Steps:             cp.CompletedSteps,
+			Accepted:          cp.Accepted,
+			History:           append([]Sample(nil), cp.History...),
+			Run:               cp.Run,
+		},
+		bounds: bounds,
+		cur:    cp.Cur.Clone(),
+		curT:   cp.CurTempC, curW: cp.CurWirelengthMM,
+		best:  cp.Best.Clone(),
+		bestT: cp.BestTempC, bestW: cp.BestWirelengthMM,
+		k:    cp.K,
+		step: cp.Step,
+	}
+	st.drawsAtTop, st.kAtTop = st.src.draws, st.k
+	if ctr := st.counters(); ctr != nil {
+		ctr.Resumes++
+	}
+	st.emit(Event{Kind: EventResume, Step: st.res.Steps})
+	return st.anneal(ctx)
+}
+
+// anneal executes the SA loop from st.step to the step budget. The loop body
+// reproduces the original single-function annealer exactly — same draw
+// order, same arithmetic — so orchestration (cancellation polls, event
+// emission, checkpointing) adds observability without perturbing results.
+func (st *saState) anneal(ctx context.Context) (*Result, error) {
+	opt := st.opt
 
 	// Annealing schedule: K decays by KDecay once per level; levels are
 	// spread evenly over the step budget.
@@ -406,57 +634,182 @@ func Place(sys *chiplet.System, ev Evaluator, opt Options) (*Result, error) {
 		stepsPerLevel = 1
 	}
 
-	k := opt.KStart
-	for step := 0; step < opt.Steps; step++ {
-		if step > 0 && step%stepsPerLevel == 0 && k > opt.KEnd {
-			k *= opt.KDecay
-			if k < opt.KEnd {
-				k = opt.KEnd
+	for ; st.step < opt.Steps; st.step++ {
+		// Snapshot the step-entry RNG position and annealing temperature:
+		// a cancellation noticed mid-step (the evaluate below aborts) must
+		// checkpoint the state *before* this step drew its neighbor or
+		// decayed K, since the resumed run re-executes the step from the
+		// top — otherwise it would draw a different perturbation.
+		st.drawsAtTop, st.kAtTop = st.src.draws, st.k
+		if err := ctx.Err(); err != nil {
+			return st.interrupt(err)
+		}
+		step := st.step
+		if step > 0 && step%stepsPerLevel == 0 && st.k > opt.KEnd {
+			st.k *= opt.KDecay
+			if st.k < opt.KEnd {
+				st.k = opt.KEnd
 			}
 		}
-		nb, op, ok := neighbor(sys, grid, cur, rng, opt)
+		nb, op, ok := neighbor(st.sys, st.grid, st.cur, st.rng, opt)
 		if !ok {
 			continue // no valid perturbation found this step
 		}
-		nbT, nbW, err := ev.Evaluate(nb)
+		nbT, nbW, err := evaluate(ctx, st.ev, nb)
 		if err != nil {
+			if ctx.Err() != nil {
+				return st.interrupt(ctx.Err())
+			}
 			return nil, fmt.Errorf("placer: step %d: %w", step, err)
 		}
-		bounds.observe(nbT, nbW)
+		st.bounds.observe(nbT, nbW)
 
 		alpha := opt.FixedAlpha
 		if alpha < 0 {
-			alpha = Alpha(math.Max(curT, nbT), opt.AmbientC, opt.CriticalC)
+			alpha = Alpha(math.Max(st.curT, nbT), opt.AmbientC, opt.CriticalC)
 		}
-		curCost := bounds.cost(curT, curW, alpha)
-		nbCost := bounds.cost(nbT, nbW, alpha)
+		curCost := st.bounds.cost(st.curT, st.curW, alpha)
+		nbCost := st.bounds.cost(nbT, nbW, alpha)
 
 		// Eqn. (14): AP = exp((cost_cur - cost_nb) / K).
-		ap := math.Exp((curCost - nbCost) / k)
-		accepted := ap >= 1 || rng.Float64() < ap
+		ap := math.Exp((curCost - nbCost) / st.k)
+		accepted := ap >= 1 || st.rng.Float64() < ap
 		if accepted {
-			cur, curT, curW = nb, nbT, nbW
-			res.Accepted++
-			if betterCost(curT, curW, bestT, bestW, &bounds, opt) {
-				best, bestT, bestW = cur.Clone(), curT, curW
+			st.cur, st.curT, st.curW = nb, nbT, nbW
+			st.res.Accepted++
+			if betterCost(st.curT, st.curW, st.bestT, st.bestW, &st.bounds, opt) {
+				st.best, st.bestT, st.bestW = st.cur.Clone(), st.curT, st.curW
 			}
 		}
 		if opt.History {
-			res.History = append(res.History, Sample{
+			st.res.History = append(st.res.History, Sample{
 				Step: step, Op: op, TempC: nbT, WirelengthMM: nbW,
-				Cost: nbCost, K: k, Alpha: alpha, Accepted: accepted,
+				Cost: nbCost, K: st.k, Alpha: alpha, Accepted: accepted,
 			})
 		}
-		res.Steps++
+		st.res.Steps++
+
+		if opt.ProgressEvery > 0 && (step+1)%opt.ProgressEvery == 0 {
+			st.emit(Event{
+				Kind: EventStep, Step: st.res.Steps, Alpha: alpha,
+				Op: op.String(), Accepted: accepted,
+				TempC: nbT, WirelengthMM: nbW, Cost: nbCost,
+			})
+		}
+		if opt.CheckpointEvery > 0 && opt.Checkpoint != nil &&
+			(step+1)%opt.CheckpointEvery == 0 && step+1 < opt.Steps {
+			if err := st.checkpoint(step+1, st.src.draws, st.k); err != nil {
+				return nil, fmt.Errorf("placer: checkpoint at step %d: %w", step+1, err)
+			}
+		}
 	}
 
-	res.Placement = best
-	res.PeakC = bestT
-	res.WirelengthMM = bestW
-	if mp, ok := ev.(MetricsProvider); ok {
-		res.Metrics = mp.Metrics()
+	st.finish(false)
+	st.emit(Event{Kind: EventFinal, Step: st.res.Steps})
+	return st.res, nil
+}
+
+// finish seals the Result from the run state.
+func (st *saState) finish(interrupted bool) {
+	st.res.Placement = st.best
+	st.res.PeakC = st.bestT
+	st.res.WirelengthMM = st.bestW
+	st.res.Interrupted = interrupted
+	if mp, ok := st.ev.(MetricsProvider); ok {
+		st.res.Metrics = mp.Metrics()
 	}
-	return res, nil
+}
+
+// interrupt finalizes a canceled run: it seals the best-so-far Result,
+// writes a final checkpoint when a sink is configured (even between periodic
+// snapshots — the whole point is not losing the in-flight run), emits an
+// EventInterrupted, and returns the Result together with the cancellation
+// cause so callers can distinguish interruption from failure.
+func (st *saState) interrupt(cause error) (*Result, error) {
+	if st.opt.Checkpoint != nil {
+		if err := st.checkpoint(st.step, st.drawsAtTop, st.kAtTop); err != nil {
+			return nil, errors.Join(fmt.Errorf("placer: checkpoint on interrupt at step %d: %w", st.step, err), cause)
+		}
+	}
+	st.finish(true)
+	st.emit(Event{Kind: EventInterrupted, Step: st.res.Steps})
+	return st.res, fmt.Errorf("placer: run %d interrupted at step %d/%d: %w",
+		st.opt.RunIndex, st.res.Steps, st.opt.Steps, cause)
+}
+
+// counters exposes the evaluator's counter instance when it has one.
+func (st *saState) counters() *metrics.Counters {
+	if cs, ok := st.ev.(counterSource); ok {
+		return cs.counters()
+	}
+	return nil
+}
+
+// emit fills the common event fields and hands the event to the sink.
+func (st *saState) emit(e Event) {
+	if st.opt.Progress == nil {
+		return
+	}
+	e.Run = st.opt.RunIndex
+	e.Steps = st.opt.Steps
+	e.K = st.k
+	e.BestTempC = st.bestT
+	e.BestWirelengthMM = st.bestW
+	if st.res.Steps > 0 {
+		e.AcceptRate = float64(st.res.Accepted) / float64(st.res.Steps)
+	}
+	if mp, ok := st.ev.(MetricsProvider); ok {
+		ctr := mp.Metrics()
+		e.Counters = &ctr
+	}
+	st.opt.Progress(e)
+}
+
+// checkpoint snapshots the run with nextStep as the resume point and hands it
+// to the sink.
+func (st *saState) checkpoint(nextStep int, draws uint64, k float64) error {
+	cp := &Checkpoint{
+		Version:             CheckpointVersion,
+		Run:                 st.opt.RunIndex,
+		Step:                nextStep,
+		K:                   k,
+		RNGSeed:             st.opt.Seed,
+		RNGDraws:            draws,
+		Options:             st.opt,
+		Cur:                 st.cur.Clone(),
+		CurTempC:            st.curT,
+		CurWirelengthMM:     st.curW,
+		Best:                st.best.Clone(),
+		BestTempC:           st.bestT,
+		BestWirelengthMM:    st.bestW,
+		Initial:             st.res.Initial.Clone(),
+		InitialPeakC:        st.res.InitialPeakC,
+		InitialWirelengthMM: st.res.InitialWirelength,
+		Accepted:            st.res.Accepted,
+		CompletedSteps:      st.res.Steps,
+		BoundsT:             append([]float64(nil), st.bounds.ts...),
+		BoundsW:             append([]float64(nil), st.bounds.ws...),
+		BoundsIdx:           st.bounds.idx,
+		BoundsSize:          st.bounds.size,
+	}
+	if st.opt.History {
+		cp.History = append([]Sample(nil), st.res.History...)
+	}
+	if sc, ok := st.ev.(StateCheckpointer); ok {
+		state, err := sc.CheckpointState()
+		if err != nil {
+			return err
+		}
+		cp.EvalState = state
+	}
+	if err := st.opt.Checkpoint(cp); err != nil {
+		return err
+	}
+	if ctr := st.counters(); ctr != nil {
+		ctr.Checkpoints++
+	}
+	st.emit(Event{Kind: EventCheckpoint, Step: st.res.Steps})
+	return nil
 }
 
 // neighbor perturbs cur with one of the paper's operators, returning a valid
@@ -513,7 +866,22 @@ func neighbor(sys *chiplet.System, grid *ocm.Grid, cur chiplet.Placement, rng *r
 // trades no extra parallelism for a large peak footprint. Seeds are assigned
 // by run index before the semaphore, so results are independent of scheduling
 // order. The returned Result's Metrics aggregates the counters of all runs.
+//
+// When some runs fail or are interrupted and others finish, PlaceBestOf
+// returns the best of the completed runs together with the first error by
+// run index — both can be non-nil. Callers that can use a partial answer
+// (a canceled campaign reporting its best-so-far) should check the Result
+// before giving up on the error; nil Result means no run produced anything.
 func PlaceBestOf(sys *chiplet.System, factory func() (Evaluator, error), n int, opt Options) (*Result, error) {
+	return PlaceBestOfContext(context.Background(), sys, factory, n, opt)
+}
+
+// PlaceBestOfContext is PlaceBestOf with run orchestration (see
+// PlaceContext): each run carries its index in Options.RunIndex, so a shared
+// Progress sink or Checkpoint store can tell parallel runs apart, and
+// Options.Restore is consulted per run index so an interrupted fan-out
+// resumes exactly the runs that did not finish.
+func PlaceBestOfContext(ctx context.Context, sys *chiplet.System, factory func() (Evaluator, error), n int, opt Options) (*Result, error) {
 	if n <= 0 {
 		n = 1
 	}
@@ -535,30 +903,42 @@ func PlaceBestOf(sys *chiplet.System, factory func() (Evaluator, error), n int, 
 			}
 			ro := opt
 			ro.Seed = opt.Seed + int64(r)
-			res, err := Place(sys, ev, ro)
+			ro.RunIndex = r
+			res, err := PlaceContext(ctx, sys, ev, ro)
 			if err != nil {
 				errs[r] = err
-				return
 			}
-			res.Run = r
-			results[r] = res
+			if res != nil {
+				res.Run = r
+				results[r] = res
+			}
 		}(r)
 	}
 	wg.Wait()
 	var best *Result
+	var firstErr error
 	var merged metrics.Counters
+	interrupted := false
 	for r := 0; r < n; r++ {
-		if errs[r] != nil {
-			return nil, fmt.Errorf("placer: run %d: %w", r, errs[r])
+		if errs[r] != nil && firstErr == nil {
+			firstErr = fmt.Errorf("placer: run %d: %w", r, errs[r])
+		}
+		if results[r] == nil {
+			continue
 		}
 		merged.Merge(results[r].Metrics)
+		interrupted = interrupted || results[r].Interrupted
 		if best == nil || Better(results[r].PeakC, results[r].WirelengthMM, best.PeakC, best.WirelengthMM, opt.CriticalC) {
 			best = results[r]
 		}
 	}
 	if best == nil {
+		if firstErr != nil {
+			return nil, firstErr
+		}
 		return nil, errors.New("placer: no runs executed")
 	}
 	best.Metrics = merged
-	return best, nil
+	best.Interrupted = interrupted
+	return best, firstErr
 }

@@ -1,0 +1,49 @@
+package placer
+
+import "math/rand"
+
+// countingSource wraps the standard PRNG source and counts how many raw
+// values it has emitted. The count is the annealer's entire RNG state for
+// checkpointing purposes: every high-level draw (Float64, Intn, ...) bottoms
+// out in one underlying 64-bit emission per Int63/Uint64 call, so replaying
+// the same number of raw draws from the same seed reconstructs the exact
+// generator state regardless of which high-level methods consumed it.
+//
+// Wrapping is value-transparent: countingSource implements rand.Source64, so
+// rand.New dispatches Float64/Intn/... through exactly the same code paths —
+// and hence yields exactly the same values — as an unwrapped rand.NewSource.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+// newCountingSource seeds a counting source. The standard library source
+// returned by rand.NewSource implements Source64.
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (s *countingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.draws = 0
+	s.src.Seed(seed)
+}
+
+// skip advances the source by n raw draws. The standard source's Int63 is
+// Uint64 masked to 63 bits — both advance the generator by exactly one step —
+// so discarding Uint64 outputs replays any mix of high-level draws.
+func (s *countingSource) skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.src.Uint64()
+	}
+	s.draws = n
+}

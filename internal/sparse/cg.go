@@ -1,6 +1,7 @@
 package sparse
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -163,6 +164,21 @@ func (s *CGSolver) mulVecDot(y, x, w []float64) float64 {
 // exactly, so a reused CGSolver returns bit-identical solutions; only the
 // scratch allocations and diagonal extraction are hoisted out of the call.
 func (s *CGSolver) Solve(x, b []float64, opt CGOptions) (int, error) {
+	return s.SolveContext(context.Background(), x, b, opt)
+}
+
+// cancelCheckInterval is how many CG iterations run between ctx.Err() polls.
+// Thermal solves warm-started by the annealer converge in a handful of
+// iterations, so a modest interval keeps cancellation latency at a few
+// matrix-vector products while adding no measurable per-iteration cost.
+const cancelCheckInterval = 32
+
+// SolveContext is Solve with cooperative cancellation: the outer CG loop
+// polls ctx every cancelCheckInterval iterations and returns ctx.Err()
+// (wrapped) when the context is done, leaving x holding the current iterate.
+// The polling does not touch the arithmetic, so an uncancelled SolveContext
+// is bit-identical to Solve.
+func (s *CGSolver) SolveContext(ctx context.Context, x, b []float64, opt CGOptions) (int, error) {
 	a := s.a
 	n := a.N
 	if len(x) != n || len(b) != n {
@@ -221,6 +237,11 @@ func (s *CGSolver) Solve(x, b []float64, opt CGOptions) (int, error) {
 	copy(p, z)
 
 	for it := 1; it <= maxIter; it++ {
+		if it%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return it, fmt.Errorf("sparse: CG canceled after %d iterations: %w", it-1, err)
+			}
+		}
 		pap := s.mulVecDot(ap, p, p)
 		if pap <= 0 {
 			return it, fmt.Errorf("sparse: p'Ap = %g <= 0; matrix not SPD", pap)

@@ -6,6 +6,7 @@
 package sparse
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -226,6 +227,12 @@ type CGOptions struct {
 // diagonal index map.
 func SolveCG(a *CSR, x, b []float64, opt CGOptions) (int, error) {
 	return NewCGSolver(a).Solve(x, b, opt)
+}
+
+// SolveCGContext is SolveCG with cooperative cancellation; see
+// CGSolver.SolveContext for the polling contract.
+func SolveCGContext(ctx context.Context, a *CSR, x, b []float64, opt CGOptions) (int, error) {
+	return NewCGSolver(a).SolveContext(ctx, x, b, opt)
 }
 
 // SolveGaussSeidel performs symmetric Gauss-Seidel sweeps on A·x = b until the

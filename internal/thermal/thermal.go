@@ -15,6 +15,7 @@
 package thermal
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -85,19 +86,24 @@ type Model struct {
 	power   []float64 // RHS (scratch)
 	temps   []float64 // solution, reused as warm start
 	warm    bool
+	// warmGood is the field of the last *converged* solve. CG iterates in
+	// place on temps, so an aborted solve leaves temps partial; warmGood is
+	// what WarmState hands to checkpoints so a resume can reproduce the
+	// warm start the next uninterrupted solve would have used.
+	warmGood []float64
 
 	// Incremental fast-path state (see incremental.go). fixed == nil means
 	// the next Solve assembles from scratch and freezes the pattern.
-	noInc       bool
-	fixed       *sparse.Fixed
-	cg          *sparse.CGSolver
-	plan        []chipDep
-	cellDeps    [][]int32
-	prevSources []Source
-	epoch       int32
-	cellEpoch   []int32 // last epoch each chiplet-layer cell was re-rasterized
-	depEpoch    []int32 // last epoch each plan entry was recomputed
-	slotEpoch   []int32 // last epoch each CSR value slot was refreshed
+	noInc                                bool
+	fixed                                *sparse.Fixed
+	cg                                   *sparse.CGSolver
+	plan                                 []chipDep
+	cellDeps                             [][]int32
+	prevSources                          []Source
+	epoch                                int32
+	cellEpoch                            []int32 // last epoch each chiplet-layer cell was re-rasterized
+	depEpoch                             []int32 // last epoch each plan entry was recomputed
+	slotEpoch                            []int32 // last epoch each CSR value slot was refreshed
 	dirtyCells, changedCells, dirtySlots []int32
 
 	ctr *metrics.Counters
@@ -326,6 +332,15 @@ func (m *Model) rasterize(sources []Source) error {
 // values and power cells under the changed footprints. The temperatures are
 // bit-identical to the full rebuild either way.
 func (m *Model) Solve(sources []Source) (*Result, error) {
+	return m.SolveContext(context.Background(), sources)
+}
+
+// SolveContext is Solve with cooperative cancellation: the conjugate-gradient
+// loop polls ctx and aborts with ctx's error when it is done. An uncancelled
+// SolveContext is bit-identical to Solve. After a canceled solve the model's
+// warm start is invalidated, so a later Solve restarts from the cold-start
+// guess.
+func (m *Model) SolveContext(ctx context.Context, sources []Source) (*Result, error) {
 	if m.noInc {
 		if err := m.rasterize(sources); err != nil {
 			return nil, err
@@ -335,7 +350,7 @@ func (m *Model) Solve(sources []Source) (*Result, error) {
 		if m.ctr != nil {
 			m.ctr.FullAssembles++
 		}
-		return m.solveAssembled(a, nil)
+		return m.solveAssembled(ctx, a, nil)
 	}
 
 	if m.fixed == nil {
@@ -357,13 +372,49 @@ func (m *Model) Solve(sources []Source) (*Result, error) {
 		}
 	}
 	m.prevSources = append(m.prevSources[:0], sources...)
-	return m.solveAssembled(m.fixed.Mat, m.cg)
+	return m.solveAssembled(ctx, m.fixed.Mat, m.cg)
+}
+
+// WarmState returns a copy of the temperature field of the model's last
+// *converged* solve, or nil when no solve has converged yet. Together with
+// RestoreWarmState it lets a checkpointed placement run resume
+// bit-compatibly: the CG trajectory depends on the initial guess, so the
+// field must travel with the annealer's checkpoint. The last converged field
+// survives a canceled solve (which iterates in place and leaves the live
+// warm-start buffer partial), so a checkpoint written after a mid-solve
+// interruption still restores the warm start the interrupted step would
+// have used.
+func (m *Model) WarmState() []float64 {
+	if m.warmGood == nil {
+		return nil
+	}
+	s := make([]float64, len(m.warmGood))
+	copy(s, m.warmGood)
+	return s
+}
+
+// RestoreWarmState seeds the next solve's CG initial guess with a field
+// previously captured by WarmState. Passing nil (or an empty slice) resets
+// the model to a cold start.
+func (m *Model) RestoreWarmState(temps []float64) error {
+	if len(temps) == 0 {
+		m.warm = false
+		m.warmGood = nil
+		return nil
+	}
+	if len(temps) != m.nNodes {
+		return fmt.Errorf("thermal: warm state has %d nodes, model has %d", len(temps), m.nNodes)
+	}
+	copy(m.temps, temps)
+	m.warm = true
+	m.warmGood = append(m.warmGood[:0], temps...)
+	return nil
 }
 
 // solveAssembled runs CG on the assembled system and extracts the result.
 // When cg is non-nil its scratch buffers are reused; otherwise a one-shot
 // solve runs on a (bit-identical, just slower to set up).
-func (m *Model) solveAssembled(a *sparse.CSR, cg *sparse.CGSolver) (*Result, error) {
+func (m *Model) solveAssembled(ctx context.Context, a *sparse.CSR, cg *sparse.CGSolver) (*Result, error) {
 	g := m.grid
 	g2 := g * g
 
@@ -377,15 +428,16 @@ func (m *Model) solveAssembled(a *sparse.CSR, cg *sparse.CGSolver) (*Result, err
 	var iters int
 	var err error
 	if cg != nil {
-		iters, err = cg.Solve(m.temps, m.power, opt)
+		iters, err = cg.SolveContext(ctx, m.temps, m.power, opt)
 	} else {
-		iters, err = sparse.SolveCG(a, m.temps, m.power, opt)
+		iters, err = sparse.SolveCGContext(ctx, a, m.temps, m.power, opt)
 	}
 	if err != nil {
 		m.warm = false
 		return nil, fmt.Errorf("thermal: %w", err)
 	}
 	m.warm = true
+	m.warmGood = append(m.warmGood[:0], m.temps...)
 	if m.ctr != nil {
 		m.ctr.ThermalSolves++
 		m.ctr.CGIterations += int64(iters)

@@ -17,6 +17,7 @@
 package tap25d
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -84,7 +85,40 @@ type (
 	// solves, CG iterations, full/delta/skipped matrix assemblies, cache
 	// hits, router calls.
 	EvalCounters = metrics.Counters
+	// RunEvent is one structured progress record of an annealing run
+	// (Options.Progress); it serializes as one JSON object per line.
+	RunEvent = placer.Event
+	// RunCheckpoint is a complete resumable snapshot of an annealing run
+	// (Options.Checkpoint / Resume).
+	RunCheckpoint = placer.Checkpoint
+	// JSONLSink appends RunEvents as JSON Lines to a writer; safe for
+	// concurrent use by parallel runs.
+	JSONLSink = placer.JSONLSink
 )
+
+// RunEvent kinds (RunEvent.Kind).
+const (
+	EventStep        = placer.EventStep
+	EventCheckpoint  = placer.EventCheckpoint
+	EventResume      = placer.EventResume
+	EventFinal       = placer.EventFinal
+	EventInterrupted = placer.EventInterrupted
+)
+
+// NewJSONLSink wraps w (typically the run journal file) as an event sink;
+// pass its Emit method to Options.Progress.
+func NewJSONLSink(w io.Writer) *JSONLSink { return placer.NewJSONLSink(w) }
+
+// SaveCheckpoint atomically writes a run snapshot to path (temp file +
+// rename, so a crash mid-write never corrupts an existing checkpoint).
+func SaveCheckpoint(path string, cp *RunCheckpoint) error {
+	return placer.SaveCheckpointFile(path, cp)
+}
+
+// LoadCheckpoint reads a snapshot written by SaveCheckpoint.
+func LoadCheckpoint(path string) (*RunCheckpoint, error) {
+	return placer.LoadCheckpointFile(path)
+}
 
 // DefaultWire returns the 65 nm passive-interposer wire parameters.
 func DefaultWire() WireParams { return signal.DefaultWire() }
@@ -158,6 +192,36 @@ type Options struct {
 	// cached runs are reproducible at fixed seed but not bit-identical to
 	// uncached ones).
 	EvalCache int
+
+	// Run orchestration. None of these affect the annealing trajectory;
+	// they add cancellation, observability and resumability around it.
+
+	// Context, when non-nil, allows canceling the placement flow: on
+	// cancellation Place stops the annealing runs cleanly, finalizes the
+	// best solution found so far, and returns that Result together with
+	// the context's error (check errors.Is(err, context.Canceled)).
+	Context context.Context
+	// Progress, when non-nil, receives structured run events: one "step"
+	// event every ProgressEvery completed steps per run, plus lifecycle
+	// events (checkpoint, resume, final, interrupted). With Runs > 1 it is
+	// called concurrently and must be safe for concurrent use (JSONLSink
+	// is).
+	Progress func(RunEvent)
+	// ProgressEvery is the step-event cadence (0 disables step events;
+	// lifecycle events are emitted whenever Progress is set).
+	ProgressEvery int
+	// CheckpointEvery hands a resumable snapshot to Checkpoint every
+	// CheckpointEvery completed steps per run (0 disables periodic
+	// snapshots; a final snapshot is always written on cancellation when
+	// Checkpoint is set).
+	CheckpointEvery int
+	// Checkpoint persists run snapshots (distinguish parallel runs by
+	// cp.Run); a returned error aborts the flow.
+	Checkpoint func(cp *RunCheckpoint) error
+	// Restore is consulted once per run index before that run starts: a
+	// non-nil snapshot resumes the run bit-compatibly instead of starting
+	// fresh (see placer.Resume for the exact contract).
+	Restore func(run int) (*RunCheckpoint, error)
 }
 
 func (o Options) thermalOptions(sys *System) thermal.Options {
@@ -179,15 +243,27 @@ func (o Options) placerOptions() placer.Options {
 		fa = -1
 	}
 	return placer.Options{
-		Steps:        o.Steps,
-		Seed:         o.Seed,
-		CriticalC:    o.CriticalC,
-		CompactSteps: o.CompactSteps,
-		Initial:      o.InitialPlacement,
-		History:      o.History,
-		DisableJump:  o.DisableJump,
-		FixedAlpha:   fa,
+		Steps:           o.Steps,
+		Seed:            o.Seed,
+		CriticalC:       o.CriticalC,
+		CompactSteps:    o.CompactSteps,
+		Initial:         o.InitialPlacement,
+		History:         o.History,
+		DisableJump:     o.DisableJump,
+		FixedAlpha:      fa,
+		Progress:        o.Progress,
+		ProgressEvery:   o.ProgressEvery,
+		CheckpointEvery: o.CheckpointEvery,
+		Checkpoint:      o.Checkpoint,
+		Restore:         o.Restore,
 	}
+}
+
+func (o Options) context() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // Result is the outcome of a placement or evaluation.
@@ -210,6 +286,10 @@ type Result struct {
 	// History holds per-step SA samples when Options.History is set
 	// (single-run flows only).
 	History []SASample
+	// Interrupted reports that the flow was canceled (Options.Context) and
+	// the Result describes the best solution found before the interruption
+	// rather than a completed search.
+	Interrupted bool
 	// Metrics aggregates the evaluation counters of the whole flow: every
 	// annealing run's evaluator plus the final full-fidelity evaluation.
 	Metrics EvalCounters
@@ -271,6 +351,11 @@ func Evaluate(sys *System, p Placement, opt Options) (*Result, error) {
 // Place runs the full TAP-2.5D flow: Compact-2.5D initial placement,
 // thermally-aware simulated annealing (best of Options.Runs), and a final
 // full-fidelity evaluation.
+//
+// When Options.Context is canceled mid-flow, Place still finalizes and
+// returns the best solution found so far (Result.Interrupted set) alongside
+// the cancellation error — callers that want the partial answer must check
+// the Result even when err != nil.
 func Place(sys *System, opt Options) (*Result, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
@@ -289,9 +374,9 @@ func Place(sys *System, opt Options) (*Result, error) {
 	if runs <= 0 {
 		runs = 1
 	}
-	pres, err := placer.PlaceBestOf(sys, factory, runs, opt.placerOptions())
-	if err != nil {
-		return nil, err
+	pres, perr := placer.PlaceBestOfContext(opt.context(), sys, factory, runs, opt.placerOptions())
+	if pres == nil {
+		return nil, perr
 	}
 	res, err := finalize(sys, pres.Placement, opt)
 	if err != nil {
@@ -301,8 +386,9 @@ func Place(sys *System, opt Options) (*Result, error) {
 	res.InitialPeakC = pres.InitialPeakC
 	res.InitialWirelength = pres.InitialWirelength
 	res.History = pres.History
+	res.Interrupted = pres.Interrupted
 	res.Metrics.Merge(pres.Metrics)
-	return res, nil
+	return res, perr
 }
 
 // PlaceCompact runs the Compact-2.5D baseline (B*-tree + fast-SA) and
