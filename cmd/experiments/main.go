@@ -45,6 +45,8 @@ func main() {
 		resume    = flag.Bool("resume", false, "resume interrupted runs from -checkpoint-dir snapshots")
 		journal   = flag.String("journal", "", "append progress events to this JSONL file")
 		progEvery = flag.Int("progress-every", 0, "emit a step event every N SA steps (0: lifecycle events only)")
+		debugAddr = flag.String("debug-addr", "", "serve live metrics/pprof/run status on this address (e.g. localhost:6060)")
+		obsReport = flag.String("obs-report", "", "write the end-of-campaign observability report as JSON to this file")
 	)
 	flag.Parse()
 
@@ -86,6 +88,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
+	}
+
+	var observer *tap25d.Observer
+	if *debugAddr != "" || *obsReport != "" {
+		observer = tap25d.NewObserver()
+		orch.Obs = observer
+	}
+	if *debugAddr != "" {
+		srv, err := tap25d.ServeDebug(*debugAddr, observer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "experiments: debug server on http://%s (/metrics, /run, /debug/pprof/)\n", srv.Addr())
 	}
 
 	var sink *tap25d.JSONLSink
@@ -134,6 +151,18 @@ func main() {
 		if err := sink.Err(); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments: journal write:", err)
 			failed = true
+		}
+	}
+	if observer != nil {
+		rep := observer.Report()
+		rep.WriteTable(os.Stderr)
+		if *obsReport != "" {
+			if err := rep.WriteFile(*obsReport); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: observability report:", err)
+				failed = true
+			} else {
+				fmt.Println("observability report written to", *obsReport)
+			}
 		}
 	}
 	if interrupted {

@@ -50,6 +50,8 @@ func main() {
 		resume     = flag.Bool("resume", false, "resume interrupted runs from -checkpoint-dir snapshots")
 		journal    = flag.String("journal", "", "append progress events to this JSONL file")
 		progEvery  = flag.Int("progress-every", 0, "emit a step event every N SA steps (0: lifecycle events only)")
+		debugAddr  = flag.String("debug-addr", "", "serve live metrics/pprof/run status on this address (e.g. localhost:6060)")
+		obsReport  = flag.String("obs-report", "", "write the end-of-run observability report as JSON to this file")
 	)
 	flag.Parse()
 
@@ -73,6 +75,21 @@ func main() {
 		ExactRouting:  *exact,
 		Context:       ctx,
 		ProgressEvery: *progEvery,
+	}
+	// Observability: -debug-addr and -obs-report both need a live observer;
+	// the table on stderr comes for free once one exists.
+	var observer *tap25d.Observer
+	if *debugAddr != "" || *obsReport != "" {
+		observer = tap25d.NewObserver()
+		opt.Observer = observer
+	}
+	if *debugAddr != "" {
+		srv, err := tap25d.ServeDebug(*debugAddr, observer)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "tap25d: debug server on http://%s (/metrics, /run, /debug/pprof/)\n", srv.Addr())
 	}
 	var sink *tap25d.JSONLSink
 	if *journal != "" {
@@ -175,6 +192,16 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("thermal map written to", *ppmPath)
+	}
+	if observer != nil {
+		rep := observer.Report()
+		rep.WriteTable(os.Stderr)
+		if *obsReport != "" {
+			if err := rep.WriteFile(*obsReport); err != nil {
+				fatal(err)
+			}
+			fmt.Println("observability report written to", *obsReport)
+		}
 	}
 }
 

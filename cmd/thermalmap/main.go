@@ -31,6 +31,8 @@ func main() {
 		transient  = flag.Bool("transient", false, "also trace the power-on step response")
 		dt         = flag.Float64("dt", 0.02, "transient time step in seconds")
 		horizon    = flag.Float64("horizon", 10, "transient horizon in seconds")
+		debugAddr  = flag.String("debug-addr", "", "serve live metrics/pprof on this address (e.g. localhost:6060)")
+		obsReport  = flag.String("obs-report", "", "write the observability report as JSON to this file")
 	)
 	flag.Parse()
 
@@ -39,6 +41,19 @@ func main() {
 		fatal(err)
 	}
 	opt := tap25d.Options{ThermalGrid: *grid}
+	var observer *tap25d.Observer
+	if *debugAddr != "" || *obsReport != "" {
+		observer = tap25d.NewObserver()
+		opt.Observer = observer
+	}
+	if *debugAddr != "" {
+		srv, err := tap25d.ServeDebug(*debugAddr, observer)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "thermalmap: debug server on http://%s\n", srv.Addr())
+	}
 	res, err := tap25d.Evaluate(sys, p, opt)
 	if err != nil {
 		fatal(err)
@@ -84,6 +99,17 @@ func main() {
 			fmt.Printf("  crosses %d C after %.3f s\n", tap25d.CriticalC, tt)
 		} else {
 			fmt.Printf("  never crosses %d C within the horizon\n", tap25d.CriticalC)
+		}
+	}
+
+	if observer != nil {
+		rep := observer.Report()
+		rep.WriteTable(os.Stderr)
+		if *obsReport != "" {
+			if err := rep.WriteFile(*obsReport); err != nil {
+				fatal(err)
+			}
+			fmt.Println("observability report written to", *obsReport)
 		}
 	}
 }

@@ -82,6 +82,10 @@ type Orchestration struct {
 	Progress func(tap25d.RunEvent)
 	// ProgressEvery is the step-event cadence (0 disables step events).
 	ProgressEvery int
+	// Obs, when non-nil, collects observability data (span timings, phase
+	// histograms, CG convergence traces) across every placement flow of the
+	// campaign; nil disables it.
+	Obs *tap25d.Observer
 }
 
 // orchestrator threads Orchestration through an experiment and assigns each
@@ -105,6 +109,7 @@ func (o *orchestrator) place(sys *tap25d.System, opt tap25d.Options) (*tap25d.Re
 	opt.Context = o.Context
 	opt.Progress = o.Progress
 	opt.ProgressEvery = o.ProgressEvery
+	opt.Observer = o.Obs
 	if o.CheckpointDir != "" {
 		opt.CheckpointEvery = o.CheckpointEvery
 		opt.Checkpoint = func(cp *tap25d.RunCheckpoint) error {

@@ -14,31 +14,36 @@ package metrics
 import "fmt"
 
 // Counters accumulates evaluation statistics along one placement flow.
+//
+// The JSON field names below are a stable schema: journal events,
+// observability reports and the /metrics endpoint all render counters under
+// these snake_case names, and docs/OPERATIONS.md documents them in the same
+// declaration order that String uses.
 type Counters struct {
 	// Evaluations counts placement evaluations requested from an evaluator
 	// (cache hits and misses both count).
-	Evaluations int64
+	Evaluations int64 `json:"evaluations"`
 	// CacheHits and CacheMisses split Evaluations by whether the
 	// placement-keyed cache short-circuited the thermal solve and routing.
-	CacheHits   int64
-	CacheMisses int64
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
 	// ThermalSolves counts steady-state thermal solves actually performed.
-	ThermalSolves int64
+	ThermalSolves int64 `json:"thermal_solves"`
 	// CGIterations sums conjugate-gradient iterations over all solves.
-	CGIterations int64
+	CGIterations int64 `json:"cg_iterations"`
 	// FullAssembles counts conductance-matrix value rebuilds over the whole
 	// grid; DeltaAssembles counts in-place updates confined to the cells
 	// whose chiplet-layer conductivity changed; SkippedAssembles counts
 	// solves that reused the matrix untouched (identical source list).
-	FullAssembles    int64
-	DeltaAssembles   int64
-	SkippedAssembles int64
+	FullAssembles    int64 `json:"full_assembles"`
+	DeltaAssembles   int64 `json:"delta_assembles"`
+	SkippedAssembles int64 `json:"skipped_assembles"`
 	// RouteCalls counts invocations of the inter-chiplet router.
-	RouteCalls int64
+	RouteCalls int64 `json:"route_calls"`
 	// Checkpoints counts annealing-state snapshots written by the placer's
 	// run orchestration; Resumes counts runs continued from such a snapshot.
-	Checkpoints int64
-	Resumes     int64
+	Checkpoints int64 `json:"checkpoints"`
+	Resumes     int64 `json:"resumes"`
 }
 
 // Merge adds o into c.
@@ -61,20 +66,14 @@ func (c Counters) IsZero() bool {
 	return c == Counters{}
 }
 
-// String renders the counters as a compact single-line summary, omitting
-// groups that never triggered.
+// String renders the counters as a compact single-line summary. Every group
+// appears, zero or not, in the struct's declaration order, so lines from
+// different runs and tools align and can be diffed or parsed column-wise.
 func (c Counters) String() string {
-	s := fmt.Sprintf("evals=%d solves=%d cg_iters=%d assembles=%d/%d/%d (full/delta/skip)",
-		c.Evaluations, c.ThermalSolves, c.CGIterations,
-		c.FullAssembles, c.DeltaAssembles, c.SkippedAssembles)
-	if c.CacheHits+c.CacheMisses > 0 {
-		s += fmt.Sprintf(" cache=%d/%d (hit/miss)", c.CacheHits, c.CacheMisses)
-	}
-	if c.RouteCalls > 0 {
-		s += fmt.Sprintf(" routes=%d", c.RouteCalls)
-	}
-	if c.Checkpoints+c.Resumes > 0 {
-		s += fmt.Sprintf(" ckpts=%d resumes=%d", c.Checkpoints, c.Resumes)
-	}
-	return s
+	return fmt.Sprintf("evals=%d cache=%d/%d (hit/miss) solves=%d cg_iters=%d "+
+		"assembles=%d/%d/%d (full/delta/skip) routes=%d ckpts=%d resumes=%d",
+		c.Evaluations, c.CacheHits, c.CacheMisses,
+		c.ThermalSolves, c.CGIterations,
+		c.FullAssembles, c.DeltaAssembles, c.SkippedAssembles,
+		c.RouteCalls, c.Checkpoints, c.Resumes)
 }

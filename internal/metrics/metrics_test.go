@@ -1,7 +1,9 @@
 package metrics
 
 import (
-	"strings"
+	"encoding/json"
+	"reflect"
+	"sort"
 	"testing"
 )
 
@@ -28,13 +30,66 @@ func TestIsZero(t *testing.T) {
 	}
 }
 
-func TestStringMentionsCacheOnlyWhenUsed(t *testing.T) {
-	c := Counters{Evaluations: 4, ThermalSolves: 4, CGIterations: 100, FullAssembles: 1, DeltaAssembles: 3}
-	if s := c.String(); strings.Contains(s, "cache") {
-		t.Fatalf("cache shown without hits/misses: %q", s)
+// TestStringStableOrder locks the single-line rendering: every group appears
+// unconditionally, zero or not, in declaration order. Tools diff these lines
+// across runs, so the format is part of the journal/report contract.
+func TestStringStableOrder(t *testing.T) {
+	var zero Counters
+	wantZero := "evals=0 cache=0/0 (hit/miss) solves=0 cg_iters=0 " +
+		"assembles=0/0/0 (full/delta/skip) routes=0 ckpts=0 resumes=0"
+	if s := zero.String(); s != wantZero {
+		t.Fatalf("zero counters:\n got %q\nwant %q", s, wantZero)
 	}
-	c.CacheHits = 2
-	if s := c.String(); !strings.Contains(s, "cache") {
-		t.Fatalf("cache hits not reported: %q", s)
+
+	c := Counters{
+		Evaluations: 11, CacheHits: 2, CacheMisses: 9,
+		ThermalSolves: 9, CGIterations: 123,
+		FullAssembles: 1, DeltaAssembles: 7, SkippedAssembles: 1,
+		RouteCalls: 9, Checkpoints: 3, Resumes: 1,
+	}
+	want := "evals=11 cache=2/9 (hit/miss) solves=9 cg_iters=123 " +
+		"assembles=1/7/1 (full/delta/skip) routes=9 ckpts=3 resumes=1"
+	if s := c.String(); s != want {
+		t.Fatalf("populated counters:\n got %q\nwant %q", s, want)
+	}
+}
+
+// TestJSONSchema locks the snake_case key set used by journal events,
+// checkpoints, observability reports and the Prometheus counter names.
+func TestJSONSchema(t *testing.T) {
+	c := Counters{
+		Evaluations: 1, CacheHits: 2, CacheMisses: 3,
+		ThermalSolves: 4, CGIterations: 5,
+		FullAssembles: 6, DeltaAssembles: 7, SkippedAssembles: 8,
+		RouteCalls: 9, Checkpoints: 10, Resumes: 11,
+	}
+	raw, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]int64
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	want := []string{
+		"cache_hits", "cache_misses", "cg_iterations", "checkpoints",
+		"delta_assembles", "evaluations", "full_assembles", "resumes",
+		"route_calls", "skipped_assembles", "thermal_solves",
+	}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("JSON keys:\n got %v\nwant %v", keys, want)
+	}
+
+	var back Counters
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != c {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", back, c)
 	}
 }

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// HistBuckets is the fixed bucket count of every Histogram. Buckets are
+// powers of two: bucket i counts values v with bit-length i, i.e. v in
+// [2^(i-1), 2^i); bucket 0 counts zeros. 48 buckets span 1 ns .. ~1.6 days
+// for durations, and 1 .. 2^47 for iteration counts — no observable value
+// overflows in practice, and the last bucket absorbs anything that would.
+const HistBuckets = 48
+
+// Histogram is a fixed-bucket, lock-free histogram of non-negative integer
+// observations (durations in nanoseconds, or counts). All operations are
+// atomic, so parallel annealing runs record into one Histogram without
+// synchronization; Observe on the hot path is three atomic adds and a CAS
+// loop for the maximum.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// bucketIndex maps a value to its power-of-two bucket.
+func bucketIndex(v uint64) int {
+	i := bits.Len64(v)
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	return i
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i (0 for bucket 0).
+func BucketUpper(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot.
+type Bucket struct {
+	// Upper is the bucket's inclusive upper bound (2^i - 1).
+	Upper uint64 `json:"upper"`
+	// Count is the number of observations that fell in this bucket.
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a consistent-enough copy of a Histogram for export:
+// each field is read atomically (the snapshot of a histogram being written
+// concurrently may be off by in-flight observations, which is fine for
+// monitoring).
+type HistogramSnapshot struct {
+	Count uint64 `json:"count"`
+	// Sum is the total of all observations (ns for duration histograms).
+	Sum uint64 `json:"sum"`
+	Max uint64 `json:"max"`
+	// Buckets lists the non-empty buckets in ascending bound order.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	for i := range h.buckets {
+		if c := h.buckets[i].Load(); c > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Upper: BucketUpper(i), Count: c})
+		}
+	}
+	return s
+}
+
+// Mean is the average observation, 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1): the
+// bound of the first bucket at which the cumulative count reaches q·Count.
+// Resolution is the bucket width (a factor of two).
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= target {
+			if b.Upper > s.Max && s.Max > 0 {
+				return s.Max // last bucket: the observed max is a tighter bound
+			}
+			return b.Upper
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Upper
+}

@@ -1,0 +1,337 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tap25d/internal/metrics"
+)
+
+// TestNilObserverIsInert: every entry point of the disabled state must be
+// callable on a nil receiver without panicking or allocating.
+func TestNilObserverIsInert(t *testing.T) {
+	var o *Observer
+	if o.Enabled() {
+		t.Fatal("nil observer reports enabled")
+	}
+	sp := o.StartSpan(PhaseSAStep, "x")
+	if sp != nil {
+		t.Fatal("nil observer handed out a span")
+	}
+	sp.Child(PhaseThermalSolve, "").End()
+	sp.End()
+	o.ObservePhase(PhaseRouteSolve, time.Millisecond)
+	tr := o.StartCG()
+	if tr != nil {
+		t.Fatal("nil observer handed out a CG trace")
+	}
+	tr.Observe(1, 0.5)
+	o.EndCG(tr, 3, true)
+	o.RecordSAStep(0, 100, SAPoint{})
+	o.SetRunState(0, "final")
+	o.SetRunCounters(0, metrics.Counters{Evaluations: 1})
+	o.Add("widgets", 1)
+	if o.Report() != nil || o.EventSnapshot() != nil {
+		t.Fatal("nil observer produced a report")
+	}
+	if o.RunStatuses() != nil || o.SASeries(0) != nil || o.RecentSpans() != nil || o.RecentCGTraces() != nil {
+		t.Fatal("nil observer returned data")
+	}
+	ran := false
+	o.Do(context.Background(), func(context.Context) { ran = true }, "k", "v")
+	if !ran {
+		t.Fatal("nil observer did not run the labeled func")
+	}
+	ctx := ContextWithSpan(context.Background(), nil)
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("nil span attached to context")
+	}
+}
+
+// TestNilPathAllocationFree: the disabled fast path must not allocate.
+func TestNilPathAllocationFree(t *testing.T) {
+	var o *Observer
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := o.StartSpanCtx(ctx, PhaseThermalSolve, "")
+		sp.Child(PhaseThermalAssemble, "").End()
+		sp.End()
+		tr := o.StartCG()
+		tr.Observe(0, 1)
+		o.EndCG(tr, 5, true)
+		o.ObservePhase(PhaseSAStep, time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %v per run", allocs)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Max != 1000 {
+		t.Fatalf("count=%d max=%d", s.Count, s.Max)
+	}
+	if s.Sum != 1000*1001/2 {
+		t.Fatalf("sum=%d", s.Sum)
+	}
+	// The median of 1..1000 is 500.5; its bucket [512, 1023] upper is 1023,
+	// bucket resolution permits [511, 1023].
+	if q := s.Quantile(0.5); q < 511 || q > 1023 {
+		t.Fatalf("p50=%d", q)
+	}
+	if q := s.Quantile(1); q != 1000 {
+		t.Fatalf("p100=%d, want max 1000", q)
+	}
+	if q := s.Quantile(0); q == 0 {
+		t.Fatalf("p0=%d, want first bucket bound", q)
+	}
+	var cum uint64
+	prev := uint64(0)
+	for _, b := range s.Buckets {
+		if b.Upper <= prev && prev != 0 {
+			t.Fatalf("buckets not ascending: %d after %d", b.Upper, prev)
+		}
+		prev = b.Upper
+		cum += b.Count
+	}
+	if cum != s.Count {
+		t.Fatalf("bucket counts sum to %d, count %d", cum, s.Count)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 10000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < per; i++ {
+				h.Observe(seed + i)
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != workers*per {
+		t.Fatalf("count=%d want %d", s.Count, workers*per)
+	}
+}
+
+func TestSpanHierarchyAndHistogram(t *testing.T) {
+	o := New()
+	root := o.StartSpan(PhaseSAStep, "")
+	child := root.Child(PhaseThermalSolve, "")
+	grand := child.Child(PhaseThermalAssemble, "delta")
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := o.RecentSpans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	// Completion order: grandchild, child, root.
+	if spans[0].Parent != "sa_step/thermal_solve" || spans[0].Label != "delta" {
+		t.Fatalf("grandchild record %+v", spans[0])
+	}
+	if spans[1].Parent != "sa_step" {
+		t.Fatalf("child record %+v", spans[1])
+	}
+	if spans[2].Parent != "" || spans[2].Phase != "sa_step" {
+		t.Fatalf("root record %+v", spans[2])
+	}
+	if h := o.PhaseHistogram(PhaseSAStep).Snapshot(); h.Count != 1 {
+		t.Fatalf("sa_step histogram count %d", h.Count)
+	}
+}
+
+func TestStartSpanCtxLinksAcrossPackagesViaContext(t *testing.T) {
+	o := New()
+	root := o.StartSpan(PhaseSAStep, "")
+	ctx := ContextWithSpan(context.Background(), root)
+	leaf := o.StartSpanCtx(ctx, PhaseRouteSolve, "fast")
+	leaf.End()
+	root.End()
+	spans := o.RecentSpans()
+	if spans[0].Parent != "sa_step" {
+		t.Fatalf("context-linked span has parent %q", spans[0].Parent)
+	}
+
+	// A span from a different observer must not become the parent.
+	other := New()
+	leaf2 := other.StartSpanCtx(ctx, PhaseRouteSolve, "")
+	leaf2.End()
+	if s := other.RecentSpans(); s[0].Parent != "" {
+		t.Fatalf("cross-observer parent leaked: %q", s[0].Parent)
+	}
+}
+
+func TestCGTraceRingAndStats(t *testing.T) {
+	o := New()
+	for s := 0; s < 3; s++ {
+		tr := o.StartCG()
+		for it := 0; it <= s+2; it++ {
+			tr.Observe(it, 1.0/float64(it+1))
+		}
+		o.EndCG(tr, s+2, true)
+	}
+	st := o.CGStatsSnapshot()
+	if st.Solves != 3 || st.TotalIterations != 2+3+4 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.MaxIterations != 4 {
+		t.Fatalf("max %d", st.MaxIterations)
+	}
+	if st.LastTrace == nil || st.LastTrace.Iterations != 4 || !st.LastTrace.Converged {
+		t.Fatalf("last trace %+v", st.LastTrace)
+	}
+	if len(st.LastTrace.Residuals) != 5 {
+		t.Fatalf("residuals %v", st.LastTrace.Residuals)
+	}
+	traces := o.RecentCGTraces()
+	if len(traces) != 3 || traces[0].Seq != 1 || traces[2].Seq != 3 {
+		t.Fatalf("trace ring %v", traces)
+	}
+}
+
+func TestCGTraceResidualCap(t *testing.T) {
+	o := New()
+	tr := o.StartCG()
+	for it := 0; it < 2*cgResidualCap; it++ {
+		tr.Observe(it, 1)
+	}
+	if len(tr.Residuals) != cgResidualCap {
+		t.Fatalf("residuals grew to %d", len(tr.Residuals))
+	}
+}
+
+func TestSASeriesRingAndRunStatus(t *testing.T) {
+	o := New()
+	for i := 0; i < saSeriesCap+10; i++ {
+		o.RecordSAStep(1, saSeriesCap+10, SAPoint{Step: i, BestTempC: 80})
+	}
+	series := o.SASeries(1)
+	if len(series) != saSeriesCap {
+		t.Fatalf("series length %d", len(series))
+	}
+	if series[0].Step != 10 || series[len(series)-1].Step != saSeriesCap+9 {
+		t.Fatalf("ring order: first %d last %d", series[0].Step, series[len(series)-1].Step)
+	}
+	o.SetRunCounters(1, metrics.Counters{Evaluations: 7})
+	o.SetRunState(1, "final")
+	rs := o.RunStatuses()
+	if len(rs) != 1 || rs[0].Run != 1 || rs[0].State != "final" ||
+		rs[0].Step != saSeriesCap+10 || rs[0].Counters.Evaluations != 7 {
+		t.Fatalf("status %+v", rs)
+	}
+}
+
+func TestReportAggregatesEverything(t *testing.T) {
+	o := New()
+	o.StartSpan(PhaseSAStep, "").End()
+	o.ObservePhase(PhaseRouteSolve, 2*time.Millisecond)
+	tr := o.StartCG()
+	tr.Observe(0, 1)
+	o.EndCG(tr, 6, true)
+	o.SetRunCounters(0, metrics.Counters{Evaluations: 3, ThermalSolves: 2})
+	o.SetRunCounters(1, metrics.Counters{Evaluations: 4, Resumes: 1})
+	o.Add("debug_requests", 2)
+
+	r := o.Report()
+	if r.Counters.Evaluations != 7 || r.Counters.Resumes != 1 {
+		t.Fatalf("summed counters %+v", r.Counters)
+	}
+	if len(r.Phases) != 2 {
+		t.Fatalf("phases %+v", r.Phases)
+	}
+	if r.Phases[0].Phase != "sa_step" || r.Phases[1].Phase != "route_solve" {
+		t.Fatalf("phase order %+v", r.Phases)
+	}
+	if r.CG.Solves != 1 || r.CG.MeanIterations != 6 {
+		t.Fatalf("cg %+v", r.CG)
+	}
+	if r.Extra["debug_requests"] != 2 {
+		t.Fatalf("extra %+v", r.Extra)
+	}
+	var hasPhaseBench, hasCGBench bool
+	for _, b := range r.Benchmarks {
+		if b.Name == "tap25d/sa_step" && b.Unit == "ns/op" {
+			hasPhaseBench = true
+		}
+		if b.Name == "tap25d/cg_iterations" && b.Value == 6 {
+			hasCGBench = true
+		}
+	}
+	if !hasPhaseBench || !hasCGBench {
+		t.Fatalf("bench entries %+v", r.Benchmarks)
+	}
+
+	// The report must round-trip through JSON.
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters.Evaluations != 7 {
+		t.Fatalf("round-trip counters %+v", back.Counters)
+	}
+
+	var sb strings.Builder
+	r.WriteTable(&sb)
+	for _, want := range []string{"sa_step", "route_solve", "cg:", "counters:"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestConcurrentObserverUse drives every mutating entry point from parallel
+// goroutines; run with -race to verify the synchronization contract.
+func TestConcurrentObserverUse(t *testing.T) {
+	o := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(run int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := o.StartSpan(PhaseSAStep, "")
+				sp.Child(PhaseThermalSolve, "").End()
+				sp.End()
+				tr := o.StartCG()
+				tr.Observe(0, 1)
+				o.EndCG(tr, i%7, true)
+				o.RecordSAStep(run, 200, SAPoint{Step: i})
+				o.SetRunCounters(run, metrics.Counters{Evaluations: int64(i)})
+				o.Add("shared", 1)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			o.Report()
+			o.RunStatuses()
+			o.RecentSpans()
+			o.EventSnapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := o.Report().Extra["shared"]; got != 8*200 {
+		t.Fatalf("shared counter %d", got)
+	}
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"tap25d/internal/metrics"
+)
+
+// PhaseSummary condenses one phase's duration histogram for reports and
+// event snapshots. All durations are nanoseconds; quantiles have
+// power-of-two bucket resolution.
+type PhaseSummary struct {
+	Phase   string  `json:"phase"`
+	Count   uint64  `json:"count"`
+	TotalNS uint64  `json:"total_ns"`
+	MeanNS  float64 `json:"mean_ns"`
+	P50NS   uint64  `json:"p50_ns"`
+	P90NS   uint64  `json:"p90_ns"`
+	P99NS   uint64  `json:"p99_ns"`
+	MaxNS   uint64  `json:"max_ns"`
+}
+
+func summarize(name string, h HistogramSnapshot) PhaseSummary {
+	return PhaseSummary{
+		Phase:   name,
+		Count:   h.Count,
+		TotalNS: h.Sum,
+		MeanNS:  h.Mean(),
+		P50NS:   h.Quantile(0.50),
+		P90NS:   h.Quantile(0.90),
+		P99NS:   h.Quantile(0.99),
+		MaxNS:   h.Max,
+	}
+}
+
+// phaseSummaries returns the non-empty phases in declaration order.
+func (o *Observer) phaseSummaries() []PhaseSummary {
+	var out []PhaseSummary
+	for p := Phase(0); p < numPhases; p++ {
+		h := o.phases[p].Snapshot()
+		if h.Count == 0 {
+			continue
+		}
+		out = append(out, summarize(p.String(), h))
+	}
+	return out
+}
+
+// BenchEntry is one benchmark data point in the continuous-benchmarking
+// format used by BENCH_*.json artifacts (name/unit/value triples, the
+// format of github-action-benchmark's "customSmallerIsBetter" input), so a
+// run's phase timings can be appended to the repo's perf trajectory.
+type BenchEntry struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit"`
+	Value float64 `json:"value"`
+}
+
+// Report is the end-of-run observability summary: phase timing histograms,
+// CG convergence statistics, the absorbed evaluation counters, per-run final
+// status, and a benchmark-file-compatible view of the same numbers. Reports
+// marshal to JSON; WriteTable renders the human version.
+type Report struct {
+	// GeneratedUnixNS stamps the report; WallNS is the observer's uptime.
+	GeneratedUnixNS int64 `json:"generated_unix_ns"`
+	WallNS          int64 `json:"wall_ns"`
+	// Phases summarizes each instrumented phase (histograms included).
+	Phases []PhaseSummary `json:"phases"`
+	// PhaseHistograms carries the full bucket data per phase.
+	PhaseHistograms map[string]HistogramSnapshot `json:"phase_histograms,omitempty"`
+	// CG is the conjugate-gradient convergence summary.
+	CG CGStats `json:"cg"`
+	// Counters sums the evaluation counters absorbed from every run.
+	Counters metrics.Counters `json:"counters"`
+	// Extra holds the named extension counters (Observer.Add).
+	Extra map[string]int64 `json:"extra,omitempty"`
+	// Runs is the final status of every observed annealing run.
+	Runs []RunStatus `json:"runs,omitempty"`
+	// Benchmarks restates the phase means as BENCH_*.json entries.
+	Benchmarks []BenchEntry `json:"benchmarks"`
+}
+
+// Report assembles the current summary.
+func (o *Observer) Report() *Report {
+	if o == nil {
+		return nil
+	}
+	r := &Report{
+		GeneratedUnixNS: time.Now().UnixNano(),
+		WallNS:          int64(o.Uptime()),
+		Phases:          o.phaseSummaries(),
+		CG:              o.CGStatsSnapshot(),
+		Counters:        o.countersTotal(),
+		Extra:           o.extraSnapshot(),
+		Runs:            o.RunStatuses(),
+	}
+	r.PhaseHistograms = make(map[string]HistogramSnapshot, len(r.Phases))
+	for p := Phase(0); p < numPhases; p++ {
+		if h := o.phases[p].Snapshot(); h.Count > 0 {
+			r.PhaseHistograms[p.String()] = h
+		}
+	}
+	for _, ps := range r.Phases {
+		r.Benchmarks = append(r.Benchmarks, BenchEntry{
+			Name: "tap25d/" + ps.Phase, Unit: "ns/op", Value: ps.MeanNS,
+		})
+	}
+	if r.CG.Solves > 0 {
+		r.Benchmarks = append(r.Benchmarks, BenchEntry{
+			Name: "tap25d/cg_iterations", Unit: "iters/solve", Value: r.CG.MeanIterations,
+		})
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report as JSON to path (0644).
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// fmtNS renders a nanosecond quantity with a human unit.
+func fmtNS(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+// WriteTable renders the report as an aligned human-readable table.
+func (r *Report) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "observability report (wall %s)\n", fmtNS(float64(r.WallNS)))
+	if len(r.Phases) > 0 {
+		fmt.Fprintf(w, "  %-18s %10s %12s %10s %10s %10s %10s\n",
+			"phase", "count", "total", "mean", "p50", "p99", "max")
+		for _, p := range r.Phases {
+			fmt.Fprintf(w, "  %-18s %10d %12s %10s %10s %10s %10s\n",
+				p.Phase, p.Count, fmtNS(float64(p.TotalNS)), fmtNS(p.MeanNS),
+				fmtNS(float64(p.P50NS)), fmtNS(float64(p.P99NS)), fmtNS(float64(p.MaxNS)))
+		}
+	}
+	if r.CG.Solves > 0 {
+		fmt.Fprintf(w, "  cg: %d solves, %.1f iters/solve mean (p50<=%d p90<=%d p99<=%d max %d)\n",
+			r.CG.Solves, r.CG.MeanIterations,
+			r.CG.P50Iterations, r.CG.P90Iterations, r.CG.P99Iterations, r.CG.MaxIterations)
+	}
+	if !r.Counters.IsZero() {
+		fmt.Fprintf(w, "  counters: %s\n", r.Counters)
+	}
+	for _, rs := range r.Runs {
+		fmt.Fprintf(w, "  run %d: %s at step %d/%d, best %.2f C / %.0f mm, accept %.2f\n",
+			rs.Run, rs.State, rs.Step, rs.Steps, rs.BestTempC, rs.BestWirelengthMM, rs.AcceptRate)
+	}
+}
+
+// EventSnapshot is the compact observability payload attached to structured
+// run events at checkpoint boundaries: span-timing summaries plus the
+// histogram state, small enough to inline into a JSONL journal line.
+type EventSnapshot struct {
+	UptimeNS int64 `json:"uptime_ns"`
+	// Phases summarizes each non-empty phase histogram at this boundary.
+	Phases []PhaseSummary `json:"phases"`
+	// CGIterations is the iterations-to-converge histogram at this boundary.
+	CGIterations HistogramSnapshot `json:"cg_iterations"`
+}
+
+// EventSnapshot captures the current histogram state for event enrichment
+// (nil when disabled, so the field marshals away).
+func (o *Observer) EventSnapshot() *EventSnapshot {
+	if o == nil {
+		return nil
+	}
+	return &EventSnapshot{
+		UptimeNS:     int64(o.Uptime()),
+		Phases:       o.phaseSummaries(),
+		CGIterations: o.cgIters.Snapshot(),
+	}
+}

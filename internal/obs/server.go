@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+)
+
+// Handler builds the debug mux for o:
+//
+//	/metrics       Prometheus text exposition (histograms, counters, run gauges)
+//	/run           JSON view of the live annealer (run statuses, recent spans,
+//	               CG convergence stats, counters)
+//	/run/series    JSON SA time series, one object per run
+//	/debug/pprof/  the standard net/http/pprof handlers
+//	/debug/vars    expvar
+//	/report        the full Report as JSON
+//
+// The handler is safe while runs are in flight: everything it reads is an
+// atomic or mutex-guarded snapshot.
+func Handler(o *Observer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, o)
+	})
+	mux.HandleFunc("/run", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"uptime_ns":    int64(o.Uptime()),
+			"runs":         o.RunStatuses(),
+			"counters":     o.countersTotal(),
+			"cg":           o.CGStatsSnapshot(),
+			"recent_spans": o.RecentSpans(),
+		})
+	})
+	mux.HandleFunc("/run/series", func(w http.ResponseWriter, r *http.Request) {
+		series := map[string][]SAPoint{}
+		for _, rs := range o.RunStatuses() {
+			series[fmt.Sprintf("run%d", rs.Run)] = o.SASeries(rs.Run)
+		}
+		writeJSON(w, series)
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, o.Report())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writePrometheus renders the text exposition format. Duration histograms
+// are exported in seconds with cumulative le buckets, as Prometheus expects.
+func writePrometheus(w http.ResponseWriter, o *Observer) {
+	if o == nil {
+		fmt.Fprintln(w, "# observer disabled")
+		return
+	}
+	for p := Phase(0); p < numPhases; p++ {
+		h := o.phases[p].Snapshot()
+		if h.Count == 0 {
+			continue
+		}
+		writePromHistogram(w, "tap25d_phase_duration_seconds",
+			fmt.Sprintf(`phase=%q`, p.String()), h, 1e-9)
+	}
+	if h := o.cgIters.Snapshot(); h.Count > 0 {
+		writePromHistogram(w, "tap25d_cg_iterations", "", h, 1)
+	}
+	total := o.countersTotal()
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"evaluations", total.Evaluations},
+		{"cache_hits", total.CacheHits},
+		{"cache_misses", total.CacheMisses},
+		{"thermal_solves", total.ThermalSolves},
+		{"cg_iterations", total.CGIterations},
+		{"full_assembles", total.FullAssembles},
+		{"delta_assembles", total.DeltaAssembles},
+		{"skipped_assembles", total.SkippedAssembles},
+		{"route_calls", total.RouteCalls},
+		{"checkpoints", total.Checkpoints},
+		{"resumes", total.Resumes},
+	} {
+		fmt.Fprintf(w, "# TYPE tap25d_%s_total counter\ntap25d_%s_total %d\n", c.name, c.name, c.v)
+	}
+	extra := o.extraSnapshot()
+	names := make([]string, 0, len(extra))
+	for name := range extra {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "# TYPE tap25d_extra_total counter\ntap25d_extra_total{name=%q} %d\n", name, extra[name])
+	}
+	for _, rs := range o.RunStatuses() {
+		l := fmt.Sprintf(`run="%d"`, rs.Run)
+		fmt.Fprintf(w, "tap25d_run_step{%s} %d\n", l, rs.Step)
+		fmt.Fprintf(w, "tap25d_run_k{%s} %g\n", l, rs.K)
+		fmt.Fprintf(w, "tap25d_run_best_temp_c{%s} %g\n", l, rs.BestTempC)
+		fmt.Fprintf(w, "tap25d_run_best_wirelength_mm{%s} %g\n", l, rs.BestWirelengthMM)
+		fmt.Fprintf(w, "tap25d_run_accept_rate{%s} %g\n", l, rs.AcceptRate)
+	}
+	fmt.Fprintf(w, "tap25d_uptime_seconds %g\n", o.Uptime().Seconds())
+}
+
+// writePromHistogram emits one histogram with cumulative buckets; scale
+// converts stored integer values to the exported unit (1e-9 for ns→s).
+func writePromHistogram(w http.ResponseWriter, name, labels string, h HistogramSnapshot, scale float64) {
+	sep, wrap := "", ""
+	if labels != "" {
+		sep = ","
+		wrap = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatBound(float64(b.Upper)*scale), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.Count)
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, wrap, float64(h.Sum)*scale)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, wrap, h.Count)
+}
+
+func formatBound(v float64) string { return fmt.Sprintf("%g", v) }
+
+// Server is a running debug HTTP server. Close shuts it down.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the debug server on addr (e.g. "localhost:6060"; ":0" picks a
+// free port — read it back with Addr). It returns once the listener is bound;
+// requests are served on a background goroutine until Close.
+func Serve(addr string, o *Observer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(o)}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down, waiting briefly for in-flight requests.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"tap25d/internal/metrics"
+)
+
+func seededObserver() *Observer {
+	o := New()
+	sp := o.StartSpan(PhaseSAStep, "")
+	sp.Child(PhaseThermalSolve, "full").End()
+	sp.End()
+	tr := o.StartCG()
+	tr.Observe(0, 1)
+	tr.Observe(1, 0.1)
+	o.EndCG(tr, 4, true)
+	o.RecordSAStep(0, 10, SAPoint{Step: 3, BestTempC: 81.5, Cost: 1.2})
+	o.SetRunCounters(0, metrics.Counters{Evaluations: 5, ThermalSolves: 4, CGIterations: 16})
+	o.SetRunState(0, "running")
+	o.Add("debug_requests", 1)
+	return o
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	o := seededObserver()
+	srv, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := getBody(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		`tap25d_phase_duration_seconds_bucket{phase="sa_step"`,
+		`tap25d_phase_duration_seconds_count{phase="thermal_solve"} 1`,
+		"tap25d_cg_iterations_count 1",
+		"tap25d_cg_iterations_sum 4",
+		"tap25d_evaluations_total 5",
+		"tap25d_thermal_solves_total 4",
+		"tap25d_cg_iterations_total 16",
+		`tap25d_extra_total{name="debug_requests"} 1`,
+		`tap25d_run_step{run="0"} 4`,
+		"tap25d_uptime_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+
+	code, body = getBody(t, base+"/run")
+	if code != http.StatusOK {
+		t.Fatalf("/run status %d", code)
+	}
+	var run struct {
+		UptimeNS int64            `json:"uptime_ns"`
+		Runs     []RunStatus      `json:"runs"`
+		Counters metrics.Counters `json:"counters"`
+		CG       CGStats          `json:"cg"`
+		Spans    []SpanRecord     `json:"recent_spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &run); err != nil {
+		t.Fatalf("/run decode: %v\n%s", err, body)
+	}
+	if len(run.Runs) != 1 || run.Runs[0].State != "running" || run.Runs[0].BestTempC != 81.5 {
+		t.Fatalf("/run runs %+v", run.Runs)
+	}
+	if run.Counters.Evaluations != 5 || run.CG.Solves != 1 || len(run.Spans) != 2 {
+		t.Fatalf("/run payload counters=%+v cg=%+v spans=%d", run.Counters, run.CG, len(run.Spans))
+	}
+
+	code, body = getBody(t, base+"/run/series")
+	if code != http.StatusOK {
+		t.Fatalf("/run/series status %d", code)
+	}
+	var series map[string][]SAPoint
+	if err := json.Unmarshal([]byte(body), &series); err != nil {
+		t.Fatalf("/run/series decode: %v", err)
+	}
+	if len(series["run0"]) != 1 || series["run0"][0].Step != 3 {
+		t.Fatalf("/run/series %+v", series)
+	}
+
+	code, body = getBody(t, base+"/report")
+	if code != http.StatusOK {
+		t.Fatalf("/report status %d", code)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/report decode: %v", err)
+	}
+	if rep.Counters.Evaluations != 5 || rep.CG.Solves != 1 {
+		t.Fatalf("/report %+v", rep)
+	}
+
+	for _, path := range []string{"/debug/pprof/", "/debug/vars"} {
+		if code, _ := getBody(t, base+path); code != http.StatusOK {
+			t.Errorf("%s status %d", path, code)
+		}
+	}
+}
+
+func TestMetricsHandlerNilObserver(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := getBody(t, "http://"+srv.Addr()+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "disabled") {
+		t.Fatalf("nil-observer /metrics: %d %q", code, body)
+	}
+}

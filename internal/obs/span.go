@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Span is one timed region of a placement flow. Spans form a hierarchy:
+// Child spans link to their parent, and StartSpanCtx picks the parent up
+// from a context (so e.g. a thermal solve started inside an SA step becomes
+// that step's child without the packages knowing about each other). Ending a
+// span records its duration into the phase histogram and pushes a SpanRecord
+// into the observer's recent-span ring.
+//
+// All Span methods are nil-safe: a disabled Observer hands out nil spans and
+// every operation on them is a pointer test.
+type Span struct {
+	o      *Observer
+	parent *Span
+	phase  Phase
+	label  string
+	start  time.Time
+}
+
+// StartSpan opens a root span for phase. label is optional free-form detail
+// ("full", "delta", the routing method, ...).
+func (o *Observer) StartSpan(phase Phase, label string) *Span {
+	if o == nil {
+		return nil
+	}
+	return &Span{o: o, phase: phase, label: label, start: time.Now()}
+}
+
+// Child opens a sub-span of s. A nil s yields nil.
+func (s *Span) Child(phase Phase, label string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{o: s.o, parent: s, phase: phase, label: label, start: time.Now()}
+}
+
+// SetLabel replaces the span's label before End records it — for callers that
+// only learn the interesting detail (e.g. "delta" vs "skip") mid-span.
+func (s *Span) SetLabel(label string) {
+	if s == nil {
+		return
+	}
+	s.label = label
+}
+
+// End closes the span: its duration lands in the phase histogram and the
+// recent-span ring. End on a nil span is a no-op; ending twice records twice
+// (don't).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	if d < 0 {
+		d = 0
+	}
+	s.o.phases[s.phase].Observe(uint64(d))
+	s.o.spans.push(SpanRecord{
+		Phase:      s.phase.String(),
+		Label:      s.label,
+		Parent:     s.parentPath(),
+		StartUnix:  s.start.UnixNano(),
+		DurationNS: int64(d),
+	})
+}
+
+// parentPath renders the ancestor chain root-first ("sa_step" or
+// "sa_step/thermal_solve").
+func (s *Span) parentPath() string {
+	if s.parent == nil {
+		return ""
+	}
+	path := ""
+	for p := s.parent; p != nil; p = p.parent {
+		seg := p.phase.String()
+		if path == "" {
+			path = seg
+		} else {
+			path = seg + "/" + path
+		}
+	}
+	return path
+}
+
+// SpanRecord is one completed span as kept in the recent-span ring and
+// served by /run.
+type SpanRecord struct {
+	Phase string `json:"phase"`
+	Label string `json:"label,omitempty"`
+	// Parent is the ancestor chain root-first, empty for root spans.
+	Parent string `json:"parent,omitempty"`
+	// StartUnix is the span's start in Unix nanoseconds.
+	StartUnix  int64 `json:"start_unix_ns"`
+	DurationNS int64 `json:"duration_ns"`
+}
+
+// spanRingCap bounds the recent-span ring: enough to show the last few SA
+// steps with their nested solves without growing with run length.
+const spanRingCap = 256
+
+type spanRing struct {
+	mu     sync.Mutex
+	buf    [spanRingCap]SpanRecord
+	next   int
+	filled bool
+}
+
+func (r *spanRing) push(rec SpanRecord) {
+	r.mu.Lock()
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % spanRingCap
+	if r.next == 0 {
+		r.filled = true
+	}
+	r.mu.Unlock()
+}
+
+func (r *spanRing) snapshot() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.filled {
+		return append([]SpanRecord(nil), r.buf[:r.next]...)
+	}
+	out := make([]SpanRecord, 0, spanRingCap)
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// RecentSpans returns the newest completed spans, oldest first (at most 256).
+func (o *Observer) RecentSpans() []SpanRecord {
+	if o == nil {
+		return nil
+	}
+	return o.spans.snapshot()
+}
+
+// --- context propagation ---------------------------------------------------
+
+type spanCtxKey struct{}
+
+// ContextWithSpan attaches s to ctx so spans opened downstream (in packages
+// that never see the caller's Span) can link to it as their parent.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the span attached by ContextWithSpan, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartSpanCtx opens a span whose parent is the context's span when one is
+// attached, and a root span otherwise. Instrumented leaf packages (thermal,
+// route) use this so their spans nest under whatever step invoked them.
+func (o *Observer) StartSpanCtx(ctx context.Context, phase Phase, label string) *Span {
+	if o == nil {
+		return nil
+	}
+	if parent := SpanFromContext(ctx); parent != nil && parent.o == o {
+		return parent.Child(phase, label)
+	}
+	return o.StartSpan(phase, label)
+}

@@ -1,0 +1,139 @@
+package obs
+
+import "sync"
+
+// cgResidualCap bounds the residuals recorded per solve. Warm-started
+// annealer solves converge in a handful of iterations; a cold solve that
+// runs longer keeps its first cgResidualCap residuals, which is where the
+// convergence behavior shows.
+const cgResidualCap = 512
+
+// cgRingCap is how many recent solves keep their full residual trace.
+const cgRingCap = 64
+
+// CGTrace is the residual-vs-iteration record of one conjugate-gradient
+// solve. A trace is handed out by StartCG, fed by the solver's OnIteration
+// hook, and sealed by EndCG. Methods are nil-safe, so the disabled path can
+// thread a nil trace for free.
+type CGTrace struct {
+	// Seq numbers solves in start order (1-based) across the Observer.
+	Seq uint64 `json:"seq"`
+	// Iterations is the solve's iteration count (set by EndCG).
+	Iterations int `json:"iterations"`
+	// Converged reports whether the solve hit its tolerance.
+	Converged bool `json:"converged"`
+	// Residuals holds ‖b−Ax‖₂ after iteration i (index 0 is the initial
+	// residual of the warm/cold start), capped at cgResidualCap entries.
+	Residuals []float64 `json:"residuals"`
+}
+
+// Observe appends one iteration's residual; it matches the signature of
+// sparse.CGOptions.OnIteration.
+func (t *CGTrace) Observe(iter int, residual float64) {
+	if t == nil || len(t.Residuals) >= cgResidualCap {
+		return
+	}
+	t.Residuals = append(t.Residuals, residual)
+}
+
+// StartCG opens a convergence trace for one solve (nil when disabled).
+func (o *Observer) StartCG() *CGTrace {
+	if o == nil {
+		return nil
+	}
+	return &CGTrace{Seq: o.cgSeq.Add(1)}
+}
+
+// EndCG seals a trace: records the solve's iteration count into the
+// iterations-to-converge histogram and pushes the trace into the ring of
+// recent solves. Safe with t == nil (records the histogram point only when
+// the observer itself is enabled).
+func (o *Observer) EndCG(t *CGTrace, iterations int, converged bool) {
+	if o == nil {
+		return
+	}
+	o.cgIters.Observe(uint64(iterations))
+	if t == nil {
+		return
+	}
+	t.Iterations = iterations
+	t.Converged = converged
+	o.cgTraces.push(t)
+}
+
+type cgRing struct {
+	mu     sync.Mutex
+	buf    [cgRingCap]*CGTrace
+	next   int
+	filled bool
+}
+
+func (r *cgRing) push(t *CGTrace) {
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % cgRingCap
+	if r.next == 0 {
+		r.filled = true
+	}
+	r.mu.Unlock()
+}
+
+func (r *cgRing) snapshot() []*CGTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*CGTrace
+	if r.filled {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// RecentCGTraces returns the newest solve traces, oldest first (at most 64).
+func (o *Observer) RecentCGTraces() []*CGTrace {
+	if o == nil {
+		return nil
+	}
+	return o.cgTraces.snapshot()
+}
+
+// CGStats summarizes convergence behavior across all observed solves.
+type CGStats struct {
+	// Solves is the number of solves observed (EndCG calls).
+	Solves uint64 `json:"solves"`
+	// TotalIterations sums iterations over all solves; MeanIterations is the
+	// average, MaxIterations the worst case.
+	TotalIterations uint64  `json:"total_iterations"`
+	MeanIterations  float64 `json:"mean_iterations"`
+	MaxIterations   uint64  `json:"max_iterations"`
+	// P50/P90/P99 are bucket-resolution quantiles of iterations-to-converge.
+	P50Iterations uint64 `json:"p50_iterations"`
+	P90Iterations uint64 `json:"p90_iterations"`
+	P99Iterations uint64 `json:"p99_iterations"`
+	// Histogram is the full iterations-to-converge distribution.
+	Histogram HistogramSnapshot `json:"histogram"`
+	// LastTrace is the most recent solve's residual-vs-iteration record.
+	LastTrace *CGTrace `json:"last_trace,omitempty"`
+}
+
+// CGStatsSnapshot computes the current convergence statistics.
+func (o *Observer) CGStatsSnapshot() CGStats {
+	if o == nil {
+		return CGStats{}
+	}
+	h := o.cgIters.Snapshot()
+	st := CGStats{
+		Solves:          h.Count,
+		TotalIterations: h.Sum,
+		MeanIterations:  h.Mean(),
+		MaxIterations:   h.Max,
+		P50Iterations:   h.Quantile(0.50),
+		P90Iterations:   h.Quantile(0.90),
+		P99Iterations:   h.Quantile(0.99),
+		Histogram:       h,
+	}
+	if traces := o.cgTraces.snapshot(); len(traces) > 0 {
+		st.LastTrace = traces[len(traces)-1]
+	}
+	return st
+}

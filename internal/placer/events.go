@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"tap25d/internal/metrics"
+	"tap25d/internal/obs"
 )
 
 // Event kinds, carried in Event.Kind so one JSONL journal can interleave
@@ -59,6 +60,10 @@ type Event struct {
 	// Counters snapshots the evaluator's metrics (thermal solves, CG
 	// iterations, cache hits, ...) when the evaluator exposes them.
 	Counters *metrics.Counters `json:"counters,omitempty"`
+	// Obs carries phase-timing and CG-convergence histograms on lifecycle
+	// events (checkpoint, resume, final, interrupted) when observability is
+	// enabled; step events omit it to keep the journal lean.
+	Obs *obs.EventSnapshot `json:"obs,omitempty"`
 }
 
 // EventFunc receives progress events. PlaceBestOf runs anneal in parallel, so

@@ -19,12 +19,14 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"tap25d/internal/btree"
 	"tap25d/internal/chiplet"
 	"tap25d/internal/geom"
 	"tap25d/internal/metrics"
+	"tap25d/internal/obs"
 	"tap25d/internal/ocm"
 	"tap25d/internal/route"
 	"tap25d/internal/thermal"
@@ -109,7 +111,7 @@ func (e *SystemEvaluator) EvaluateContext(ctx context.Context, p chiplet.Placeme
 		return 0, 0, err
 	}
 	e.ctr.RouteCalls++
-	r, err := route.Route(e.sys, p, e.ropts)
+	r, err := route.RouteContext(ctx, e.sys, p, e.ropts)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -236,6 +238,13 @@ type Options struct {
 	// starts: a non-nil checkpoint resumes that run in place of a fresh
 	// start (see Resume for the bit-compatibility contract).
 	Restore RestoreFunc `json:"-"`
+	// Obs, when non-nil, receives span timings (SA steps, checkpoint
+	// writes, the initial placement), the per-run SA time series, and run
+	// lifecycle state. Like the hooks above it never affects the annealing
+	// trajectory, is excluded from checkpoints, and is re-attached from the
+	// live Options on Resume. It must be safe for concurrent use (it is, by
+	// construction) when shared across PlaceBestOf runs.
+	Obs *obs.Observer `json:"-"`
 }
 
 func (o Options) withDefaults() Options {
@@ -501,22 +510,26 @@ func PlaceContext(ctx context.Context, sys *chiplet.System, ev Evaluator, opt Op
 	rng := rand.New(src)
 
 	// Initial placement: Compact-2.5D unless provided.
+	isp := opt.Obs.StartSpan(obs.PhaseInitialPlacement, "")
 	var init chiplet.Placement
 	if opt.Initial != nil {
 		init = opt.Initial.Clone()
 	} else {
 		cres, err := btree.PlaceCompact(sys, btree.Options{Seed: opt.Seed, Steps: opt.CompactSteps})
 		if err != nil {
+			isp.End()
 			return nil, fmt.Errorf("placer: initial compact placement: %w", err)
 		}
 		init = cres.Placement
 	}
 	init, err = grid.Legalize(sys, init)
 	if err != nil {
+		isp.End()
 		return nil, fmt.Errorf("placer: legalizing initial placement: %w", err)
 	}
 
-	t0, w0, err := evaluate(ctx, ev, init)
+	t0, w0, err := evaluate(obs.ContextWithSpan(ctx, isp), ev, init)
+	isp.End()
 	if err != nil {
 		return nil, fmt.Errorf("placer: evaluating initial placement: %w", err)
 	}
@@ -562,6 +575,7 @@ func Resume(ctx context.Context, sys *chiplet.System, ev Evaluator, cp *Checkpoi
 	opt.ProgressEvery = live.ProgressEvery
 	opt.CheckpointEvery = live.CheckpointEvery
 	opt.Checkpoint = live.Checkpoint
+	opt.Obs = live.Obs
 	opt.RunIndex = cp.Run
 
 	grid, err := ocm.NewGrid(sys, opt.GridPitch)
@@ -622,6 +636,7 @@ func Resume(ctx context.Context, sys *chiplet.System, ev Evaluator, cp *Checkpoi
 // emission, checkpointing) adds observability without perturbing results.
 func (st *saState) anneal(ctx context.Context) (*Result, error) {
 	opt := st.opt
+	opt.Obs.SetRunState(opt.RunIndex, "running")
 
 	// Annealing schedule: K decays by KDecay once per level; levels are
 	// spread evenly over the step budget.
@@ -651,12 +666,15 @@ func (st *saState) anneal(ctx context.Context) (*Result, error) {
 				st.k = opt.KEnd
 			}
 		}
+		sp := opt.Obs.StartSpan(obs.PhaseSAStep, "")
 		nb, op, ok := neighbor(st.sys, st.grid, st.cur, st.rng, opt)
 		if !ok {
+			sp.End()
 			continue // no valid perturbation found this step
 		}
-		nbT, nbW, err := evaluate(ctx, st.ev, nb)
+		nbT, nbW, err := evaluate(obs.ContextWithSpan(ctx, sp), st.ev, nb)
 		if err != nil {
+			sp.End()
 			if ctx.Err() != nil {
 				return st.interrupt(ctx.Err())
 			}
@@ -681,6 +699,7 @@ func (st *saState) anneal(ctx context.Context) (*Result, error) {
 				st.best, st.bestT, st.bestW = st.cur.Clone(), st.curT, st.curW
 			}
 		}
+		sp.End()
 		if opt.History {
 			st.res.History = append(st.res.History, Sample{
 				Step: step, Op: op, TempC: nbT, WirelengthMM: nbW,
@@ -688,6 +707,7 @@ func (st *saState) anneal(ctx context.Context) (*Result, error) {
 			})
 		}
 		st.res.Steps++
+		st.recordObsStep(step, alpha, nbT, nbW, nbCost, accepted)
 
 		if opt.ProgressEvery > 0 && (step+1)%opt.ProgressEvery == 0 {
 			st.emit(Event{
@@ -709,6 +729,28 @@ func (st *saState) anneal(ctx context.Context) (*Result, error) {
 	return st.res, nil
 }
 
+// recordObsStep feeds one completed SA step into the observer's per-run time
+// series and refreshes the run's live status (no-op when observability is
+// disabled).
+func (st *saState) recordObsStep(step int, alpha, nbT, nbW, nbCost float64, accepted bool) {
+	o := st.opt.Obs
+	if o == nil {
+		return
+	}
+	p := obs.SAPoint{
+		Step: step, K: st.k, Alpha: alpha,
+		TempC: nbT, WirelengthMM: nbW, Cost: nbCost, Accepted: accepted,
+		BestTempC: st.bestT, BestWirelengthMM: st.bestW,
+	}
+	if st.res.Steps > 0 {
+		p.AcceptRate = float64(st.res.Accepted) / float64(st.res.Steps)
+	}
+	o.RecordSAStep(st.opt.RunIndex, st.opt.Steps, p)
+	if mp, ok := st.ev.(MetricsProvider); ok {
+		o.SetRunCounters(st.opt.RunIndex, mp.Metrics())
+	}
+}
+
 // finish seals the Result from the run state.
 func (st *saState) finish(interrupted bool) {
 	st.res.Placement = st.best
@@ -718,6 +760,12 @@ func (st *saState) finish(interrupted bool) {
 	if mp, ok := st.ev.(MetricsProvider); ok {
 		st.res.Metrics = mp.Metrics()
 	}
+	state := "final"
+	if interrupted {
+		state = "interrupted"
+	}
+	st.opt.Obs.SetRunState(st.opt.RunIndex, state)
+	st.opt.Obs.SetRunCounters(st.opt.RunIndex, st.res.Metrics)
 }
 
 // interrupt finalizes a canceled run: it seals the best-so-far Result,
@@ -762,12 +810,19 @@ func (st *saState) emit(e Event) {
 		ctr := mp.Metrics()
 		e.Counters = &ctr
 	}
+	// Lifecycle events (resume, checkpoint, final, interrupted) carry the
+	// observability snapshot; per-step events stay lean.
+	if e.Kind != EventStep {
+		e.Obs = st.opt.Obs.EventSnapshot()
+	}
 	st.opt.Progress(e)
 }
 
 // checkpoint snapshots the run with nextStep as the resume point and hands it
 // to the sink.
 func (st *saState) checkpoint(nextStep int, draws uint64, k float64) error {
+	sp := st.opt.Obs.StartSpan(obs.PhaseCheckpointWrite, "")
+	defer sp.End()
 	cp := &Checkpoint{
 		Version:             CheckpointVersion,
 		Run:                 st.opt.RunIndex,
@@ -896,22 +951,26 @@ func PlaceBestOfContext(ctx context.Context, sys *chiplet.System, factory func()
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			ev, err := factory()
-			if err != nil {
-				errs[r] = err
-				return
-			}
-			ro := opt
-			ro.Seed = opt.Seed + int64(r)
-			ro.RunIndex = r
-			res, err := PlaceContext(ctx, sys, ev, ro)
-			if err != nil {
-				errs[r] = err
-			}
-			if res != nil {
-				res.Run = r
-				results[r] = res
-			}
+			// Label the run's goroutine for pprof so CPU profiles split by
+			// run index (no-op when observability is disabled).
+			opt.Obs.Do(ctx, func(ctx context.Context) {
+				ev, err := factory()
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				ro := opt
+				ro.Seed = opt.Seed + int64(r)
+				ro.RunIndex = r
+				res, err := PlaceContext(ctx, sys, ev, ro)
+				if err != nil {
+					errs[r] = err
+				}
+				if res != nil {
+					res.Run = r
+					results[r] = res
+				}
+			}, "tap25d_run", strconv.Itoa(r))
 		}(r)
 	}
 	wg.Wait()

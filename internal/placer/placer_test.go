@@ -3,10 +3,13 @@ package placer
 import (
 	"errors"
 	"math"
+	"sync"
 	"testing"
 
 	"tap25d/internal/chiplet"
 	"tap25d/internal/geom"
+	"tap25d/internal/metrics"
+	"tap25d/internal/obs"
 )
 
 // fakeEval is a synthetic objective: "temperature" falls as the two
@@ -314,6 +317,69 @@ func TestPlaceBestOf(t *testing.T) {
 		if Better(res.PeakC, res.WirelengthMM, best.PeakC, best.WirelengthMM, 85) {
 			t.Errorf("run %d beats the reported best", r)
 		}
+	}
+}
+
+// countedEval wraps fakeEval with unsynchronized per-run counters, exactly
+// like the real SystemEvaluator's. The safety contract is structural: each
+// run owns its evaluator, and PlaceBestOf merges counters only after the run
+// goroutines are joined.
+type countedEval struct {
+	fakeEval
+	ctr metrics.Counters
+}
+
+func (c *countedEval) Evaluate(p chiplet.Placement) (float64, float64, error) {
+	c.ctr.Evaluations++
+	return c.fakeEval.Evaluate(p)
+}
+
+func (c *countedEval) Metrics() metrics.Counters { return c.ctr }
+
+// TestPlaceBestOfCounterMergeRaceSafe is a -race regression test for the
+// counter aggregation in PlaceBestOfContext: merging per-run counters while a
+// run goroutine still writes them (or sharing one Counters instance across
+// runs) trips the race detector here, and a lost update shows up as a sum
+// mismatch. An Observer is attached so the per-step SetRunCounters path runs
+// concurrently with the merge as it does in production.
+func TestPlaceBestOfCounterMergeRaceSafe(t *testing.T) {
+	sys := placerSystem()
+	var mu sync.Mutex
+	var evs []*countedEval
+	factory := func() (Evaluator, error) {
+		ev := &countedEval{fakeEval: fakeEval{sys: sys, tempBase: 130, tempSlope: 2}}
+		mu.Lock()
+		evs = append(evs, ev)
+		mu.Unlock()
+		return ev, nil
+	}
+	o := obs.New()
+	const runs = 8
+	best, err := PlaceBestOf(sys, factory, runs, Options{Steps: 200, Seed: 7, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(evs) != runs {
+		t.Fatalf("factory built %d evaluators, want %d", len(evs), runs)
+	}
+	var want int64
+	for _, ev := range evs {
+		want += ev.ctr.Evaluations
+	}
+	// Each run evaluates the initial placement once plus at most one
+	// neighbor per step, so the total is bounded and non-trivial.
+	if want <= runs || want > runs*201 {
+		t.Fatalf("implausible total evaluations %d for %d runs of 200 steps", want, runs)
+	}
+	if best.Metrics.Evaluations != want {
+		t.Fatalf("merged Evaluations = %d, want sum of per-run counters %d",
+			best.Metrics.Evaluations, want)
+	}
+	// The observer absorbed each run's final counters; its report must agree.
+	if rep := o.Report(); rep.Counters.Evaluations != want {
+		t.Fatalf("observer report Evaluations = %d, want %d", rep.Counters.Evaluations, want)
 	}
 }
 

@@ -22,6 +22,7 @@
 package route
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -30,6 +31,7 @@ import (
 	"tap25d/internal/chiplet"
 	"tap25d/internal/geom"
 	"tap25d/internal/lp"
+	"tap25d/internal/obs"
 )
 
 // ClumpsPerChiplet is |P| per chiplet: the paper groups the microbumps along
@@ -94,6 +96,9 @@ type Options struct {
 	PinCapacity []int
 	// MILP bounds the branch-and-bound search when Method == MethodMILP.
 	MILP lp.MILPOptions
+	// Obs, when non-nil, records each routing call as a route_solve span
+	// labeled with the method name. Timing-only: results are unaffected.
+	Obs *obs.Observer
 }
 
 // Flow is a number of wires of one net routed over a single clump-to-clump
@@ -143,6 +148,20 @@ func DerivedPinCapacity(sys *chiplet.System) []int {
 
 // Route computes a routing solution for placement p.
 func Route(sys *chiplet.System, p chiplet.Placement, opt Options) (*Result, error) {
+	return RouteContext(context.Background(), sys, p, opt)
+}
+
+// RouteContext is Route with an observability context: when opt.Obs is set,
+// the call is recorded as a route_solve span nested under the span attached
+// to ctx (an SA step, typically). Routing itself never blocks on ctx.
+func RouteContext(ctx context.Context, sys *chiplet.System, p chiplet.Placement, opt Options) (*Result, error) {
+	sp := opt.Obs.StartSpanCtx(ctx, obs.PhaseRouteSolve, opt.Method.String())
+	res, err := routeDispatch(sys, p, opt)
+	sp.End()
+	return res, err
+}
+
+func routeDispatch(sys *chiplet.System, p chiplet.Placement, opt Options) (*Result, error) {
 	if err := sys.CheckPlacement(p); err != nil {
 		return nil, fmt.Errorf("route: %w", err)
 	}

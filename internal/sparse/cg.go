@@ -219,6 +219,9 @@ func (s *CGSolver) SolveContext(ctx context.Context, x, b []float64, opt CGOptio
 		rnorm0 += r[i] * r[i]
 	}
 	bnorm = math.Sqrt(bnorm)
+	if opt.OnIteration != nil {
+		opt.OnIteration(0, math.Sqrt(rnorm0))
+	}
 	if bnorm == 0 {
 		for i := range x {
 			x[i] = 0
@@ -261,7 +264,11 @@ func (s *CGSolver) SolveContext(ctx context.Context, x, b []float64, opt CGOptio
 			z[i] = zi
 			rzNew += ri * zi
 		}
-		if math.Sqrt(rnorm) <= tol*bnorm {
+		res := math.Sqrt(rnorm)
+		if opt.OnIteration != nil {
+			opt.OnIteration(it, res)
+		}
+		if res <= tol*bnorm {
 			return it, nil
 		}
 		beta := rzNew / rz

@@ -293,3 +293,78 @@ func BenchmarkSolveCG(b *testing.B) {
 		}
 	}
 }
+
+// TestOnIterationObservesResiduals: the OnIteration hook must fire once per
+// iteration (plus the initial residual at iteration 0), report monotonically
+// identifiable residual values the solver itself computed, and leave the
+// solution bit-identical to a hook-free solve.
+func TestOnIterationObservesResiduals(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a, want := randSPD(120, rng)
+	rhs := make([]float64, 120)
+	a.MulVec(rhs, want)
+
+	plain := make([]float64, 120)
+	itPlain, err := SolveCG(a, plain, rhs, CGOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var iters []int
+	var residuals []float64
+	hooked := make([]float64, 120)
+	itHooked, err := SolveCG(a, hooked, rhs, CGOptions{
+		Tol: 1e-10,
+		OnIteration: func(it int, res float64) {
+			iters = append(iters, it)
+			residuals = append(residuals, res)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if itHooked != itPlain {
+		t.Fatalf("hooked solve took %d iterations, plain %d", itHooked, itPlain)
+	}
+	for i := range plain {
+		if hooked[i] != plain[i] {
+			t.Fatalf("x[%d] differs with hook: %v vs %v", i, hooked[i], plain[i])
+		}
+	}
+	if len(iters) != itHooked+1 {
+		t.Fatalf("hook fired %d times for %d iterations", len(iters), itHooked)
+	}
+	for i, it := range iters {
+		if it != i {
+			t.Fatalf("iteration sequence %v not 0..n", iters)
+		}
+	}
+	if residuals[0] <= residuals[len(residuals)-1] {
+		t.Fatalf("residual did not decrease: first %g last %g", residuals[0], residuals[len(residuals)-1])
+	}
+	if residuals[len(residuals)-1] > 1e-8 {
+		t.Fatalf("final residual %g not converged", residuals[len(residuals)-1])
+	}
+}
+
+// TestOnIterationWarmConverged: a warm start that is already converged still
+// reports its initial residual at iteration 0.
+func TestOnIterationWarmConverged(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a, want := randSPD(60, rng)
+	rhs := make([]float64, 60)
+	a.MulVec(rhs, want)
+	x := make([]float64, 60)
+	copy(x, want)
+	var calls int
+	it, err := SolveCG(a, x, rhs, CGOptions{
+		Tol:         1e-6,
+		OnIteration: func(int, float64) { calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it != 0 || calls != 1 {
+		t.Fatalf("warm-converged solve: it=%d hook calls=%d, want 0 and 1", it, calls)
+	}
+}

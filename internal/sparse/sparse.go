@@ -215,6 +215,12 @@ type CGOptions struct {
 	Tol float64
 	// MaxIter caps the iteration count. Default 10·N.
 	MaxIter int
+	// OnIteration, when non-nil, is invoked once per iteration with the
+	// residual norm ‖b−Ax‖₂ after that iteration; iteration 0 reports the
+	// initial (warm-start) residual. The hook observes values the solver
+	// already computes, so it cannot perturb the arithmetic; when nil the
+	// only cost is one pointer test per iteration.
+	OnIteration func(iter int, residual float64)
 }
 
 // SolveCG solves A·x = b for symmetric positive-definite A using

@@ -22,6 +22,7 @@ import (
 	"tap25d/internal/geom"
 	"tap25d/internal/material"
 	"tap25d/internal/metrics"
+	"tap25d/internal/obs"
 	"tap25d/internal/sparse"
 )
 
@@ -55,6 +56,10 @@ type Options struct {
 	// The model does not synchronize access: share a Counters only among
 	// models used from one goroutine.
 	Counters *metrics.Counters
+	// Obs, when non-nil, receives solve/assemble span timings and per-solve
+	// CG convergence traces. Instrumentation is timing-only: it never touches
+	// the arithmetic, so observed and unobserved solves are bit-identical.
+	Obs *obs.Observer
 }
 
 // Model evaluates placements on a fixed interposer. A Model is reusable but
@@ -107,6 +112,7 @@ type Model struct {
 	dirtyCells, changedCells, dirtySlots []int32
 
 	ctr *metrics.Counters
+	obs *obs.Observer
 }
 
 // NewModel builds a model for an interposer of the given dimensions (mm).
@@ -175,6 +181,7 @@ func NewModel(widthMM, heightMM float64, opt Options) (*Model, error) {
 	m.temps = make([]float64, m.nNodes)
 	m.noInc = opt.DisableIncremental
 	m.ctr = opt.Counters
+	m.obs = opt.Obs
 	return m, nil
 }
 
@@ -341,34 +348,59 @@ func (m *Model) Solve(sources []Source) (*Result, error) {
 // warm start is invalidated, so a later Solve restarts from the cold-start
 // guess.
 func (m *Model) SolveContext(ctx context.Context, sources []Source) (*Result, error) {
+	sp := m.obs.StartSpanCtx(ctx, obs.PhaseThermalSolve, "")
+	res, err := m.solveSpanned(ctx, sp, sources)
+	sp.End()
+	return res, err
+}
+
+// solveSpanned is the SolveContext body with sp (nil when observability is
+// disabled) as the parent for assemble sub-spans.
+func (m *Model) solveSpanned(ctx context.Context, sp *obs.Span, sources []Source) (*Result, error) {
 	if m.noInc {
-		if err := m.rasterize(sources); err != nil {
-			return nil, err
+		asp := sp.Child(obs.PhaseThermalAssemble, "full")
+		err := m.rasterize(sources)
+		var a *sparse.CSR
+		if err == nil {
+			m.assemble()
+			a = m.builder.Build()
+			if m.ctr != nil {
+				m.ctr.FullAssembles++
+			}
 		}
-		m.assemble()
-		a := m.builder.Build()
-		if m.ctr != nil {
-			m.ctr.FullAssembles++
+		asp.End()
+		if err != nil {
+			return nil, err
 		}
 		return m.solveAssembled(ctx, a, nil)
 	}
 
 	if m.fixed == nil {
-		if err := m.initIncremental(sources); err != nil {
-			return nil, err
-		}
-	} else {
-		changed, err := m.rasterizeDelta(sources)
+		asp := sp.Child(obs.PhaseThermalAssemble, "init")
+		err := m.initIncremental(sources)
+		asp.End()
 		if err != nil {
 			return nil, err
 		}
-		m.assembleDelta(changed)
-		if m.ctr != nil {
-			if len(changed) == 0 {
-				m.ctr.SkippedAssembles++
-			} else {
-				m.ctr.DeltaAssembles++
+	} else {
+		asp := sp.Child(obs.PhaseThermalAssemble, "delta")
+		changed, err := m.rasterizeDelta(sources)
+		if err == nil {
+			m.assembleDelta(changed)
+			if m.ctr != nil {
+				if len(changed) == 0 {
+					m.ctr.SkippedAssembles++
+				} else {
+					m.ctr.DeltaAssembles++
+				}
 			}
+			if len(changed) == 0 {
+				asp.SetLabel("skip")
+			}
+		}
+		asp.End()
+		if err != nil {
+			return nil, err
 		}
 	}
 	m.prevSources = append(m.prevSources[:0], sources...)
@@ -425,6 +457,11 @@ func (m *Model) solveAssembled(ctx context.Context, a *sparse.CSR, cg *sparse.CG
 		}
 	}
 	opt := sparse.CGOptions{Tol: m.tol, MaxIter: m.maxIter}
+	var trace *obs.CGTrace
+	if m.obs.Enabled() {
+		trace = m.obs.StartCG()
+		opt.OnIteration = trace.Observe
+	}
 	var iters int
 	var err error
 	if cg != nil {
@@ -432,6 +469,7 @@ func (m *Model) solveAssembled(ctx context.Context, a *sparse.CSR, cg *sparse.CG
 	} else {
 		iters, err = sparse.SolveCGContext(ctx, a, m.temps, m.power, opt)
 	}
+	m.obs.EndCG(trace, iters, err == nil)
 	if err != nil {
 		m.warm = false
 		return nil, fmt.Errorf("thermal: %w", err)

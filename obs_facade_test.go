@@ -1,0 +1,63 @@
+package tap25d
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestObservedRunBitIdentical is the observability determinism contract:
+// attaching an Observer must never change what the flow computes. The same
+// seed with and without observation has to produce bit-identical placements,
+// temperatures and wirelengths, and identical evaluation counters — the
+// instrumentation is timing-only, it never touches RNG draws or the
+// floating-point arithmetic of the solvers.
+func TestObservedRunBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full placement flows")
+	}
+	sys, err := BuiltinSystem("multigpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Options{ThermalGrid: 16, Steps: 300, Runs: 2, CompactSteps: 8000, Seed: 3}
+
+	plain, err := Place(sys, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obsOpt := base
+	observer := NewObserver()
+	obsOpt.Observer = observer
+	observed, err := Place(sys, obsOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if math.Float64bits(plain.PeakC) != math.Float64bits(observed.PeakC) ||
+		math.Float64bits(plain.WirelengthMM) != math.Float64bits(observed.WirelengthMM) {
+		t.Errorf("observed result (%v C, %v mm) differs from unobserved (%v C, %v mm)",
+			observed.PeakC, observed.WirelengthMM, plain.PeakC, plain.WirelengthMM)
+	}
+	if !reflect.DeepEqual(plain.Placement, observed.Placement) {
+		t.Errorf("observed placement differs from unobserved:\n got %+v\nwant %+v",
+			observed.Placement, plain.Placement)
+	}
+	if plain.Metrics != observed.Metrics {
+		t.Errorf("observed counters differ from unobserved:\n got %+v\nwant %+v",
+			observed.Metrics, plain.Metrics)
+	}
+
+	// Guard against a vacuous pass: the observer must actually have seen the
+	// flow it was attached to.
+	rep := observer.Report()
+	if len(rep.Phases) == 0 || rep.CG.Solves == 0 || len(rep.Runs) != base.Runs {
+		t.Fatalf("observer collected nothing: phases=%d cg.solves=%d runs=%d",
+			len(rep.Phases), rep.CG.Solves, len(rep.Runs))
+	}
+	if rep.Counters != observed.Metrics {
+		t.Errorf("observer counters %+v do not match result counters %+v",
+			rep.Counters, observed.Metrics)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"tap25d/internal/interposercost"
 	"tap25d/internal/material"
 	"tap25d/internal/metrics"
+	"tap25d/internal/obs"
 	"tap25d/internal/perf"
 	"tap25d/internal/placer"
 	"tap25d/internal/render"
@@ -94,6 +95,16 @@ type (
 	// JSONLSink appends RunEvents as JSON Lines to a writer; safe for
 	// concurrent use by parallel runs.
 	JSONLSink = placer.JSONLSink
+	// Observer collects observability data — span timings, phase
+	// histograms, CG convergence traces, live run status — across a flow.
+	// nil disables observability at negligible cost (Options.Observer).
+	Observer = obs.Observer
+	// ObsReport is an end-of-run observability summary (Observer.Report):
+	// phase timing histograms, CG convergence statistics, counters, and a
+	// benchmark-file-compatible restatement of the same numbers.
+	ObsReport = obs.Report
+	// DebugServer is a running debug/metrics HTTP endpoint (ServeDebug).
+	DebugServer = obs.Server
 )
 
 // RunEvent kinds (RunEvent.Kind).
@@ -108,6 +119,21 @@ const (
 // NewJSONLSink wraps w (typically the run journal file) as an event sink;
 // pass its Emit method to Options.Progress.
 func NewJSONLSink(w io.Writer) *JSONLSink { return placer.NewJSONLSink(w) }
+
+// NewObserver creates an enabled observability collector to pass as
+// Options.Observer (and, optionally, to ServeDebug). An Observer is safe for
+// concurrent use and may be shared across flows to aggregate them.
+func NewObserver() *Observer { return obs.New() }
+
+// ServeDebug starts the observability HTTP server on addr (e.g.
+// "localhost:6060"; ":0" picks a free port, readable via Addr). It serves
+// Prometheus text metrics on /metrics, a JSON view of the live annealer on
+// /run (time series on /run/series), the full ObsReport on /report, and the
+// standard net/http/pprof and expvar handlers under /debug/. Close the
+// returned server when done.
+func ServeDebug(addr string, o *Observer) (*DebugServer, error) {
+	return obs.Serve(addr, o)
+}
 
 // SaveCheckpoint atomically writes a run snapshot to path (temp file +
 // rename, so a crash mid-write never corrupts an existing checkpoint).
@@ -222,6 +248,12 @@ type Options struct {
 	// non-nil snapshot resumes the run bit-compatibly instead of starting
 	// fresh (see placer.Resume for the exact contract).
 	Restore func(run int) (*RunCheckpoint, error)
+	// Observer, when non-nil, collects span timings, phase histograms and
+	// CG convergence traces across the whole flow (annealing runs and the
+	// final full-fidelity evaluation). Instrumentation is timing-only:
+	// observed and unobserved flows produce bit-identical results, and a
+	// nil Observer costs only pointer tests on the hot paths.
+	Observer *Observer
 }
 
 func (o Options) thermalOptions(sys *System) thermal.Options {
@@ -230,11 +262,11 @@ func (o Options) thermalOptions(sys *System) thermal.Options {
 		grid = 64
 	}
 	stack := material.DefaultStackFor(sys.InterposerW, sys.InterposerH)
-	return thermal.Options{Grid: grid, Stack: &stack}
+	return thermal.Options{Grid: grid, Stack: &stack, Obs: o.Observer}
 }
 
 func (o Options) routeOptions() route.Options {
-	return route.Options{GasStation: o.GasStation}
+	return route.Options{GasStation: o.GasStation, Obs: o.Observer}
 }
 
 func (o Options) placerOptions() placer.Options {
@@ -256,6 +288,7 @@ func (o Options) placerOptions() placer.Options {
 		CheckpointEvery: o.CheckpointEvery,
 		Checkpoint:      o.Checkpoint,
 		Restore:         o.Restore,
+		Obs:             o.Observer,
 	}
 }
 
@@ -325,6 +358,9 @@ func finalize(sys *System, p Placement, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// This evaluation runs outside any annealing run; fold its counters into
+	// the observer so the end-of-flow report accounts for the whole flow.
+	opt.Observer.AbsorbCounters(ctr)
 	return &Result{
 		Placement:    p,
 		PeakC:        tres.PeakC,
