@@ -12,8 +12,12 @@
 // Long campaigns survive interruption: with -checkpoint-dir set, every
 // annealing run snapshots its state periodically (-checkpoint-every) and on
 // SIGINT/SIGTERM, and a later invocation with -resume picks up where the
-// interrupted flow stopped. -journal appends structured progress events as
-// JSON Lines. See docs/OPERATIONS.md for the full runbook.
+// interrupted flow stopped. Snapshots are CRC-sealed and kept in two
+// generations; -resume falls back to the previous generation when the newest
+// is corrupt unless -strict-resume forbids it. -no-recover disables the CG
+// recovery ladder and -eval-failure-budget tolerates transient evaluation
+// failures. -journal appends structured progress events as JSON Lines. See
+// docs/OPERATIONS.md for the full runbook.
 package main
 
 import (
@@ -34,19 +38,22 @@ import (
 
 func main() {
 	var (
-		ids       = flag.String("e", "", "comma-separated experiment IDs (default: all of E1-E13)")
-		full      = flag.Bool("full", false, "paper-fidelity settings (64x64 grid, 4500 steps, 5 runs)")
-		grid      = flag.Int("grid", 0, "override thermal grid resolution")
-		steps     = flag.Int("steps", 0, "override SA steps")
-		runs      = flag.Int("runs", 0, "override SA run count")
-		seed      = flag.Int64("seed", 0, "override random seed")
-		ckptDir   = flag.String("checkpoint-dir", "", "directory for resumable run snapshots (enables checkpointing)")
-		ckptEvery = flag.Int("checkpoint-every", 0, "snapshot cadence in SA steps (0: only on interrupt)")
-		resume    = flag.Bool("resume", false, "resume interrupted runs from -checkpoint-dir snapshots")
-		journal   = flag.String("journal", "", "append progress events to this JSONL file")
-		progEvery = flag.Int("progress-every", 0, "emit a step event every N SA steps (0: lifecycle events only)")
-		debugAddr = flag.String("debug-addr", "", "serve live metrics/pprof/run status on this address (e.g. localhost:6060)")
-		obsReport = flag.String("obs-report", "", "write the end-of-campaign observability report as JSON to this file")
+		ids        = flag.String("e", "", "comma-separated experiment IDs (default: all of E1-E13)")
+		full       = flag.Bool("full", false, "paper-fidelity settings (64x64 grid, 4500 steps, 5 runs)")
+		grid       = flag.Int("grid", 0, "override thermal grid resolution")
+		steps      = flag.Int("steps", 0, "override SA steps")
+		runs       = flag.Int("runs", 0, "override SA run count")
+		seed       = flag.Int64("seed", 0, "override random seed")
+		ckptDir    = flag.String("checkpoint-dir", "", "directory for resumable run snapshots (enables checkpointing)")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "snapshot cadence in SA steps (0: only on interrupt)")
+		resume     = flag.Bool("resume", false, "resume interrupted runs from -checkpoint-dir snapshots")
+		journal    = flag.String("journal", "", "append progress events to this JSONL file")
+		progEvery  = flag.Int("progress-every", 0, "emit a step event every N SA steps (0: lifecycle events only)")
+		debugAddr  = flag.String("debug-addr", "", "serve live metrics/pprof/run status on this address (e.g. localhost:6060)")
+		obsReport  = flag.String("obs-report", "", "write the end-of-campaign observability report as JSON to this file")
+		strictRes  = flag.Bool("strict-resume", false, "fail on a corrupt newest checkpoint instead of falling back to the previous generation")
+		noRecover  = flag.Bool("no-recover", false, "disable the thermal solver's CG recovery ladder (non-convergence fails immediately)")
+		evalBudget = flag.Int("eval-failure-budget", 0, "skip up to N consecutive transiently-failed SA steps per run (0: fail fast)")
 	)
 	flag.Parse()
 
@@ -77,11 +84,14 @@ func main() {
 	defer stop()
 
 	orch := experiments.Orchestration{
-		Context:         ctx,
-		CheckpointDir:   *ckptDir,
-		CheckpointEvery: *ckptEvery,
-		Resume:          *resume,
-		ProgressEvery:   *progEvery,
+		Context:           ctx,
+		CheckpointDir:     *ckptDir,
+		CheckpointEvery:   *ckptEvery,
+		Resume:            *resume,
+		ProgressEvery:     *progEvery,
+		Strict:            *strictRes,
+		DisableRecovery:   *noRecover,
+		EvalFailureBudget: *evalBudget,
 	}
 	if *ckptDir != "" {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
@@ -117,6 +127,10 @@ func main() {
 	}
 	tracker := &bestTracker{best: map[int]tap25d.RunEvent{}}
 	orch.Progress = func(e tap25d.RunEvent) {
+		if e.Kind == tap25d.EventResumeFallback {
+			fmt.Fprintf(os.Stderr, "experiments: run %d: newest checkpoint rejected (%s); resuming from the previous generation at step %d\n",
+				e.Run, e.Error, e.Step)
+		}
 		tracker.observe(e)
 		if sink != nil {
 			sink.Emit(e)

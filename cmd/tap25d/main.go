@@ -12,8 +12,13 @@
 // Long flows survive interruption: with -checkpoint-dir set, every annealing
 // run snapshots its state periodically (-checkpoint-every) and on SIGINT /
 // SIGTERM; rerunning with -resume continues from the snapshots and produces
-// the same result as an uninterrupted run at the same seed. -journal appends
-// structured progress events as JSON Lines. See docs/OPERATIONS.md.
+// the same result as an uninterrupted run at the same seed. Snapshots are
+// CRC-sealed and kept in two generations: if the newest is corrupt (a torn
+// write at kill time), -resume falls back to the previous one unless
+// -strict-resume forbids it. -no-recover disables the CG recovery ladder and
+// -eval-failure-budget tolerates transient evaluation failures by skipping
+// steps. -journal appends structured progress events as JSON Lines. See
+// docs/OPERATIONS.md.
 package main
 
 import (
@@ -24,7 +29,6 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"syscall"
 
 	"tap25d"
@@ -52,6 +56,9 @@ func main() {
 		progEvery  = flag.Int("progress-every", 0, "emit a step event every N SA steps (0: lifecycle events only)")
 		debugAddr  = flag.String("debug-addr", "", "serve live metrics/pprof/run status on this address (e.g. localhost:6060)")
 		obsReport  = flag.String("obs-report", "", "write the end-of-run observability report as JSON to this file")
+		strictRes  = flag.Bool("strict-resume", false, "fail on a corrupt newest checkpoint instead of falling back to the previous generation")
+		noRecover  = flag.Bool("no-recover", false, "disable the thermal solver's CG recovery ladder (non-convergence fails immediately)")
+		evalBudget = flag.Int("eval-failure-budget", 0, "skip up to N consecutive transiently-failed SA steps per run (0: fail fast)")
 	)
 	flag.Parse()
 
@@ -67,14 +74,16 @@ func main() {
 	defer stopSignals()
 
 	opt := tap25d.Options{
-		ThermalGrid:   *grid,
-		Steps:         *steps,
-		Runs:          *runs,
-		Seed:          *seed,
-		GasStation:    *gas,
-		ExactRouting:  *exact,
-		Context:       ctx,
-		ProgressEvery: *progEvery,
+		ThermalGrid:       *grid,
+		Steps:             *steps,
+		Runs:              *runs,
+		Seed:              *seed,
+		GasStation:        *gas,
+		ExactRouting:      *exact,
+		Context:           ctx,
+		ProgressEvery:     *progEvery,
+		DisableRecovery:   *noRecover,
+		EvalFailureBudget: *evalBudget,
 	}
 	// Observability: -debug-addr and -obs-report both need a live observer;
 	// the table on stderr comes for free once one exists.
@@ -101,26 +110,20 @@ func main() {
 		sink = tap25d.NewJSONLSink(f)
 		opt.Progress = sink.Emit
 	}
+	var store *tap25d.CheckpointStore
 	if *ckptDir != "" {
-		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
-			fatal(err)
-		}
-		dir := *ckptDir
-		ckptPath := func(run int) string {
-			return filepath.Join(dir, fmt.Sprintf("ckpt-r%d.json", run))
+		store = &tap25d.CheckpointStore{Dir: *ckptDir, Strict: *strictRes}
+		store.Events = func(e tap25d.RunEvent) {
+			fmt.Fprintf(os.Stderr, "tap25d: run %d: newest checkpoint rejected (%s); resuming from the previous generation at step %d\n",
+				e.Run, e.Error, e.Step)
+			if sink != nil {
+				sink.Emit(e)
+			}
 		}
 		opt.CheckpointEvery = *ckptEvery
-		opt.Checkpoint = func(cp *tap25d.RunCheckpoint) error {
-			return tap25d.SaveCheckpoint(ckptPath(cp.Run), cp)
-		}
+		opt.Checkpoint = store.Checkpoint
 		if *resume {
-			opt.Restore = func(run int) (*tap25d.RunCheckpoint, error) {
-				cp, err := tap25d.LoadCheckpoint(ckptPath(run))
-				if errors.Is(err, os.ErrNotExist) {
-					return nil, nil
-				}
-				return cp, err
-			}
+			opt.Restore = store.Restore
 		}
 	}
 
@@ -150,12 +153,11 @@ func main() {
 		if *ckptDir != "" {
 			fmt.Printf("checkpoints saved under %s; rerun with -resume to continue\n", *ckptDir)
 		}
-	} else if *ckptDir != "" {
-		// Clean completion: periodic snapshots are spent, remove them so a
-		// later -resume doesn't replay a finished optimization.
-		for r := 0; r < *runs; r++ {
-			os.Remove(filepath.Join(*ckptDir, fmt.Sprintf("ckpt-r%d.json", r)))
-		}
+	} else if store != nil {
+		// Clean completion: periodic snapshots are spent, remove both
+		// generations so a later -resume doesn't replay a finished
+		// optimization.
+		store.Clean(*runs)
 	}
 
 	fmt.Printf("system %s: peak %.2f C (feasible <= %d C: %v), wirelength %.0f mm\n",

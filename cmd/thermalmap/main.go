@@ -33,6 +33,7 @@ func main() {
 		horizon    = flag.Float64("horizon", 10, "transient horizon in seconds")
 		debugAddr  = flag.String("debug-addr", "", "serve live metrics/pprof on this address (e.g. localhost:6060)")
 		obsReport  = flag.String("obs-report", "", "write the observability report as JSON to this file")
+		noRecover  = flag.Bool("no-recover", false, "disable the thermal solver's CG recovery ladder (non-convergence fails immediately)")
 	)
 	flag.Parse()
 
@@ -40,7 +41,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := tap25d.Options{ThermalGrid: *grid}
+	opt := tap25d.Options{ThermalGrid: *grid, DisableRecovery: *noRecover}
 	var observer *tap25d.Observer
 	if *debugAddr != "" || *obsReport != "" {
 		observer = tap25d.NewObserver()
@@ -57,6 +58,11 @@ func main() {
 	res, err := tap25d.Evaluate(sys, p, opt)
 	if err != nil {
 		fatal(err)
+	}
+	if rec := res.Thermal.Recovery; rec != nil {
+		fmt.Fprintf(os.Stderr,
+			"thermalmap: CG solve recovered (cold restarts %d, precond fallback %v, degraded %v)\n",
+			rec.ColdRestarts, rec.PrecondFallback, rec.Degraded)
 	}
 	fmt.Printf("%s: peak %.2f C, wirelength %.0f mm, feasible(<=%d C): %v\n\n",
 		sys.Name, res.PeakC, res.WirelengthMM, tap25d.CriticalC, res.Feasible)

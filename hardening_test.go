@@ -1,0 +1,78 @@
+package tap25d
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestHardeningInertOnHappyPath is the facade-level bit-identity guard: the
+// failure-domain machinery (recovery ladder, step-skip budget, an armed-but-
+// silent fault injector) must be provably inert when nothing fails. Any
+// divergence here means a resilience path leaked into fault-free runs.
+func TestHardeningInertOnHappyPath(t *testing.T) {
+	sys, err := BuiltinSystem("multigpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Place(sys, fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hardened := fastOpt()
+	hardened.EvalFailureBudget = 5
+	inj := NewFaultInjector(99)
+	// Armed far beyond the flow's solve count: present but never firing.
+	inj.Arm(FaultCGSolve, FaultSpec{At: 1 << 40})
+	hardened.FaultInjector = inj
+	hres, err := Place(sys, hardened)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stripped := fastOpt()
+	stripped.DisableRecovery = true
+	sres, err := Place(sys, stripped)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		label string
+		res   *Result
+	}{{"hardened", hres}, {"recovery disabled", sres}} {
+		if tc.res.PeakC != base.PeakC || tc.res.WirelengthMM != base.WirelengthMM {
+			t.Errorf("%s run diverged from default: (%.10g C, %.10g mm) vs (%.10g C, %.10g mm)",
+				tc.label, tc.res.PeakC, tc.res.WirelengthMM, base.PeakC, base.WirelengthMM)
+		}
+		if !reflect.DeepEqual(tc.res.Placement, base.Placement) {
+			t.Errorf("%s run produced a different placement", tc.label)
+		}
+	}
+	if base.Thermal.Recovery != nil {
+		t.Error("fault-free solve reports a recovery")
+	}
+}
+
+// TestFacadeRouteInfeasibleTyped: the facade surfaces pin-capacity
+// infeasibility as the typed sentinel with the limiting clump budgets.
+func TestFacadeRouteInfeasibleTyped(t *testing.T) {
+	sys, err := BuiltinSystem("multigpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowded := *sys
+	crowded.PinsPerClumpLimit = 1 // nothing routes
+	res, err := PlaceCompact(&crowded, fastOpt())
+	if err == nil {
+		t.Fatalf("1-pin clumps routed: %+v", res)
+	}
+	if !errors.Is(err, ErrRouteInfeasible) {
+		t.Fatalf("err = %v, want ErrRouteInfeasible", err)
+	}
+	var ie *RouteInfeasibleError
+	if !errors.As(err, &ie) || len(ie.Clumps) == 0 {
+		t.Fatalf("err = %v, want *RouteInfeasibleError with clump capacities", err)
+	}
+}

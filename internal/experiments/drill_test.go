@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"tap25d"
+)
+
+// TestKillAndCorruptDrill rehearses the full failure domain in one campaign:
+//
+//  1. a mid-run CG non-convergence is injected (the recovery ladder must
+//     absorb it and keep the campaign going),
+//  2. the campaign is killed mid-anneal via context cancellation,
+//  3. the newest checkpoint generation is corrupted on disk (a torn write),
+//  4. a resumed invocation must fall back to the last-good generation, emit
+//     the resume_fallback event, and complete the experiment.
+func TestKillAndCorruptDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs placement flows")
+	}
+	cfg := tinyConfig()
+	dir := t.TempDir()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	inj := tap25d.NewFaultInjector(7)
+	// One CG solve mid-anneal fails to converge; the ladder recovers it.
+	inj.Arm(tap25d.FaultCGSolve, tap25d.FaultSpec{At: 10})
+	var steps atomic.Int32
+	orch := Orchestration{
+		Context:         ctx,
+		CheckpointDir:   dir,
+		CheckpointEvery: 10,
+		ProgressEvery:   1,
+		Inject:          inj,
+		Progress: func(e tap25d.RunEvent) {
+			if e.Kind == tap25d.EventStep && steps.Add(1) == 25 {
+				cancel()
+			}
+		},
+	}
+	_, err := RunOrchestrated("E6", cfg, orch)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted campaign error = %v, want context.Canceled", err)
+	}
+	if inj.Fired(tap25d.FaultCGSolve) == 0 {
+		t.Fatal("the CG fault never fired; the drill exercised nothing")
+	}
+
+	// Corrupt every newest generation that has a surviving previous one —
+	// the moral equivalent of a torn write at kill time.
+	snaps, err := filepath.Glob(filepath.Join(dir, "ckpt-*.json"))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no checkpoints on disk after interrupt (err=%v)", err)
+	}
+	corrupted := 0
+	for _, p := range snaps {
+		if _, err := os.Stat(p + ".prev"); err != nil {
+			continue
+		}
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, raw[:len(raw)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		corrupted++
+	}
+	if corrupted == 0 {
+		t.Fatalf("no snapshot had a previous generation to fall back to (snaps: %v)", snaps)
+	}
+
+	var fallbacks atomic.Int32
+	resumeOrch := Orchestration{
+		CheckpointDir: dir,
+		Resume:        true,
+		Progress: func(e tap25d.RunEvent) {
+			if e.Kind == tap25d.EventResumeFallback {
+				fallbacks.Add(1)
+				if e.Error == "" {
+					t.Error("resume_fallback event carries no rejection reason")
+				}
+			}
+		},
+	}
+	rep, err := RunOrchestrated("E6", cfg, resumeOrch)
+	if err != nil {
+		t.Fatalf("resumed campaign failed: %v", err)
+	}
+	if int(fallbacks.Load()) != corrupted {
+		t.Errorf("resume fell back %d times, corrupted %d snapshots", fallbacks.Load(), corrupted)
+	}
+	if len(rep.Rows) == 0 {
+		t.Error("resumed campaign produced an empty report")
+	}
+
+	// A clean completion retires both generations.
+	snaps, _ = filepath.Glob(filepath.Join(dir, "ckpt-*"))
+	if len(snaps) != 0 {
+		t.Errorf("stale checkpoint files left after clean completion: %v", snaps)
+	}
+}
+
+// TestStrictResumeRefusesCorruptCheckpoint: the same corruption with
+// Orchestration.Strict set must fail the campaign loudly instead of falling
+// back.
+func TestStrictResumeRefusesCorruptCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs placement flows")
+	}
+	cfg := tinyConfig()
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var steps atomic.Int32
+	orch := Orchestration{
+		Context:         ctx,
+		CheckpointDir:   dir,
+		CheckpointEvery: 10,
+		ProgressEvery:   1,
+		Progress: func(e tap25d.RunEvent) {
+			if e.Kind == tap25d.EventStep && steps.Add(1) == 25 {
+				cancel()
+			}
+		},
+	}
+	if _, err := RunOrchestrated("E6", cfg, orch); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted campaign error = %v, want context.Canceled", err)
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.json"))
+	corrupted := false
+	for _, p := range snaps {
+		if _, err := os.Stat(p + ".prev"); err != nil {
+			continue
+		}
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, raw[:len(raw)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		corrupted = true
+	}
+	if !corrupted {
+		t.Fatalf("no snapshot had a previous generation (snaps: %v)", snaps)
+	}
+	_, err := RunOrchestrated("E6", cfg, Orchestration{
+		CheckpointDir: dir, Resume: true, Strict: true,
+	})
+	if err == nil {
+		t.Fatal("strict resume silently accepted a corrupt checkpoint")
+	}
+	if !errors.Is(err, tap25d.ErrCheckpointCorrupt) {
+		t.Errorf("strict resume error %v does not carry the corruption cause", err)
+	}
+}
+
+// TestExperimentFlowInjection: an injected flow failure propagates out of
+// RunOrchestrated as a typed error instead of a panic or a half-written
+// report.
+func TestExperimentFlowInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs placement flows")
+	}
+	inj := tap25d.NewFaultInjector(3)
+	inj.Arm(tap25d.FaultExperimentFlow, tap25d.FaultSpec{At: 1})
+	rep, err := RunOrchestrated("E6", tinyConfig(), Orchestration{Inject: inj})
+	if err == nil {
+		t.Fatalf("injected flow failure produced a report: %+v", rep)
+	}
+	if !errors.Is(err, tap25d.ErrFaultInjected) {
+		t.Errorf("error %v lost the injected cause", err)
+	}
+}

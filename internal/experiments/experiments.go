@@ -13,18 +13,16 @@ package experiments
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"io"
 	"math/rand"
-	"os"
-	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
 	"tap25d"
 	"tap25d/internal/chiplet"
+	"tap25d/internal/faultinject"
 	"tap25d/internal/geom"
 	"tap25d/internal/interposercost"
 	"tap25d/internal/lp"
@@ -86,6 +84,23 @@ type Orchestration struct {
 	// histograms, CG convergence traces) across every placement flow of the
 	// campaign; nil disables it.
 	Obs *tap25d.Observer
+	// Strict disables the corrupt-checkpoint fallback on resume: a damaged
+	// newest snapshot fails the campaign instead of silently continuing
+	// from the previous generation.
+	Strict bool
+	// EvalFailureBudget, when positive, lets each annealing run ride
+	// through up to this many consecutive transient evaluation failures
+	// by skipping the affected SA steps (see tap25d.Options).
+	EvalFailureBudget int
+	// DisableRecovery turns off the thermal solver's CG recovery ladder
+	// across the campaign's flows.
+	DisableRecovery bool
+	// Inject, when non-nil, injects deterministic faults into the
+	// campaign: each placement flow hits faultinject.PointExperimentFlow
+	// before it starts, the flows' thermal solves hit the solver points,
+	// and checkpoint I/O hits the read/write points. nil disables
+	// injection.
+	Inject *tap25d.FaultInjector
 }
 
 // orchestrator threads Orchestration through an experiment and assigns each
@@ -98,31 +113,44 @@ type orchestrator struct {
 	flow int
 }
 
-func (o *orchestrator) path(flow, run int) string {
-	return filepath.Join(o.CheckpointDir, fmt.Sprintf("ckpt-f%d-r%d.json", flow, run))
+// store builds the flow's durable checkpoint store: CRC-sealed generational
+// snapshots named ckpt-f<flow>-r<run>.json, with resume fallback to the
+// previous generation surfaced through the campaign's Progress sink (unless
+// Strict forbids the fallback).
+func (o *orchestrator) store(flow int) *placer.FileStore {
+	st := &placer.FileStore{
+		Dir:    o.CheckpointDir,
+		Name:   func(run int) string { return fmt.Sprintf("ckpt-f%d-r%d.json", flow, run) },
+		Strict: o.Strict,
+		Obs:    o.Obs,
+		Inject: o.Inject,
+	}
+	if o.Progress != nil {
+		st.Events = o.Progress
+	}
+	return st
 }
 
 // place runs one placement flow with orchestration attached.
 func (o *orchestrator) place(sys *tap25d.System, opt tap25d.Options) (*tap25d.Result, error) {
 	flow := o.flow
 	o.flow++
+	if err := o.Inject.Hit(faultinject.PointExperimentFlow); err != nil {
+		return nil, fmt.Errorf("experiments: flow %d: %w", flow, err)
+	}
 	opt.Context = o.Context
 	opt.Progress = o.Progress
 	opt.ProgressEvery = o.ProgressEvery
 	opt.Observer = o.Obs
+	opt.EvalFailureBudget = o.EvalFailureBudget
+	opt.DisableRecovery = o.DisableRecovery
+	opt.FaultInjector = o.Inject
 	if o.CheckpointDir != "" {
+		st := o.store(flow)
 		opt.CheckpointEvery = o.CheckpointEvery
-		opt.Checkpoint = func(cp *tap25d.RunCheckpoint) error {
-			return tap25d.SaveCheckpoint(o.path(flow, cp.Run), cp)
-		}
-	}
-	if o.CheckpointDir != "" && o.Resume {
-		opt.Restore = func(run int) (*tap25d.RunCheckpoint, error) {
-			cp, err := tap25d.LoadCheckpoint(o.path(flow, run))
-			if errors.Is(err, os.ErrNotExist) {
-				return nil, nil
-			}
-			return cp, err
+		opt.Checkpoint = st.Checkpoint
+		if o.Resume {
+			opt.Restore = st.Restore
 		}
 	}
 	res, err := tap25d.Place(sys, opt)
@@ -133,9 +161,7 @@ func (o *orchestrator) place(sys *tap25d.System, opt tap25d.Options) (*tap25d.Re
 		if runs <= 0 {
 			runs = 1
 		}
-		for r := 0; r < runs; r++ {
-			os.Remove(o.path(flow, r))
-		}
+		o.store(flow).Clean(runs)
 	}
 	return res, err
 }
@@ -672,21 +698,27 @@ func E9Ablations(cfg Config) (*Report, error) {
 
 	variants := []struct {
 		label string
-		mod   func(*tap25d.Options)
+		mod   func(*tap25d.Options) error
 	}{
-		{"TAP-2.5D (full)", func(o *tap25d.Options) {}},
-		{"no jump operator", func(o *tap25d.Options) { o.DisableJump = true }},
-		{"fixed alpha = 0.5", func(o *tap25d.Options) { o.FixedAlpha = 0.5 }},
-		{"random initial placement", func(o *tap25d.Options) {
-			p := randomPlacement(sys, cfg.Seed)
+		{"TAP-2.5D (full)", func(o *tap25d.Options) error { return nil }},
+		{"no jump operator", func(o *tap25d.Options) error { o.DisableJump = true; return nil }},
+		{"fixed alpha = 0.5", func(o *tap25d.Options) error { o.FixedAlpha = 0.5; return nil }},
+		{"random initial placement", func(o *tap25d.Options) error {
+			p, err := randomPlacement(sys, cfg.Seed)
+			if err != nil {
+				return err
+			}
 			o.InitialPlacement = &p
+			return nil
 		}},
 	}
 	var rows []Row
 	var ctr metrics.Counters
 	for _, v := range variants {
 		o := base
-		v.mod(&o)
+		if err := v.mod(&o); err != nil {
+			return nil, err
+		}
 		res, err := cfg.place(sys, o)
 		if err != nil {
 			return nil, err
@@ -966,10 +998,13 @@ func syntheticSystem(n int, seed int64) (*chiplet.System, chiplet.Placement) {
 
 // randomPlacement produces a valid random placement by jumping each chiplet
 // to a random valid OCM node starting from a legalized compact placement.
-func randomPlacement(sys *chiplet.System, seed int64) chiplet.Placement {
+// Failures (a system no OCM grid can host, an unlegalizable park position)
+// surface as errors so a malformed ablation input fails its experiment
+// cleanly instead of panicking the campaign.
+func randomPlacement(sys *chiplet.System, seed int64) (chiplet.Placement, error) {
 	grid, err := ocm.NewGrid(sys, 0)
 	if err != nil {
-		panic(err)
+		return chiplet.Placement{}, fmt.Errorf("experiments: random placement for %s: %w", sys.Name, err)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	// Start from corners-out greedy: place chiplets one by one at random
@@ -982,12 +1017,12 @@ func randomPlacement(sys *chiplet.System, seed int64) chiplet.Placement {
 	}
 	q, err := grid.Legalize(sys, p)
 	if err != nil {
-		panic(err)
+		return chiplet.Placement{}, fmt.Errorf("experiments: random placement for %s: %w", sys.Name, err)
 	}
 	for i := range q.Centers {
 		if pt, ok := grid.RandomValidPosition(sys, q, i, rng); ok {
 			q.Centers[i] = pt
 		}
 	}
-	return q
+	return q, nil
 }

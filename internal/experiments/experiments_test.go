@@ -155,7 +155,10 @@ func TestSyntheticSystemValid(t *testing.T) {
 
 func TestRandomPlacementValid(t *testing.T) {
 	sys, _ := syntheticSystem(8, 1)
-	p := randomPlacement(sys, 42)
+	p, err := randomPlacement(sys, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := sys.CheckPlacement(p); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,201 @@
+// Package faultinject is a deterministic fault-injection harness for testing
+// the repo's failure-recovery paths on demand: the solver recovery ladder, the
+// placer's step-level resilience, and the durable-checkpoint fallback are all
+// exercised by arming named injection points rather than by timing tricks or
+// filesystem races.
+//
+// The design discipline mirrors internal/obs: a nil *Injector IS the disabled
+// state. Every method is safe to call on a nil receiver and returns
+// immediately, so production call sites need no flags — the disabled fast path
+// costs one pointer test. An armed Injector is deterministic: faults fire at
+// exact visit counts (Spec.At, Spec.Every) or from a seeded PRNG
+// (Spec.Probability with New's seed), never from wall-clock time, so a failing
+// scenario replays bit-identically under go test -race and across machines.
+//
+// An enabled Injector is safe for concurrent use by parallel annealing runs.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// ErrInjected is the sentinel wrapped by every injected fault. Recovery code
+// under test matches it with errors.Is to distinguish injected failures from
+// organic ones.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Point names one injection site. Sites are compiled into production code
+// paths; hitting an unarmed point is free beyond the nil test.
+type Point string
+
+// The named injection points wired into the codebase.
+const (
+	// PointCGSolve fires inside sparse CG solves, before iteration begins,
+	// surfacing as a non-convergence error to exercise the recovery ladder.
+	PointCGSolve Point = "cg_solve"
+	// PointThermalAssemble fires in thermal conductance-matrix assembly.
+	PointThermalAssemble Point = "thermal_assemble"
+	// PointCheckpointWrite fires in checkpoint persistence, surfacing as a
+	// transient I/O error to exercise write retry with backoff.
+	PointCheckpointWrite Point = "checkpoint_write"
+	// PointCheckpointRead fires in checkpoint loading, corrupting the read to
+	// exercise fallback to the previous generation.
+	PointCheckpointRead Point = "checkpoint_read"
+	// PointJournalWrite fires in structured-event journal writes.
+	PointJournalWrite Point = "journal_write"
+	// PointExperimentFlow fires at the start of an experiments flow.
+	PointExperimentFlow Point = "experiment_flow"
+)
+
+// Spec arms one injection point. Exactly which visits fire is determined by
+// the first matching rule below, checked in order:
+//
+//  1. At > 0: fire on the At-th visit only (1-based).
+//  2. Every > 0: fire on every Every-th visit (visit%Every == 0).
+//  3. Probability > 0: fire when the injector's seeded PRNG draws below it.
+//
+// Count limits the total number of fires (0 means unlimited). Err overrides
+// the injected error; it is wrapped so errors.Is(err, ErrInjected) still
+// holds alongside errors.Is(err, Spec.Err).
+type Spec struct {
+	At          int64
+	Every       int64
+	Probability float64
+	Count       int64
+	Err         error
+}
+
+type pointState struct {
+	spec   Spec
+	visits int64
+	fired  int64
+}
+
+// Injector holds the armed points. A nil *Injector is disabled; construct an
+// enabled one with New.
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	points map[Point]*pointState
+}
+
+// New returns an enabled Injector whose probabilistic decisions derive from
+// seed, and from seed alone.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:    rand.New(rand.NewSource(seed)),
+		points: make(map[Point]*pointState),
+	}
+}
+
+// Enabled reports whether inj can inject anything.
+func (inj *Injector) Enabled() bool { return inj != nil }
+
+// Arm installs (or replaces) the firing rule for p. Visit and fire counts for
+// p are reset. Arming a zero Spec disarms the point.
+func (inj *Injector) Arm(p Point, spec Spec) {
+	if inj == nil {
+		return
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if spec == (Spec{}) {
+		delete(inj.points, p)
+		return
+	}
+	inj.points[p] = &pointState{spec: spec}
+}
+
+// Disarm removes the firing rule for p, keeping nothing.
+func (inj *Injector) Disarm(p Point) {
+	if inj == nil {
+		return
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	delete(inj.points, p)
+}
+
+// Hit records one visit to p and returns a non-nil error when the armed rule
+// says this visit fires. The error wraps ErrInjected (and Spec.Err when set).
+// On a nil or unarmed injector it returns nil.
+func (inj *Injector) Hit(p Point) error {
+	if inj == nil {
+		return nil
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	st, ok := inj.points[p]
+	if !ok {
+		return nil
+	}
+	st.visits++
+	if st.spec.Count > 0 && st.fired >= st.spec.Count {
+		return nil
+	}
+	fire := false
+	switch {
+	case st.spec.At > 0:
+		fire = st.visits == st.spec.At
+	case st.spec.Every > 0:
+		fire = st.visits%st.spec.Every == 0
+	case st.spec.Probability > 0:
+		fire = inj.rng.Float64() < st.spec.Probability
+	}
+	if !fire {
+		return nil
+	}
+	st.fired++
+	if st.spec.Err != nil {
+		return &injectedError{point: p, cause: st.spec.Err}
+	}
+	return &injectedError{point: p}
+}
+
+// injectedError is the concrete error returned by Hit. It unwraps to
+// ErrInjected and, when armed with one, to the Spec's custom cause.
+type injectedError struct {
+	point Point
+	cause error
+}
+
+func (e *injectedError) Error() string {
+	if e.cause != nil {
+		return fmt.Sprintf("faultinject: injected fault at %s: %v", e.point, e.cause)
+	}
+	return fmt.Sprintf("faultinject: injected fault at %s", e.point)
+}
+
+func (e *injectedError) Is(target error) bool { return target == ErrInjected }
+
+func (e *injectedError) Unwrap() error { return e.cause }
+
+// Count returns the number of visits recorded for p (armed visits only:
+// hitting an unarmed point is not counted).
+func (inj *Injector) Count(p Point) int64 {
+	if inj == nil {
+		return 0
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if st, ok := inj.points[p]; ok {
+		return st.visits
+	}
+	return 0
+}
+
+// Fired returns the number of faults injected at p so far.
+func (inj *Injector) Fired(p Point) int64 {
+	if inj == nil {
+		return 0
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if st, ok := inj.points[p]; ok {
+		return st.fired
+	}
+	return 0
+}

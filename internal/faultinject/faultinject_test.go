@@ -1,0 +1,180 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilInjectorIsDisabled(t *testing.T) {
+	var inj *Injector
+	if inj.Enabled() {
+		t.Error("nil injector reports enabled")
+	}
+	// Every method must be a safe no-op on nil.
+	inj.Arm(PointCGSolve, Spec{At: 1})
+	inj.Disarm(PointCGSolve)
+	if err := inj.Hit(PointCGSolve); err != nil {
+		t.Errorf("nil injector fired: %v", err)
+	}
+	if inj.Count(PointCGSolve) != 0 || inj.Fired(PointCGSolve) != 0 {
+		t.Error("nil injector has non-zero counts")
+	}
+}
+
+func TestUnarmedPointNeverFires(t *testing.T) {
+	inj := New(1)
+	for i := 0; i < 100; i++ {
+		if err := inj.Hit(PointThermalAssemble); err != nil {
+			t.Fatalf("unarmed point fired on visit %d: %v", i, err)
+		}
+	}
+	if got := inj.Count(PointThermalAssemble); got != 0 {
+		t.Errorf("unarmed visits counted: %d", got)
+	}
+}
+
+func TestFireAtNthVisit(t *testing.T) {
+	inj := New(1)
+	inj.Arm(PointCGSolve, Spec{At: 3})
+	for i := 1; i <= 5; i++ {
+		err := inj.Hit(PointCGSolve)
+		if i == 3 {
+			if err == nil {
+				t.Fatalf("visit %d: expected fault", i)
+			}
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("visit %d: error %v does not match ErrInjected", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("visit %d: unexpected fault %v", i, err)
+		}
+	}
+	if got := inj.Count(PointCGSolve); got != 5 {
+		t.Errorf("Count = %d, want 5", got)
+	}
+	if got := inj.Fired(PointCGSolve); got != 1 {
+		t.Errorf("Fired = %d, want 1", got)
+	}
+}
+
+func TestFireEveryWithCountLimit(t *testing.T) {
+	inj := New(1)
+	inj.Arm(PointCheckpointWrite, Spec{Every: 2, Count: 3})
+	var fired int
+	for i := 0; i < 20; i++ {
+		if inj.Hit(PointCheckpointWrite) != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Errorf("fired %d times, want 3 (Count limit)", fired)
+	}
+	if got := inj.Fired(PointCheckpointWrite); got != 3 {
+		t.Errorf("Fired = %d, want 3", got)
+	}
+}
+
+func TestProbabilityIsSeedDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		inj := New(seed)
+		inj.Arm(PointJournalWrite, Spec{Probability: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = inj.Hit(PointJournalWrite) != nil
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at visit %d", i)
+		}
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical firing patterns")
+	}
+}
+
+func TestCustomErrorWraps(t *testing.T) {
+	cause := errors.New("disk on fire")
+	inj := New(1)
+	inj.Arm(PointCheckpointRead, Spec{At: 1, Err: cause})
+	err := inj.Hit(PointCheckpointRead)
+	if err == nil {
+		t.Fatal("expected fault")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("error %v does not match ErrInjected", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Errorf("error %v does not match custom cause", err)
+	}
+}
+
+func TestDisarmAndRearmResetsCounts(t *testing.T) {
+	inj := New(1)
+	inj.Arm(PointExperimentFlow, Spec{At: 1})
+	if inj.Hit(PointExperimentFlow) == nil {
+		t.Fatal("expected fault on first visit")
+	}
+	inj.Disarm(PointExperimentFlow)
+	if inj.Hit(PointExperimentFlow) != nil {
+		t.Fatal("disarmed point fired")
+	}
+	inj.Arm(PointExperimentFlow, Spec{At: 1})
+	if inj.Count(PointExperimentFlow) != 0 {
+		t.Error("re-arming did not reset visit count")
+	}
+	if inj.Hit(PointExperimentFlow) == nil {
+		t.Fatal("re-armed point did not fire on fresh first visit")
+	}
+	// Arming a zero Spec disarms.
+	inj.Arm(PointExperimentFlow, Spec{})
+	if inj.Hit(PointExperimentFlow) != nil {
+		t.Fatal("zero-Spec armed point fired")
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	inj := New(7)
+	inj.Arm(PointCGSolve, Spec{Every: 10})
+	const goroutines, hitsEach = 8, 1000
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fired := 0
+			for i := 0; i < hitsEach; i++ {
+				if inj.Hit(PointCGSolve) != nil {
+					fired++
+				}
+			}
+			mu.Lock()
+			total += fired
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if got := inj.Count(PointCGSolve); got != goroutines*hitsEach {
+		t.Errorf("Count = %d, want %d", got, goroutines*hitsEach)
+	}
+	want := goroutines * hitsEach / 10
+	if total != want {
+		t.Errorf("fired %d, want exactly %d (every 10th visit)", total, want)
+	}
+	if got := inj.Fired(PointCGSolve); int(got) != want {
+		t.Errorf("Fired = %d, want %d", got, want)
+	}
+}

@@ -44,6 +44,23 @@ type Counters struct {
 	// run orchestration; Resumes counts runs continued from such a snapshot.
 	Checkpoints int64 `json:"checkpoints"`
 	Resumes     int64 `json:"resumes"`
+	// CGRetries counts recovery-ladder cold restarts after a CG
+	// non-convergence (warm state discarded, solve retried from a uniform
+	// initial guess).
+	CGRetries int64 `json:"cg_retries"`
+	// CGFallbackPrecond counts escalations to the SSOR-preconditioned CG
+	// fallback after a cold restart also failed to converge.
+	CGFallbackPrecond int64 `json:"cg_fallback_precond"`
+	// StepEvalSkipped counts annealing steps abandoned after a transient
+	// evaluation failure (under Options.EvalFailureBudget) instead of
+	// aborting the run.
+	StepEvalSkipped int64 `json:"step_eval_skipped"`
+	// CkptWriteRetries counts checkpoint write attempts retried after a
+	// transient I/O error.
+	CkptWriteRetries int64 `json:"ckpt_write_retries"`
+	// ResumeFallbacks counts resumes that fell back to the previous
+	// checkpoint generation because the newest file was corrupt or missing.
+	ResumeFallbacks int64 `json:"resume_fallbacks"`
 }
 
 // Merge adds o into c.
@@ -59,6 +76,11 @@ func (c *Counters) Merge(o Counters) {
 	c.RouteCalls += o.RouteCalls
 	c.Checkpoints += o.Checkpoints
 	c.Resumes += o.Resumes
+	c.CGRetries += o.CGRetries
+	c.CGFallbackPrecond += o.CGFallbackPrecond
+	c.StepEvalSkipped += o.StepEvalSkipped
+	c.CkptWriteRetries += o.CkptWriteRetries
+	c.ResumeFallbacks += o.ResumeFallbacks
 }
 
 // IsZero reports whether no counter has been incremented.
@@ -71,9 +93,12 @@ func (c Counters) IsZero() bool {
 // different runs and tools align and can be diffed or parsed column-wise.
 func (c Counters) String() string {
 	return fmt.Sprintf("evals=%d cache=%d/%d (hit/miss) solves=%d cg_iters=%d "+
-		"assembles=%d/%d/%d (full/delta/skip) routes=%d ckpts=%d resumes=%d",
+		"assembles=%d/%d/%d (full/delta/skip) routes=%d ckpts=%d resumes=%d "+
+		"recovery=%d/%d (cold/ssor) skipped_steps=%d ckpt_retries=%d resume_fallbacks=%d",
 		c.Evaluations, c.CacheHits, c.CacheMisses,
 		c.ThermalSolves, c.CGIterations,
 		c.FullAssembles, c.DeltaAssembles, c.SkippedAssembles,
-		c.RouteCalls, c.Checkpoints, c.Resumes)
+		c.RouteCalls, c.Checkpoints, c.Resumes,
+		c.CGRetries, c.CGFallbackPrecond,
+		c.StepEvalSkipped, c.CkptWriteRetries, c.ResumeFallbacks)
 }

@@ -36,7 +36,8 @@ func TestIsZero(t *testing.T) {
 func TestStringStableOrder(t *testing.T) {
 	var zero Counters
 	wantZero := "evals=0 cache=0/0 (hit/miss) solves=0 cg_iters=0 " +
-		"assembles=0/0/0 (full/delta/skip) routes=0 ckpts=0 resumes=0"
+		"assembles=0/0/0 (full/delta/skip) routes=0 ckpts=0 resumes=0 " +
+		"recovery=0/0 (cold/ssor) skipped_steps=0 ckpt_retries=0 resume_fallbacks=0"
 	if s := zero.String(); s != wantZero {
 		t.Fatalf("zero counters:\n got %q\nwant %q", s, wantZero)
 	}
@@ -46,9 +47,12 @@ func TestStringStableOrder(t *testing.T) {
 		ThermalSolves: 9, CGIterations: 123,
 		FullAssembles: 1, DeltaAssembles: 7, SkippedAssembles: 1,
 		RouteCalls: 9, Checkpoints: 3, Resumes: 1,
+		CGRetries: 2, CGFallbackPrecond: 1,
+		StepEvalSkipped: 4, CkptWriteRetries: 2, ResumeFallbacks: 1,
 	}
 	want := "evals=11 cache=2/9 (hit/miss) solves=9 cg_iters=123 " +
-		"assembles=1/7/1 (full/delta/skip) routes=9 ckpts=3 resumes=1"
+		"assembles=1/7/1 (full/delta/skip) routes=9 ckpts=3 resumes=1 " +
+		"recovery=2/1 (cold/ssor) skipped_steps=4 ckpt_retries=2 resume_fallbacks=1"
 	if s := c.String(); s != want {
 		t.Fatalf("populated counters:\n got %q\nwant %q", s, want)
 	}
@@ -62,6 +66,8 @@ func TestJSONSchema(t *testing.T) {
 		ThermalSolves: 4, CGIterations: 5,
 		FullAssembles: 6, DeltaAssembles: 7, SkippedAssembles: 8,
 		RouteCalls: 9, Checkpoints: 10, Resumes: 11,
+		CGRetries: 12, CGFallbackPrecond: 13,
+		StepEvalSkipped: 14, CkptWriteRetries: 15, ResumeFallbacks: 16,
 	}
 	raw, err := json.Marshal(c)
 	if err != nil {
@@ -77,9 +83,11 @@ func TestJSONSchema(t *testing.T) {
 	}
 	sort.Strings(keys)
 	want := []string{
-		"cache_hits", "cache_misses", "cg_iterations", "checkpoints",
-		"delta_assembles", "evaluations", "full_assembles", "resumes",
-		"route_calls", "skipped_assembles", "thermal_solves",
+		"cache_hits", "cache_misses", "cg_fallback_precond", "cg_iterations",
+		"cg_retries", "checkpoints", "ckpt_write_retries", "delta_assembles",
+		"evaluations", "full_assembles", "resume_fallbacks", "resumes",
+		"route_calls", "skipped_assembles", "step_eval_skipped",
+		"thermal_solves",
 	}
 	if !reflect.DeepEqual(keys, want) {
 		t.Fatalf("JSON keys:\n got %v\nwant %v", keys, want)

@@ -1,10 +1,14 @@
 package placer
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 
 	"tap25d/internal/chiplet"
 )
@@ -12,6 +16,24 @@ import (
 // CheckpointVersion is the current snapshot format version. Load rejects
 // snapshots written by an incompatible version.
 const CheckpointVersion = 1
+
+// checkpointFormat tags the durable on-disk envelope that wraps a checkpoint
+// payload with its CRC (see SaveCheckpointFile).
+const checkpointFormat = "tap25d-ckpt"
+
+// ErrCheckpointCorrupt is wrapped by decode errors caused by damaged bytes:
+// truncation, garbage, or a checksum mismatch. A resume that hits it should
+// fall back to the previous checkpoint generation (LoadCheckpointFallback and
+// FileStore.Restore do).
+var ErrCheckpointCorrupt = errors.New("placer: checkpoint corrupt")
+
+// ErrCheckpointVersion is wrapped by decode errors caused by a snapshot
+// written under a different format version — intact bytes this build cannot
+// interpret, as opposed to corruption.
+var ErrCheckpointVersion = errors.New("placer: checkpoint version unsupported")
+
+// castagnoli is the CRC-32C table used for checkpoint payload checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Checkpoint is a complete, serializable snapshot of an annealing run: the
 // schedule position, the RNG state (seed plus raw draw count — see rng.go),
@@ -119,33 +141,122 @@ func (cp *Checkpoint) Validate(sys *chiplet.System) error {
 	return nil
 }
 
-// Encode writes the checkpoint as indented JSON.
+// Encode writes the checkpoint as indented JSON (the bare payload, without
+// the durable envelope; DecodeCheckpoint reads both forms).
 func (cp *Checkpoint) Encode(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(cp)
 }
 
-// DecodeCheckpoint reads a JSON checkpoint. Callers should Validate it
-// against the target system before resuming.
+// checkpointEnvelope is the durable on-disk form: the checkpoint payload
+// wrapped with a format tag and the CRC-32C of the payload's compact JSON
+// form. The compact form is the canonical hashing input because envelope
+// encoding re-indents the embedded payload — whitespace is the one thing the
+// envelope legitimately changes, so it is the one thing the checksum ignores.
+type checkpointEnvelope struct {
+	Format     string          `json:"format"`
+	CRC32C     string          `json:"crc32c"`
+	Checkpoint json.RawMessage `json:"checkpoint"`
+}
+
+// checkpointCRC hashes a payload's canonical compact form.
+func checkpointCRC(payload []byte) (string, error) {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, payload); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%08x", crc32.Checksum(buf.Bytes(), castagnoli)), nil
+}
+
+// DecodeCheckpoint reads a checkpoint: either the durable CRC-checksummed
+// envelope written by SaveCheckpointFile, or the bare payload JSON written by
+// Encode and by builds predating the envelope. Damaged bytes — truncation,
+// garbage, a checksum mismatch — yield an error matching ErrCheckpointCorrupt;
+// an intact snapshot of an unsupported format version yields one matching
+// ErrCheckpointVersion. Callers should Validate the result against the target
+// system before resuming.
 func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("placer: reading checkpoint: %w: %w", ErrCheckpointCorrupt, err)
+	}
+	var env checkpointEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, fmt.Errorf("placer: decoding checkpoint: %w: %w", ErrCheckpointCorrupt, err)
+	}
+	payload := raw
+	if env.Format != "" {
+		if env.Format != checkpointFormat {
+			return nil, fmt.Errorf("placer: checkpoint format %q, this build reads %q: %w",
+				env.Format, checkpointFormat, ErrCheckpointVersion)
+		}
+		got, err := checkpointCRC(env.Checkpoint)
+		if err != nil {
+			return nil, fmt.Errorf("placer: checkpoint payload unparsable: %w: %w", ErrCheckpointCorrupt, err)
+		}
+		if got != env.CRC32C {
+			return nil, fmt.Errorf("placer: checkpoint checksum %s, payload hashes to %s: %w",
+				env.CRC32C, got, ErrCheckpointCorrupt)
+		}
+		payload = env.Checkpoint
+	}
 	var cp Checkpoint
-	if err := json.NewDecoder(r).Decode(&cp); err != nil {
-		return nil, fmt.Errorf("placer: decoding checkpoint: %w", err)
+	if err := json.Unmarshal(payload, &cp); err != nil {
+		return nil, fmt.Errorf("placer: decoding checkpoint payload: %w: %w", ErrCheckpointCorrupt, err)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("placer: checkpoint version %d, this build reads %d: %w",
+			cp.Version, CheckpointVersion, ErrCheckpointVersion)
 	}
 	return &cp, nil
 }
 
-// SaveCheckpointFile atomically writes cp to path: the snapshot lands in a
-// temporary sibling file first and is renamed into place, so a crash mid-
-// write never corrupts an existing checkpoint.
+// PrevCheckpointPath returns the previous-generation sibling of a checkpoint
+// path (SaveCheckpointFile's rotation target).
+func PrevCheckpointPath(path string) string { return path + ".prev" }
+
+// SaveCheckpointFile durably writes cp to path:
+//
+//   - the payload is wrapped in a CRC-32C-checksummed envelope, so any later
+//     bit rot or truncation is detected at load time rather than trusted;
+//   - the bytes land in a temporary sibling first and are fsynced before the
+//     rename, so a crash mid-write never corrupts an existing checkpoint;
+//   - an existing checkpoint at path is rotated to path+".prev" (replacing
+//     any older generation), so one corrupted newest file never strands the
+//     run — LoadCheckpointFallback reads the previous generation instead;
+//   - the parent directory is fsynced after the renames, making both
+//     generation links themselves durable.
 func SaveCheckpointFile(path string, cp *Checkpoint) error {
+	payload, err := json.Marshal(cp)
+	if err != nil {
+		return err
+	}
+	crc, err := checkpointCRC(payload)
+	if err != nil {
+		return err
+	}
+	env := checkpointEnvelope{
+		Format:     checkpointFormat,
+		CRC32C:     crc,
+		Checkpoint: payload,
+	}
+	blob, err := json.MarshalIndent(&env, "", " ")
+	if err != nil {
+		return err
+	}
+
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := cp.Encode(f); err != nil {
+	if _, err := f.Write(append(blob, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -154,12 +265,60 @@ func SaveCheckpointFile(path string, cp *Checkpoint) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, PrevCheckpointPath(path)); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so renames within it survive a crash. Not every
+// platform/filesystem supports fsync on directories; those errors are
+// ignored — the rename itself remains atomic either way.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
 }
 
 // LoadCheckpointFile reads a checkpoint previously written by
-// SaveCheckpointFile.
+// SaveCheckpointFile, falling back to the previous generation
+// (path+".prev") when the newest file is corrupt, version-skewed, or
+// missing while the previous survives. Callers that need to know whether
+// the fallback happened use LoadCheckpointFallback.
 func LoadCheckpointFile(path string) (*Checkpoint, error) {
+	cp, _, err := LoadCheckpointFallback(path)
+	return cp, err
+}
+
+// LoadCheckpointFallback is LoadCheckpointFile reporting whether the
+// previous generation was used. When neither generation is readable, the
+// newest file's error is returned (matching fs.ErrNotExist when no
+// checkpoint exists at all, so callers can treat that as a fresh start).
+func LoadCheckpointFallback(path string) (*Checkpoint, bool, error) {
+	cp, newestErr := loadCheckpointOne(path)
+	if newestErr == nil {
+		return cp, false, nil
+	}
+	prev, prevErr := loadCheckpointOne(PrevCheckpointPath(path))
+	if prevErr == nil {
+		return prev, true, nil
+	}
+	return nil, false, newestErr
+}
+
+// loadCheckpointOne reads a single checkpoint generation.
+func loadCheckpointOne(path string) (*Checkpoint, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,371 @@
+package placer
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tap25d/internal/faultinject"
+	"tap25d/internal/metrics"
+)
+
+// snapshotCheckpoint runs a short anneal and returns its checkpoint snapshot,
+// the raw material for the corruption tables below.
+func snapshotCheckpoint(t *testing.T) *Checkpoint {
+	t.Helper()
+	sys := placerSystem()
+	var cp *Checkpoint
+	opt := Options{Steps: 40, Seed: 6, CheckpointEvery: 20,
+		Checkpoint: func(c *Checkpoint) error { cp = c; return nil }}
+	if _, err := Place(sys, &fakeEval{sys: sys, tempBase: 120, tempSlope: 2}, opt); err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil {
+		t.Fatal("no checkpoint emitted")
+	}
+	return cp
+}
+
+// savedCheckpointBytes persists cp through SaveCheckpointFile and returns the
+// durable envelope bytes as written to disk.
+func savedCheckpointBytes(t *testing.T, cp *Checkpoint) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cp.json")
+	if err := SaveCheckpointFile(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestDecodeCheckpointCorruption drives DecodeCheckpoint through every
+// damage class: each must yield a clean typed error — matchable with
+// errors.Is — and never a panic or a silently wrong snapshot.
+func TestDecodeCheckpointCorruption(t *testing.T) {
+	cp := snapshotCheckpoint(t)
+	good := savedCheckpointBytes(t, cp)
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"truncated", func(b []byte) []byte {
+			return b[:len(b)/2]
+		}, ErrCheckpointCorrupt},
+		{"empty", func(b []byte) []byte {
+			return nil
+		}, ErrCheckpointCorrupt},
+		{"garbage", func(b []byte) []byte {
+			return []byte("\x00\x01not json at all\xff")
+		}, ErrCheckpointCorrupt},
+		{"bit_flip_in_payload", func(b []byte) []byte {
+			// Flip a digit inside the payload body so the JSON stays
+			// parsable but the checksum no longer matches.
+			s := string(b)
+			i := strings.Index(s, `"step":`)
+			if i < 0 {
+				t.Fatal("fixture has no step field")
+			}
+			mut := []byte(s)
+			for j := i + len(`"step":`); j < len(mut); j++ {
+				if mut[j] >= '0' && mut[j] <= '9' {
+					mut[j] = '0' + ('9'-mut[j])%10
+					return mut
+				}
+			}
+			t.Fatal("no digit to flip")
+			return nil
+		}, ErrCheckpointCorrupt},
+		{"checksum_field_damaged", func(b []byte) []byte {
+			return []byte(strings.Replace(string(b), `"crc32c": "`, `"crc32c": "0`, 1))
+		}, ErrCheckpointCorrupt},
+		{"format_skew", func(b []byte) []byte {
+			return []byte(strings.Replace(string(b), checkpointFormat, "tap25d-ckpt-v99", 1))
+		}, ErrCheckpointVersion},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeCheckpoint(strings.NewReader(string(tc.mutate(append([]byte(nil), good...)))))
+			if err == nil {
+				t.Fatal("damaged checkpoint decoded cleanly")
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Errorf("error %v does not match %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestDecodeCheckpointVersionSkew damages the payload's version stamp: the
+// envelope still checks out (the CRC is recomputed), so the error must be the
+// version sentinel, not corruption.
+func TestDecodeCheckpointVersionSkew(t *testing.T) {
+	cp := snapshotCheckpoint(t)
+	skew := *cp
+	skew.Version = CheckpointVersion + 7
+	raw := savedCheckpointBytes(t, &skew)
+	_, err := DecodeCheckpoint(strings.NewReader(string(raw)))
+	if !errors.Is(err, ErrCheckpointVersion) {
+		t.Fatalf("version-skewed checkpoint error = %v, want ErrCheckpointVersion", err)
+	}
+	if errors.Is(err, ErrCheckpointCorrupt) {
+		t.Error("version skew misreported as corruption")
+	}
+}
+
+// TestDecodeCheckpointLegacyBare keeps the pre-envelope format readable: a
+// bare Checkpoint JSON (what Encode still writes for in-band transport)
+// decodes without an envelope or checksum.
+func TestDecodeCheckpointLegacyBare(t *testing.T) {
+	cp := snapshotCheckpoint(t)
+	var sb strings.Builder
+	if err := cp.Encode(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpoint(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("legacy bare checkpoint rejected: %v", err)
+	}
+	if got.Step != cp.Step || got.RNGDraws != cp.RNGDraws {
+		t.Fatalf("legacy decode mangled snapshot: got step=%d draws=%d want step=%d draws=%d",
+			got.Step, got.RNGDraws, cp.Step, cp.RNGDraws)
+	}
+}
+
+// corruptFile overwrites the tail of path, simulating a torn write.
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadCheckpointFallback corrupts the newest generation after two saves
+// and checks the load falls back to the surviving previous generation.
+func TestLoadCheckpointFallback(t *testing.T) {
+	cp := snapshotCheckpoint(t)
+	path := filepath.Join(t.TempDir(), "cp.json")
+
+	older := *cp
+	older.Step = cp.Step - 1
+	if err := SaveCheckpointFile(path, &older); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCheckpointFile(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(PrevCheckpointPath(path)); err != nil {
+		t.Fatalf("second save kept no previous generation: %v", err)
+	}
+
+	// Healthy newest: no fallback.
+	got, fellBack, err := LoadCheckpointFallback(path)
+	if err != nil || fellBack {
+		t.Fatalf("healthy load: got fallback=%v err=%v", fellBack, err)
+	}
+	if got.Step != cp.Step {
+		t.Fatalf("healthy load returned step %d, want newest %d", got.Step, cp.Step)
+	}
+
+	// Torn newest: fall back to the previous generation.
+	corruptFile(t, path)
+	got, fellBack, err = LoadCheckpointFallback(path)
+	if err != nil {
+		t.Fatalf("fallback load failed: %v", err)
+	}
+	if !fellBack {
+		t.Fatal("fallback not reported")
+	}
+	if got.Step != older.Step {
+		t.Fatalf("fallback returned step %d, want previous generation %d", got.Step, older.Step)
+	}
+
+	// Both generations gone bad: typed corruption error, no panic.
+	corruptFile(t, PrevCheckpointPath(path))
+	_, _, err = LoadCheckpointFallback(path)
+	if !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("double corruption error = %v, want ErrCheckpointCorrupt", err)
+	}
+}
+
+// TestLoadCheckpointFileMissing keeps the fresh-start contract: a missing
+// checkpoint (neither generation on disk) is fs.ErrNotExist-matchable so CLI
+// resume paths can treat it as "start from scratch".
+func TestLoadCheckpointFileMissing(t *testing.T) {
+	_, err := LoadCheckpointFile(filepath.Join(t.TempDir(), "absent.json"))
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing checkpoint error = %v, want fs.ErrNotExist", err)
+	}
+}
+
+// TestFileStoreWriteRetry arms the checkpoint-write injection point for two
+// failures: the store must retry through them, count the retries, and still
+// persist a loadable snapshot.
+func TestFileStoreWriteRetry(t *testing.T) {
+	cp := snapshotCheckpoint(t)
+	inj := faultinject.New(1)
+	inj.Arm(faultinject.PointCheckpointWrite, faultinject.Spec{Every: 1, Count: 2})
+	var ctr metrics.Counters
+	fs := &FileStore{Dir: t.TempDir(), Retries: 2, Backoff: time.Millisecond,
+		Counters: &ctr, Inject: inj}
+	if err := fs.Checkpoint(cp); err != nil {
+		t.Fatalf("write with retry budget failed: %v", err)
+	}
+	if ctr.CkptWriteRetries != 2 {
+		t.Errorf("CkptWriteRetries = %d, want 2", ctr.CkptWriteRetries)
+	}
+	got, err := fs.Restore(cp.Run)
+	if err != nil || got == nil {
+		t.Fatalf("restore after retried write: cp=%v err=%v", got, err)
+	}
+	if got.Step != cp.Step {
+		t.Errorf("restored step %d, want %d", got.Step, cp.Step)
+	}
+}
+
+// TestFileStoreWriteRetryExhausted: persistent write failure exhausts the
+// retry budget and surfaces the injected cause.
+func TestFileStoreWriteRetryExhausted(t *testing.T) {
+	cp := snapshotCheckpoint(t)
+	inj := faultinject.New(1)
+	inj.Arm(faultinject.PointCheckpointWrite, faultinject.Spec{Every: 1})
+	fs := &FileStore{Dir: t.TempDir(), Retries: 1, Backoff: time.Millisecond, Inject: inj}
+	err := fs.Checkpoint(cp)
+	if err == nil {
+		t.Fatal("persistent write failure reported success")
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("error %v lost the injected cause", err)
+	}
+	if inj.Fired(faultinject.PointCheckpointWrite) != 2 {
+		t.Errorf("fired %d write attempts, want 2 (initial + 1 retry)",
+			inj.Fired(faultinject.PointCheckpointWrite))
+	}
+}
+
+// TestFileStoreRestoreFallback corrupts the newest generation and checks the
+// store falls back, emits the resume_fallback event, and counts it.
+func TestFileStoreRestoreFallback(t *testing.T) {
+	cp := snapshotCheckpoint(t)
+	var ctr metrics.Counters
+	var events []Event
+	fs := &FileStore{Dir: t.TempDir(), Counters: &ctr,
+		Events: func(e Event) { events = append(events, e) }}
+
+	older := *cp
+	older.Step = cp.Step - 1
+	older.CompletedSteps = cp.CompletedSteps - 1
+	if err := fs.Checkpoint(&older); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Checkpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	corruptFile(t, fs.Path(cp.Run))
+
+	got, err := fs.Restore(cp.Run)
+	if err != nil {
+		t.Fatalf("restore did not fall back: %v", err)
+	}
+	if got.Step != older.Step {
+		t.Fatalf("restored step %d, want previous generation %d", got.Step, older.Step)
+	}
+	if ctr.ResumeFallbacks != 1 {
+		t.Errorf("ResumeFallbacks = %d, want 1", ctr.ResumeFallbacks)
+	}
+	if len(events) != 1 || events[0].Kind != EventResumeFallback {
+		t.Fatalf("events = %+v, want one resume_fallback", events)
+	}
+	if events[0].Error == "" || !strings.Contains(events[0].Error, "corrupt") {
+		t.Errorf("fallback event error %q does not explain the rejection", events[0].Error)
+	}
+	if events[0].Step != older.CompletedSteps {
+		t.Errorf("fallback event step %d, want %d", events[0].Step, older.CompletedSteps)
+	}
+}
+
+// TestFileStoreStrict: strict mode refuses the fallback so operators can stop
+// and inspect instead of silently losing progress.
+func TestFileStoreStrict(t *testing.T) {
+	cp := snapshotCheckpoint(t)
+	fs := &FileStore{Dir: t.TempDir(), Strict: true}
+	older := *cp
+	older.Step = cp.Step - 1
+	if err := fs.Checkpoint(&older); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Checkpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	corruptFile(t, fs.Path(cp.Run))
+	_, err := fs.Restore(cp.Run)
+	if err == nil {
+		t.Fatal("strict store fell back silently")
+	}
+	if !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("strict error %v does not carry the corruption cause", err)
+	}
+}
+
+// TestFileStoreFreshStart: no generation on disk means a nil checkpoint and
+// nil error — the run starts from scratch, matching the CLI resume contract.
+func TestFileStoreFreshStart(t *testing.T) {
+	fs := &FileStore{Dir: t.TempDir()}
+	cp, err := fs.Restore(0)
+	if cp != nil || err != nil {
+		t.Fatalf("fresh start: cp=%v err=%v, want nil/nil", cp, err)
+	}
+}
+
+// TestFileStoreClean removes both generations.
+func TestFileStoreClean(t *testing.T) {
+	cp := snapshotCheckpoint(t)
+	fs := &FileStore{Dir: t.TempDir()}
+	if err := fs.Checkpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Checkpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	fs.Clean(cp.Run + 1)
+	if _, err := os.Stat(fs.Path(cp.Run)); !errors.Is(err, os.ErrNotExist) {
+		t.Error("newest generation survived Clean")
+	}
+	if _, err := os.Stat(PrevCheckpointPath(fs.Path(cp.Run))); !errors.Is(err, os.ErrNotExist) {
+		t.Error("previous generation survived Clean")
+	}
+}
+
+// TestJSONLSinkJournalFault: an injected journal-write failure drops the
+// event but never aborts the run; the sink reports what was lost.
+func TestJSONLSinkJournalFault(t *testing.T) {
+	inj := faultinject.New(1)
+	inj.Arm(faultinject.PointJournalWrite, faultinject.Spec{At: 2})
+	var sb strings.Builder
+	sink := NewJSONLSink(&sb)
+	sink.SetInjector(inj)
+	for i := 0; i < 3; i++ {
+		sink.Emit(Event{Kind: EventStep, Step: i})
+	}
+	if sink.Lost() != 1 {
+		t.Errorf("Lost = %d, want 1", sink.Lost())
+	}
+	if !errors.Is(sink.Err(), faultinject.ErrInjected) {
+		t.Errorf("sink error %v is not the injected fault", sink.Err())
+	}
+	if n := strings.Count(sb.String(), "\n"); n != 2 {
+		t.Errorf("journal holds %d lines, want 2 (one dropped)", n)
+	}
+}

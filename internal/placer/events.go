@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 
+	"tap25d/internal/faultinject"
 	"tap25d/internal/metrics"
 	"tap25d/internal/obs"
 )
@@ -27,6 +28,14 @@ const (
 	// cancellation; the best-so-far fields describe the solution the run
 	// returns.
 	EventInterrupted = "interrupted"
+	// EventStepSkipped is emitted when a transient evaluation failure
+	// consumed a step under Options.EvalFailureBudget instead of aborting the
+	// run; Error carries the failure.
+	EventStepSkipped = "step_skipped"
+	// EventResumeFallback is emitted by a checkpoint store when the newest
+	// snapshot was corrupt or missing and the resume fell back to the
+	// previous generation; Error carries why the newest was rejected.
+	EventResumeFallback = "resume_fallback"
 )
 
 // Event is one structured progress record of an annealing run. Events are
@@ -57,6 +66,9 @@ type Event struct {
 	BestWirelengthMM float64 `json:"best_wirelength_mm"`
 	// AcceptRate is accepted moves over completed steps.
 	AcceptRate float64 `json:"accept_rate"`
+	// Error carries the failure behind a step_skipped or resume_fallback
+	// event.
+	Error string `json:"error,omitempty"`
 	// Counters snapshots the evaluator's metrics (thermal solves, CG
 	// iterations, cache hits, ...) when the evaluator exposes them.
 	Counters *metrics.Counters `json:"counters,omitempty"`
@@ -74,9 +86,11 @@ type EventFunc func(Event)
 // JSONLSink appends events as JSON Lines to an underlying writer. It is safe
 // for concurrent use by parallel runs; its Emit method is an EventFunc.
 type JSONLSink struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-	err error
+	mu   sync.Mutex
+	enc  *json.Encoder
+	err  error
+	inj  *faultinject.Injector
+	lost int
 }
 
 // NewJSONLSink wraps w (typically an *os.File holding the run journal).
@@ -84,14 +98,40 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 	return &JSONLSink{enc: json.NewEncoder(w)}
 }
 
+// SetInjector arms the faultinject.PointJournalWrite injection point on this
+// sink so tests can exercise journal-write failures deterministically.
+func (s *JSONLSink) SetInjector(inj *faultinject.Injector) {
+	s.mu.Lock()
+	s.inj = inj
+	s.mu.Unlock()
+}
+
 // Emit writes one event as a JSON line. Write errors do not abort the run;
-// the first one is retained and readable via Err.
+// the first one is retained and readable via Err, and every failed write
+// counts toward Lost.
 func (s *JSONLSink) Emit(e Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.enc.Encode(e); err != nil && s.err == nil {
-		s.err = err
+	if err := s.inj.Hit(faultinject.PointJournalWrite); err != nil {
+		s.lost++
+		if s.err == nil {
+			s.err = err
+		}
+		return
 	}
+	if err := s.enc.Encode(e); err != nil {
+		s.lost++
+		if s.err == nil {
+			s.err = err
+		}
+	}
+}
+
+// Lost returns the number of events dropped by write failures.
+func (s *JSONLSink) Lost() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lost
 }
 
 // Err returns the first write error encountered, if any.

@@ -212,6 +212,15 @@ type Options struct {
 	FixedAlpha float64
 	// History records one Sample per step when true.
 	History bool
+	// EvalFailureBudget, when positive, is the number of consecutive
+	// transient evaluation failures a run absorbs by skipping the failed
+	// step (counted as step_eval_skipped and evented as step_skipped)
+	// instead of aborting. Zero — the default — preserves the historical
+	// fail-fast behavior: the first evaluation error ends the run. The
+	// budget resets on every successful evaluation. Skipping changes the
+	// trajectory only on steps that would otherwise have killed the run, so
+	// failure-free runs are unaffected by any budget value.
+	EvalFailureBudget int
 
 	// Run orchestration. These fields do not affect the annealing
 	// trajectory; the function-valued hooks are excluded from checkpoint
@@ -313,9 +322,25 @@ type Result struct {
 	// cancellation; Placement then holds the best solution found before the
 	// interruption and Steps the number of steps actually completed.
 	Interrupted bool
+	// SkippedSteps counts steps consumed by transient evaluation failures
+	// under Options.EvalFailureBudget (0 on a failure-free run).
+	SkippedSteps int
+	// RunFailures lists the runs of a PlaceBestOf fan-out that produced no
+	// result (or were interrupted with an error), so a degraded
+	// best-of-successful answer carries the reasons alongside the winner.
+	RunFailures []RunFailure
 	// Metrics carries the evaluator's counters when the evaluator exposes
 	// them; for PlaceBestOf it aggregates the counters of every run.
 	Metrics metrics.Counters
+}
+
+// RunFailure attaches one failed run's reason to a degraded PlaceBestOf
+// result.
+type RunFailure struct {
+	// Run is the failed run's index.
+	Run int `json:"run"`
+	// Err is the failure rendered as text (errors don't serialize).
+	Err string `json:"err"`
 }
 
 // Alpha computes the dynamic temperature weight of Eqn. (13).
@@ -468,6 +493,10 @@ type saState struct {
 	// re-executed from scratch on resume (same neighbor draw, same K).
 	drawsAtTop uint64
 	kAtTop     float64
+
+	// evalFails counts consecutive transient evaluation failures against
+	// Options.EvalFailureBudget; any successful evaluation resets it.
+	evalFails int
 }
 
 // Place runs one simulated-annealing placement for sys using ev.
@@ -678,8 +707,22 @@ func (st *saState) anneal(ctx context.Context) (*Result, error) {
 			if ctx.Err() != nil {
 				return st.interrupt(ctx.Err())
 			}
+			if opt.EvalFailureBudget > 0 && st.evalFails < opt.EvalFailureBudget {
+				// Transient failure within budget: skip this step (like a
+				// step with no valid perturbation — the step index advances,
+				// the completed-steps count does not) and keep annealing.
+				st.evalFails++
+				st.res.SkippedSteps++
+				if ctr := st.counters(); ctr != nil {
+					ctr.StepEvalSkipped++
+				}
+				opt.Obs.Add("step_eval_skipped", 1)
+				st.emit(Event{Kind: EventStepSkipped, Step: st.res.Steps, Error: err.Error()})
+				continue
+			}
 			return nil, fmt.Errorf("placer: step %d: %w", step, err)
 		}
+		st.evalFails = 0
 		st.bounds.observe(nbT, nbW)
 
 		alpha := opt.FixedAlpha
@@ -923,10 +966,12 @@ func neighbor(sys *chiplet.System, grid *ocm.Grid, cur chiplet.Placement, rng *r
 // order. The returned Result's Metrics aggregates the counters of all runs.
 //
 // When some runs fail or are interrupted and others finish, PlaceBestOf
-// returns the best of the completed runs together with the first error by
-// run index — both can be non-nil. Callers that can use a partial answer
-// (a canceled campaign reporting its best-so-far) should check the Result
-// before giving up on the error; nil Result means no run produced anything.
+// degrades gracefully to best-of-successful: it returns the best of the
+// completed runs together with the first error by run index — both can be
+// non-nil — and attaches every failed run's reason to Result.RunFailures.
+// Callers that can use a partial answer (a canceled campaign reporting its
+// best-so-far) should check the Result before giving up on the error; nil
+// Result means no run produced anything.
 func PlaceBestOf(sys *chiplet.System, factory func() (Evaluator, error), n int, opt Options) (*Result, error) {
 	return PlaceBestOfContext(context.Background(), sys, factory, n, opt)
 }
@@ -977,15 +1022,21 @@ func PlaceBestOfContext(ctx context.Context, sys *chiplet.System, factory func()
 	var best *Result
 	var firstErr error
 	var merged metrics.Counters
+	var failures []RunFailure
+	skipped := 0
 	interrupted := false
 	for r := 0; r < n; r++ {
-		if errs[r] != nil && firstErr == nil {
-			firstErr = fmt.Errorf("placer: run %d: %w", r, errs[r])
+		if errs[r] != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("placer: run %d: %w", r, errs[r])
+			}
+			failures = append(failures, RunFailure{Run: r, Err: errs[r].Error()})
 		}
 		if results[r] == nil {
 			continue
 		}
 		merged.Merge(results[r].Metrics)
+		skipped += results[r].SkippedSteps
 		interrupted = interrupted || results[r].Interrupted
 		if best == nil || Better(results[r].PeakC, results[r].WirelengthMM, best.PeakC, best.WirelengthMM, opt.CriticalC) {
 			best = results[r]
@@ -998,6 +1049,8 @@ func PlaceBestOfContext(ctx context.Context, sys *chiplet.System, factory func()
 		return nil, errors.New("placer: no runs executed")
 	}
 	best.Metrics = merged
+	best.SkippedSteps = skipped
+	best.RunFailures = failures
 	best.Interrupted = interrupted
 	return best, firstErr
 }

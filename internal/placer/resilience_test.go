@@ -1,0 +1,193 @@
+package placer
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"tap25d/internal/chiplet"
+	"tap25d/internal/faultinject"
+	"tap25d/internal/metrics"
+)
+
+// flakyEval wraps fakeEval with an injector-driven failure mode: every
+// evaluation hits PointThermalAssemble, so an armed Spec turns chosen
+// evaluations into transient errors exactly as a real thermal/route failure
+// would surface.
+type flakyEval struct {
+	fakeEval
+	inj *faultinject.Injector
+}
+
+func (f *flakyEval) Evaluate(p chiplet.Placement) (float64, float64, error) {
+	if err := f.inj.Hit(faultinject.PointThermalAssemble); err != nil {
+		return 0, 0, err
+	}
+	return f.fakeEval.Evaluate(p)
+}
+
+func TestStepSkipUnderBudget(t *testing.T) {
+	sys := placerSystem()
+	inj := faultinject.New(1)
+	// Fail evaluations 10 and 25 (the initial placement evaluation is visit
+	// 1, so both faults land on SA steps).
+	inj.Arm(faultinject.PointThermalAssemble, faultinject.Spec{Every: 15, Count: 2})
+	ev := &flakyEval{fakeEval: fakeEval{sys: sys, tempBase: 120, tempSlope: 2}, inj: inj}
+
+	var skipEvents []Event
+	res, err := Place(sys, ev, Options{
+		Steps: 100, Seed: 3, EvalFailureBudget: 3,
+		Progress: func(e Event) {
+			if e.Kind == EventStepSkipped {
+				skipEvents = append(skipEvents, e)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("run with failure budget died: %v", err)
+	}
+	if res.SkippedSteps != 2 {
+		t.Errorf("SkippedSteps = %d, want 2", res.SkippedSteps)
+	}
+	if len(skipEvents) != 2 {
+		t.Fatalf("got %d step_skipped events, want 2", len(skipEvents))
+	}
+	for _, e := range skipEvents {
+		if !strings.Contains(e.Error, "injected fault") {
+			t.Errorf("skip event error %q does not carry the cause", e.Error)
+		}
+	}
+	// Skipped steps consume the step budget but not the completed count.
+	if res.Steps+res.SkippedSteps > 100 {
+		t.Errorf("steps %d + skipped %d exceed budget", res.Steps, res.SkippedSteps)
+	}
+}
+
+func TestStepSkipCountsMetric(t *testing.T) {
+	sys := placerSystem()
+	inj := faultinject.New(1)
+	inj.Arm(faultinject.PointThermalAssemble, faultinject.Spec{Every: 20, Count: 1})
+	ev := &countedFlakyEval{
+		flakyEval: flakyEval{fakeEval: fakeEval{sys: sys, tempBase: 120, tempSlope: 2}, inj: inj},
+	}
+	res, err := Place(sys, ev, Options{Steps: 60, Seed: 3, EvalFailureBudget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.ctr.StepEvalSkipped != 1 {
+		t.Errorf("StepEvalSkipped = %d, want 1", ev.ctr.StepEvalSkipped)
+	}
+	if res.Metrics.StepEvalSkipped != 1 {
+		t.Errorf("Result.Metrics.StepEvalSkipped = %d, want 1", res.Metrics.StepEvalSkipped)
+	}
+}
+
+// countedFlakyEval gives flakyEval the counter plumbing of SystemEvaluator.
+type countedFlakyEval struct {
+	flakyEval
+	ctr metrics.Counters
+}
+
+func (c *countedFlakyEval) Metrics() metrics.Counters   { return c.ctr }
+func (c *countedFlakyEval) counters() *metrics.Counters { return &c.ctr }
+
+func TestStepSkipBudgetExhausted(t *testing.T) {
+	sys := placerSystem()
+	inj := faultinject.New(1)
+	// Persistent failure from evaluation 2 on: the budget of 3 consecutive
+	// failures must exhaust and kill the run.
+	inj.Arm(faultinject.PointThermalAssemble, faultinject.Spec{Every: 1, Count: 0})
+	ev := &flakyEval{fakeEval: fakeEval{sys: sys, tempBase: 120, tempSlope: 2}, inj: inj}
+	// Initial placement evaluation would also fail; provide one success.
+	inj.Disarm(faultinject.PointThermalAssemble)
+	res, err := func() (*Result, error) {
+		armed := false
+		return Place(sys, &hookEval{inner: ev, hook: func(n int) {
+			if n == 1 && !armed {
+				armed = true
+				inj.Arm(faultinject.PointThermalAssemble, faultinject.Spec{Every: 1})
+			}
+		}}, Options{Steps: 50, Seed: 3, EvalFailureBudget: 3})
+	}()
+	if err == nil {
+		t.Fatalf("exhausted budget did not fail the run (res=%+v)", res)
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("error %v lost the injected cause", err)
+	}
+}
+
+// hookEval calls hook with the number of completed evaluations before
+// delegating, letting a test re-arm an injector mid-run.
+type hookEval struct {
+	inner Evaluator
+	n     int
+	hook  func(n int)
+}
+
+func (h *hookEval) Evaluate(p chiplet.Placement) (float64, float64, error) {
+	h.hook(h.n)
+	h.n++
+	return h.inner.Evaluate(p)
+}
+
+// TestStepSkipInertWithoutFaults: the failure budget must be provably inert
+// on the happy path — identical results with and without it.
+func TestStepSkipInertWithoutFaults(t *testing.T) {
+	sys := placerSystem()
+	base, err := Place(sys, &fakeEval{sys: sys, tempBase: 120, tempSlope: 2},
+		Options{Steps: 200, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := Place(sys, &fakeEval{sys: sys, tempBase: 120, tempSlope: 2},
+		Options{Steps: 200, Seed: 9, EvalFailureBudget: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.PeakC != budgeted.PeakC || base.WirelengthMM != budgeted.WirelengthMM ||
+		base.Accepted != budgeted.Accepted {
+		t.Fatalf("failure budget perturbed a fault-free run: (%v,%v,%d) vs (%v,%v,%d)",
+			base.PeakC, base.WirelengthMM, base.Accepted,
+			budgeted.PeakC, budgeted.WirelengthMM, budgeted.Accepted)
+	}
+	if budgeted.SkippedSteps != 0 {
+		t.Errorf("fault-free run skipped %d steps", budgeted.SkippedSteps)
+	}
+}
+
+// TestPlaceBestOfDegradesToBestOfSuccessful: one run's evaluator fails
+// persistently; the fan-out still returns the best of the others and attaches
+// the failed run's reason.
+func TestPlaceBestOfDegradesToBestOfSuccessful(t *testing.T) {
+	sys := placerSystem()
+	var mu sync.Mutex
+	built := 0
+	factory := func() (Evaluator, error) {
+		mu.Lock()
+		built++
+		failing := built == 2 // second factory call: always-failing evaluator
+		mu.Unlock()
+		if failing {
+			return &failingEval{}, nil
+		}
+		return &fakeEval{sys: sys, tempBase: 130, tempSlope: 2}, nil
+	}
+	best, err := PlaceBestOf(sys, factory, 3, Options{Steps: 100, Seed: 40})
+	if best == nil {
+		t.Fatalf("no best-of-successful result (err=%v)", err)
+	}
+	if err == nil {
+		t.Fatal("failed run's error was swallowed")
+	}
+	if len(best.RunFailures) != 1 {
+		t.Fatalf("RunFailures = %+v, want exactly one entry", best.RunFailures)
+	}
+	if best.RunFailures[0].Err == "" {
+		t.Error("run failure carries no reason")
+	}
+	if best.Run == best.RunFailures[0].Run {
+		t.Errorf("winning run %d is also the failed run", best.Run)
+	}
+}

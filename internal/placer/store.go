@@ -1,0 +1,173 @@
+package placer
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"tap25d/internal/faultinject"
+	"tap25d/internal/metrics"
+	"tap25d/internal/obs"
+)
+
+// FileStore is a durable per-run checkpoint store over one directory: its
+// Checkpoint and Restore methods plug directly into Options.Checkpoint and
+// Options.Restore (and into experiments orchestration). On top of
+// SaveCheckpointFile's durability (CRC envelope, fsync, generational
+// rotation) it adds bounded write retry with backoff, resume fallback to the
+// previous generation with the fallback surfaced as a resume_fallback journal
+// event plus counters, and deterministic fault-injection hooks for both
+// directions of the I/O.
+//
+// The zero value is not usable; set Dir. All other fields are optional. A
+// FileStore is safe for concurrent use by parallel runs (counter increments
+// are serialized internally; Counters must still only be read after the runs
+// join, like every other metrics.Counters).
+type FileStore struct {
+	// Dir is the checkpoint directory (created on first write).
+	Dir string
+	// Name maps a run index to the snapshot's file name. Default
+	// "ckpt-r<run>.json".
+	Name func(run int) string
+	// Retries is the number of extra write attempts after a failed
+	// checkpoint write (default 2; negative disables retry).
+	Retries int
+	// Backoff is the pause before the first retry, doubling per attempt
+	// (default 50ms).
+	Backoff time.Duration
+	// Strict disables the resume fallback: a corrupt newest generation
+	// fails the resume instead of silently continuing from the previous
+	// one.
+	Strict bool
+	// Events, when non-nil, receives a resume_fallback event whenever
+	// Restore falls back to the previous generation.
+	Events EventFunc
+	// Counters, when non-nil, accumulates CkptWriteRetries and
+	// ResumeFallbacks.
+	Counters *metrics.Counters
+	// Obs, when non-nil, mirrors those counts as named extension counters.
+	Obs *obs.Observer
+	// Inject, when non-nil, is consulted at faultinject.PointCheckpointWrite
+	// (per write attempt) and faultinject.PointCheckpointRead (per restore).
+	Inject *faultinject.Injector
+
+	mu sync.Mutex
+}
+
+func (s *FileStore) path(run int) string {
+	name := fmt.Sprintf("ckpt-r%d.json", run)
+	if s.Name != nil {
+		name = s.Name(run)
+	}
+	return filepath.Join(s.Dir, name)
+}
+
+// Path returns the newest-generation file of a run's checkpoint.
+func (s *FileStore) Path(run int) string { return s.path(run) }
+
+func (s *FileStore) count(f func(c *metrics.Counters)) {
+	if s.Counters == nil {
+		return
+	}
+	s.mu.Lock()
+	f(s.Counters)
+	s.mu.Unlock()
+}
+
+// Checkpoint durably persists cp, retrying transient write failures up to
+// Retries times with doubling backoff. It is an Options.Checkpoint.
+func (s *FileStore) Checkpoint(cp *Checkpoint) error {
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return err
+	}
+	path := s.path(cp.Run)
+	retries := s.Retries
+	if retries == 0 {
+		retries = 2
+	} else if retries < 0 {
+		retries = 0
+	}
+	backoff := s.Backoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = s.saveOnce(path, cp)
+		if err == nil {
+			return nil
+		}
+		if attempt >= retries {
+			break
+		}
+		s.count(func(c *metrics.Counters) { c.CkptWriteRetries++ })
+		s.Obs.Add("ckpt_write_retries", 1)
+		time.Sleep(backoff << attempt)
+	}
+	return fmt.Errorf("placer: checkpoint write for run %d failed after %d attempts: %w",
+		cp.Run, retries+1, err)
+}
+
+func (s *FileStore) saveOnce(path string, cp *Checkpoint) error {
+	if err := s.Inject.Hit(faultinject.PointCheckpointWrite); err != nil {
+		return err
+	}
+	return SaveCheckpointFile(path, cp)
+}
+
+// Restore is an Options.Restore: it loads run's newest checkpoint
+// generation, falling back to the previous generation when the newest is
+// corrupt, version-skewed, or missing while the previous survives (unless
+// Strict). A fallback increments ResumeFallbacks and emits a
+// resume_fallback event carrying the newest generation's failure. When no
+// generation exists the run starts fresh (nil, nil).
+func (s *FileStore) Restore(run int) (*Checkpoint, error) {
+	path := s.path(run)
+	cp, newestErr := s.loadOne(path)
+	if newestErr == nil {
+		return cp, nil
+	}
+	prev, prevErr := s.loadOne(PrevCheckpointPath(path))
+	if errors.Is(newestErr, fs.ErrNotExist) && errors.Is(prevErr, fs.ErrNotExist) {
+		return nil, nil // no checkpoint: fresh start
+	}
+	if prevErr != nil {
+		return nil, fmt.Errorf("placer: restoring run %d (prev generation also failed: %v): %w",
+			run, prevErr, newestErr)
+	}
+	if s.Strict {
+		return nil, fmt.Errorf("placer: restoring run %d (strict; previous generation exists): %w",
+			run, newestErr)
+	}
+	s.count(func(c *metrics.Counters) { c.ResumeFallbacks++ })
+	s.Obs.Add("resume_fallbacks", 1)
+	if s.Events != nil {
+		s.Events(Event{
+			Kind: EventResumeFallback, Run: run, Step: prev.CompletedSteps,
+			Steps: prev.Options.Steps, K: prev.K,
+			BestTempC: prev.BestTempC, BestWirelengthMM: prev.BestWirelengthMM,
+			Error: newestErr.Error(),
+		})
+	}
+	return prev, nil
+}
+
+func (s *FileStore) loadOne(path string) (*Checkpoint, error) {
+	if err := s.Inject.Hit(faultinject.PointCheckpointRead); err != nil {
+		return nil, err
+	}
+	return loadCheckpointOne(path)
+}
+
+// Clean removes every generation of runs 0..runs-1, for callers that retire
+// spent snapshots after a clean completion.
+func (s *FileStore) Clean(runs int) {
+	for r := 0; r < runs; r++ {
+		os.Remove(s.path(r))
+		os.Remove(PrevCheckpointPath(s.path(r)))
+	}
+}

@@ -1,0 +1,94 @@
+package route
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"tap25d/internal/chiplet"
+)
+
+// ErrInfeasible is the sentinel behind every routing failure caused by pin
+// capacity rather than by a malformed input: the demanded inter-chiplet wires
+// cannot fit within the per-clump pin budgets (Eqn. 7), so no placement-level
+// retry of the same routing call can succeed. Match it with errors.Is to tell
+// "this placement cannot be wired" apart from I/O or validation errors; the
+// concrete *InfeasibleError (errors.As) carries the limiting clump
+// capacities.
+var ErrInfeasible = errors.New("insufficient pin-clump capacity (Eqn. 7)")
+
+// ClumpLoad names one pin clump whose capacity bounds an infeasible routing.
+type ClumpLoad struct {
+	// Chiplet indexes sys.Chiplets; Name is its human-readable name.
+	Chiplet int    `json:"chiplet"`
+	Name    string `json:"name"`
+	// Capacity is the clump's pin budget P_il^max that the demand exceeded.
+	Capacity int `json:"capacity"`
+}
+
+// InfeasibleError reports a routing instance whose wire demand exceeds the
+// pin-clump capacities. It unwraps to ErrInfeasible.
+type InfeasibleError struct {
+	// Method is the router that proved (MILP) or detected (fast greedy)
+	// the infeasibility.
+	Method Method
+	// Net is the first net left with unrouted wires, or -1 when the
+	// failure is not attributable to a single net (the MILP proves the
+	// whole system over-subscribed at once).
+	Net int
+	// Unrouted is the number of wires of Net that found no capacity
+	// (0 when Net is -1).
+	Unrouted int
+	// Clumps lists the limiting clump capacities: the failing net's two
+	// endpoints for the fast router, every chiplet for the MILP.
+	Clumps []ClumpLoad
+}
+
+func (e *InfeasibleError) Error() string {
+	var b strings.Builder
+	b.WriteString("route: ")
+	if e.Net >= 0 {
+		fmt.Fprintf(&b, "net %d", e.Net)
+		if len(e.Clumps) >= 2 {
+			fmt.Fprintf(&b, " (%s -> %s)", e.Clumps[0].Name, e.Clumps[1].Name)
+		}
+		fmt.Fprintf(&b, " has %d unrouted wires: ", e.Unrouted)
+	} else {
+		b.WriteString("milp infeasible: ")
+	}
+	b.WriteString(ErrInfeasible.Error())
+	if len(e.Clumps) > 0 {
+		parts := make([]string, len(e.Clumps))
+		for i, c := range e.Clumps {
+			parts[i] = fmt.Sprintf("%s=%d", c.Name, c.Capacity)
+		}
+		fmt.Fprintf(&b, " [per-clump pin budgets: %s]", strings.Join(parts, " "))
+	}
+	return b.String()
+}
+
+// Unwrap makes the error errors.Is-matchable against ErrInfeasible.
+func (e *InfeasibleError) Unwrap() error { return ErrInfeasible }
+
+// infeasibleFast builds the typed error for the greedy router's failure on
+// one net: the endpoints' capacities are the binding constraint.
+func infeasibleFast(sys *chiplet.System, net, src, dst, unrouted int, caps []int) error {
+	return &InfeasibleError{
+		Method: MethodFast, Net: net, Unrouted: unrouted,
+		Clumps: []ClumpLoad{
+			{Chiplet: src, Name: sys.Chiplets[src].Name, Capacity: caps[src]},
+			{Chiplet: dst, Name: sys.Chiplets[dst].Name, Capacity: caps[dst]},
+		},
+	}
+}
+
+// infeasibleMILP builds the typed error for an exact infeasibility proof,
+// listing every chiplet's clump capacity (the MILP does not attribute the
+// conflict to a single net).
+func infeasibleMILP(sys *chiplet.System, caps []int) error {
+	e := &InfeasibleError{Method: MethodMILP, Net: -1}
+	for i, ch := range sys.Chiplets {
+		e.Clumps = append(e.Clumps, ClumpLoad{Chiplet: i, Name: ch.Name, Capacity: caps[i]})
+	}
+	return e
+}

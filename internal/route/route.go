@@ -355,8 +355,7 @@ func routeFast(sys *chiplet.System, pts [][ClumpsPerChiplet]geom.Point, caps []i
 				break
 			}
 			if !routed {
-				return nil, fmt.Errorf("route: net %d (%s -> %s) has %d unrouted wires: insufficient pin-clump capacity (Eqn. 7)",
-					n, sys.Chiplets[s].Name, sys.Chiplets[t].Name, demand)
+				return nil, infeasibleFast(sys, n, s, t, demand, caps)
 			}
 		}
 	}
@@ -574,7 +573,7 @@ func routeMILP(sys *chiplet.System, pts [][ClumpsPerChiplet]geom.Point, caps []i
 	switch sol.Status {
 	case lp.Optimal:
 	case lp.Infeasible:
-		return nil, fmt.Errorf("route: milp infeasible: pin-clump capacities cannot carry the demanded wires")
+		return nil, infeasibleMILP(sys, caps)
 	default:
 		return nil, fmt.Errorf("route: milp terminated with status %v", sol.Status)
 	}

@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"sync"
 	"unsafe"
+
+	"tap25d/internal/faultinject"
 )
 
 // ParallelThresholdRows is the matrix size above which CGSolver partitions
@@ -183,6 +185,11 @@ func (s *CGSolver) SolveContext(ctx context.Context, x, b []float64, opt CGOptio
 	n := a.N
 	if len(x) != n || len(b) != n {
 		return 0, fmt.Errorf("sparse: SolveCG dimension mismatch: n=%d len(x)=%d len(b)=%d", n, len(x), len(b))
+	}
+	if err := opt.Inject.Hit(faultinject.PointCGSolve); err != nil {
+		// An injected fault presents exactly like exhausting the iteration
+		// budget, so the recovery ladder above treats it as the real thing.
+		return 0, fmt.Errorf("sparse: %w: %w", ErrNoConvergence, err)
 	}
 	tol := opt.Tol
 	if tol <= 0 {

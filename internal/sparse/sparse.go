@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"tap25d/internal/faultinject"
 )
 
 // Builder accumulates coordinate-format (row, col, value) entries. Duplicate
@@ -221,6 +223,11 @@ type CGOptions struct {
 	// already computes, so it cannot perturb the arithmetic; when nil the
 	// only cost is one pointer test per iteration.
 	OnIteration func(iter int, residual float64)
+	// Inject, when armed at faultinject.PointCGSolve, makes the solve fail
+	// before iterating with an error matching both ErrNoConvergence and
+	// faultinject.ErrInjected, exercising the thermal recovery ladder
+	// deterministically in tests. A nil Injector costs one pointer test.
+	Inject *faultinject.Injector
 }
 
 // SolveCG solves A·x = b for symmetric positive-definite A using

@@ -1,0 +1,211 @@
+package thermal
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"tap25d/internal/faultinject"
+	"tap25d/internal/metrics"
+	"tap25d/internal/sparse"
+)
+
+func recoveryModel(t *testing.T, inj *faultinject.Injector, ctr *metrics.Counters, disable bool) *Model {
+	t.Helper()
+	m, err := NewModel(45, 45, Options{
+		Grid: 16, Inject: inj, Counters: ctr, DisableRecovery: disable,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestRecoveryColdRestart: a single injected non-convergence is rescued by
+// rung 1 (cold restart), and — because no warm state existed yet — the
+// recovered result is bit-identical to the uninjected solve.
+func TestRecoveryColdRestart(t *testing.T) {
+	ref := recoveryModel(t, nil, nil, false)
+	want, err := ref.Solve([]Source{centeredSource(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj := faultinject.New(1)
+	inj.Arm(faultinject.PointCGSolve, faultinject.Spec{At: 1})
+	var ctr metrics.Counters
+	m := recoveryModel(t, inj, &ctr, false)
+	got, err := m.Solve([]Source{centeredSource(100)})
+	if err != nil {
+		t.Fatalf("recovery ladder did not rescue the solve: %v", err)
+	}
+	if got.Recovery == nil || got.Recovery.ColdRestarts != 1 {
+		t.Fatalf("Recovery = %+v, want one cold restart", got.Recovery)
+	}
+	if got.Recovery.PrecondFallback || got.Recovery.Degraded {
+		t.Errorf("over-escalated: %+v", got.Recovery)
+	}
+	if ctr.CGRetries != 1 || ctr.CGFallbackPrecond != 0 {
+		t.Errorf("counters = %+v, want CGRetries=1 CGFallbackPrecond=0", ctr)
+	}
+	for i := range want.ChipTempC {
+		if want.ChipTempC[i] != got.ChipTempC[i] {
+			t.Fatalf("cold-restart result diverges at cell %d: %v != %v",
+				i, got.ChipTempC[i], want.ChipTempC[i])
+		}
+	}
+}
+
+// TestRecoverySSORFallback: two consecutive failures escalate to the
+// SSOR-preconditioned rung, which solves to the same configured tolerance.
+func TestRecoverySSORFallback(t *testing.T) {
+	ref := recoveryModel(t, nil, nil, false)
+	want, err := ref.Solve([]Source{centeredSource(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj := faultinject.New(1)
+	inj.Arm(faultinject.PointCGSolve, faultinject.Spec{Every: 1, Count: 2})
+	var ctr metrics.Counters
+	m := recoveryModel(t, inj, &ctr, false)
+	got, err := m.Solve([]Source{centeredSource(100)})
+	if err != nil {
+		t.Fatalf("SSOR rung did not rescue the solve: %v", err)
+	}
+	if got.Recovery == nil || !got.Recovery.PrecondFallback {
+		t.Fatalf("Recovery = %+v, want PrecondFallback", got.Recovery)
+	}
+	if got.Recovery.Degraded {
+		t.Error("SSOR rung marked result degraded")
+	}
+	if ctr.CGRetries != 1 || ctr.CGFallbackPrecond != 1 {
+		t.Errorf("counters = %+v, want CGRetries=1 CGFallbackPrecond=1", ctr)
+	}
+	for i := range want.ChipTempC {
+		if math.Abs(want.ChipTempC[i]-got.ChipTempC[i]) > 1e-4 {
+			t.Fatalf("SSOR result diverges at cell %d: %v != %v",
+				i, got.ChipTempC[i], want.ChipTempC[i])
+		}
+	}
+}
+
+// TestRecoveryRelaxedTolLastResort: three consecutive failures reach the
+// relaxed-tolerance rung and the result is flagged degraded.
+func TestRecoveryRelaxedTolLastResort(t *testing.T) {
+	inj := faultinject.New(1)
+	inj.Arm(faultinject.PointCGSolve, faultinject.Spec{Every: 1, Count: 3})
+	var ctr metrics.Counters
+	m := recoveryModel(t, inj, &ctr, false)
+	got, err := m.Solve([]Source{centeredSource(100)})
+	if err != nil {
+		t.Fatalf("relaxed-tolerance rung did not rescue the solve: %v", err)
+	}
+	rec := got.Recovery
+	if rec == nil || !rec.Degraded {
+		t.Fatalf("Recovery = %+v, want Degraded", rec)
+	}
+	if math.Abs(rec.RelaxedTol-1e-4) > 1e-9 {
+		t.Errorf("RelaxedTol = %v, want ~1e-4 (%v× the 1e-6 default)", rec.RelaxedTol, relaxedTolFactor)
+	}
+	if rec.ColdRestarts != 1 || !rec.PrecondFallback {
+		t.Errorf("ladder skipped rungs: %+v", rec)
+	}
+	// Even degraded, the field must be physically sane.
+	if got.PeakC <= m.AmbientC() || got.PeakC > 500 {
+		t.Errorf("degraded peak %v implausible", got.PeakC)
+	}
+}
+
+// TestRecoveryLadderExhausted: a persistent fault defeats every rung and the
+// final error keeps both the non-convergence class and the injection marker.
+func TestRecoveryLadderExhausted(t *testing.T) {
+	inj := faultinject.New(1)
+	inj.Arm(faultinject.PointCGSolve, faultinject.Spec{Every: 1})
+	m := recoveryModel(t, inj, nil, false)
+	_, err := m.Solve([]Source{centeredSource(100)})
+	if err == nil {
+		t.Fatal("persistent fault produced a result")
+	}
+	if !errors.Is(err, sparse.ErrNoConvergence) {
+		t.Errorf("error %v lost ErrNoConvergence", err)
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("error %v lost ErrInjected", err)
+	}
+	if got := inj.Fired(faultinject.PointCGSolve); got != 4 {
+		t.Errorf("injector fired %d times, want 4 (initial + 3 rungs)", got)
+	}
+}
+
+// TestRecoveryDisabled: with DisableRecovery the first non-convergence fails
+// the solve, exactly as before the ladder existed.
+func TestRecoveryDisabled(t *testing.T) {
+	inj := faultinject.New(1)
+	inj.Arm(faultinject.PointCGSolve, faultinject.Spec{At: 1})
+	var ctr metrics.Counters
+	m := recoveryModel(t, inj, &ctr, true)
+	_, err := m.Solve([]Source{centeredSource(100)})
+	if !errors.Is(err, sparse.ErrNoConvergence) {
+		t.Fatalf("want ErrNoConvergence, got %v", err)
+	}
+	if ctr.CGRetries != 0 || ctr.CGFallbackPrecond != 0 {
+		t.Errorf("disabled ladder incremented counters: %+v", ctr)
+	}
+	// The model must stay usable: the next (uninjected) solve succeeds.
+	res, err := m.Solve([]Source{centeredSource(100)})
+	if err != nil {
+		t.Fatalf("solve after failed solve: %v", err)
+	}
+	if res.Recovery != nil {
+		t.Errorf("clean solve carries Recovery %+v", res.Recovery)
+	}
+}
+
+// TestRecoveryAfterWarmState: a failure on a warm-started solve discards the
+// warm field; the cold restart still converges and later solves keep working.
+func TestRecoveryAfterWarmState(t *testing.T) {
+	inj := faultinject.New(1)
+	var ctr metrics.Counters
+	m := recoveryModel(t, inj, &ctr, false)
+	if _, err := m.Solve([]Source{centeredSource(100)}); err != nil {
+		t.Fatal(err)
+	}
+	// Second solve is warm-started; inject a failure into it.
+	inj.Arm(faultinject.PointCGSolve, faultinject.Spec{At: 1})
+	res, err := m.Solve([]Source{centeredSource(120)})
+	if err != nil {
+		t.Fatalf("warm-start recovery failed: %v", err)
+	}
+	if res.Recovery == nil || res.Recovery.ColdRestarts != 1 {
+		t.Fatalf("Recovery = %+v, want one cold restart", res.Recovery)
+	}
+	// Cross-check against a fresh model: same sources, cold solve.
+	ref := recoveryModel(t, nil, nil, false)
+	if _, err := ref.Solve([]Source{centeredSource(100)}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Solve([]Source{centeredSource(120)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PeakC-want.PeakC) > 1e-3 {
+		t.Errorf("recovered peak %v, reference %v", res.PeakC, want.PeakC)
+	}
+}
+
+// TestAssembleInjection: the thermal-assembly injection point surfaces as a
+// clean error (the kind the placer's step-skip budget absorbs), and the model
+// recovers on the next solve.
+func TestAssembleInjection(t *testing.T) {
+	inj := faultinject.New(1)
+	inj.Arm(faultinject.PointThermalAssemble, faultinject.Spec{At: 1})
+	m := recoveryModel(t, inj, nil, false)
+	_, err := m.Solve([]Source{centeredSource(100)})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("want injected assembly fault, got %v", err)
+	}
+	if _, err := m.Solve([]Source{centeredSource(100)}); err != nil {
+		t.Fatalf("solve after injected assembly fault: %v", err)
+	}
+}

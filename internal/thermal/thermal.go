@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"tap25d/internal/faultinject"
 	"tap25d/internal/geom"
 	"tap25d/internal/material"
 	"tap25d/internal/metrics"
@@ -60,6 +61,17 @@ type Options struct {
 	// CG convergence traces. Instrumentation is timing-only: it never touches
 	// the arithmetic, so observed and unobserved solves are bit-identical.
 	Obs *obs.Observer
+	// DisableRecovery turns off the solver recovery ladder: a CG
+	// non-convergence fails the solve immediately, as it did before the
+	// ladder existed. The ladder never runs on a converging solve, so this
+	// switch exists for bit-identity verification and diagnosis, not
+	// correctness.
+	DisableRecovery bool
+	// Inject, when non-nil, is consulted at the faultinject.PointCGSolve and
+	// faultinject.PointThermalAssemble injection points, letting tests force
+	// solver non-convergence or assembly failure deterministically. A nil
+	// Injector costs one pointer test per solve.
+	Inject *faultinject.Injector
 }
 
 // Model evaluates placements on a fixed interposer. A Model is reusable but
@@ -111,8 +123,10 @@ type Model struct {
 	slotEpoch                            []int32 // last epoch each CSR value slot was refreshed
 	dirtyCells, changedCells, dirtySlots []int32
 
-	ctr *metrics.Counters
-	obs *obs.Observer
+	ctr       *metrics.Counters
+	obs       *obs.Observer
+	noRecover bool
+	inject    *faultinject.Injector
 }
 
 // NewModel builds a model for an interposer of the given dimensions (mm).
@@ -182,6 +196,8 @@ func NewModel(widthMM, heightMM float64, opt Options) (*Model, error) {
 	m.noInc = opt.DisableIncremental
 	m.ctr = opt.Counters
 	m.obs = opt.Obs
+	m.noRecover = opt.DisableRecovery
+	m.inject = opt.Inject
 	return m, nil
 }
 
@@ -213,8 +229,13 @@ type Result struct {
 	// ChipTempC is the chiplet-layer temperature map in Celsius, row-major,
 	// ChipTempC[i*Grid+j] with i indexing y (bottom to top) and j indexing x.
 	ChipTempC []float64
-	// Iterations is the CG iteration count of this solve.
+	// Iterations is the CG iteration count of this solve (of the final
+	// successful attempt, when the recovery ladder ran).
 	Iterations int
+	// Recovery is nil on the happy path and describes the escalations taken
+	// when the solver recovery ladder rescued a non-converging solve. A
+	// degraded result (relaxed tolerance) is flagged on it.
+	Recovery *RecoveryInfo
 }
 
 // CellCenter returns the interposer-plane location (mm) of cell (i, j) of the
@@ -357,6 +378,9 @@ func (m *Model) SolveContext(ctx context.Context, sources []Source) (*Result, er
 // solveSpanned is the SolveContext body with sp (nil when observability is
 // disabled) as the parent for assemble sub-spans.
 func (m *Model) solveSpanned(ctx context.Context, sp *obs.Span, sources []Source) (*Result, error) {
+	if err := m.inject.Hit(faultinject.PointThermalAssemble); err != nil {
+		return nil, fmt.Errorf("thermal: %w", err)
+	}
 	if m.noInc {
 		asp := sp.Child(obs.PhaseThermalAssemble, "full")
 		err := m.rasterize(sources)
@@ -451,25 +475,14 @@ func (m *Model) solveAssembled(ctx context.Context, a *sparse.CSR, cg *sparse.CG
 	g2 := g * g
 
 	if !m.warm {
-		// Cold start: a uniform small rise is a decent guess.
-		for i := range m.temps {
-			m.temps[i] = 1
-		}
+		m.coldGuess()
 	}
-	opt := sparse.CGOptions{Tol: m.tol, MaxIter: m.maxIter}
-	var trace *obs.CGTrace
-	if m.obs.Enabled() {
-		trace = m.obs.StartCG()
-		opt.OnIteration = trace.Observe
+	opt := sparse.CGOptions{Tol: m.tol, MaxIter: m.maxIter, Inject: m.inject}
+	iters, err := m.runCG(ctx, a, cg, opt)
+	var rec *RecoveryInfo
+	if err != nil && recoverable(ctx, err) && !m.noRecover {
+		rec, iters, err = m.recoverSolve(ctx, a, cg, opt)
 	}
-	var iters int
-	var err error
-	if cg != nil {
-		iters, err = cg.SolveContext(ctx, m.temps, m.power, opt)
-	} else {
-		iters, err = sparse.SolveCGContext(ctx, a, m.temps, m.power, opt)
-	}
-	m.obs.EndCG(trace, iters, err == nil)
 	if err != nil {
 		m.warm = false
 		return nil, fmt.Errorf("thermal: %w", err)
@@ -489,6 +502,7 @@ func (m *Model) solveAssembled(ctx context.Context, a *sparse.CSR, cg *sparse.CG
 		ChipTempC: make([]float64, g2),
 	}
 	res.Iterations = iters
+	res.Recovery = rec
 	peak, sum := math.Inf(-1), 0.0
 	pi, pj := 0, 0
 	for i := 0; i < g; i++ {

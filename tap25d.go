@@ -19,12 +19,14 @@ package tap25d
 import (
 	"context"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 
 	"tap25d/internal/btree"
 	"tap25d/internal/chiplet"
+	"tap25d/internal/faultinject"
 	"tap25d/internal/geom"
 	"tap25d/internal/interposercost"
 	"tap25d/internal/material"
@@ -105,15 +107,67 @@ type (
 	ObsReport = obs.Report
 	// DebugServer is a running debug/metrics HTTP endpoint (ServeDebug).
 	DebugServer = obs.Server
+	// CheckpointStore is a durable per-run checkpoint directory: CRC-sealed
+	// snapshots, fsync'd writes, a previous-generation fallback on corrupt
+	// resumes, and bounded write retry. Its Checkpoint and Restore methods
+	// plug into Options.Checkpoint / Options.Restore.
+	CheckpointStore = placer.FileStore
+	// RouteInfeasibleError is the concrete error (errors.As) behind
+	// ErrRouteInfeasible; it names the limiting pin-clump capacities.
+	RouteInfeasibleError = route.InfeasibleError
+	// SolveRecovery describes how a thermal solve was rescued after CG
+	// non-convergence (ThermalResult.Recovery; nil on the happy path).
+	SolveRecovery = thermal.RecoveryInfo
+	// FaultInjector deterministically injects failures at named points
+	// (Options.FaultInjector, CheckpointStore.Inject) for resilience tests
+	// and kill-drills. nil disables injection at negligible cost.
+	FaultInjector = faultinject.Injector
+	// FaultSpec arms one injection point (see FaultInjector.Arm).
+	FaultSpec = faultinject.Spec
+	// FaultPoint names an injection point.
+	FaultPoint = faultinject.Point
 )
+
+// Failure sentinels, matchable with errors.Is.
+var (
+	// ErrRouteInfeasible marks a placement whose wire demand exceeds the
+	// pin-clump capacities (Eqn. 7): retrying the same routing call cannot
+	// succeed, only a different placement or larger pin budget can.
+	ErrRouteInfeasible = route.ErrInfeasible
+	// ErrCheckpointCorrupt marks a checkpoint rejected for damaged bytes
+	// (truncation, garbage, checksum mismatch).
+	ErrCheckpointCorrupt = placer.ErrCheckpointCorrupt
+	// ErrCheckpointVersion marks a checkpoint written by an incompatible
+	// format version.
+	ErrCheckpointVersion = placer.ErrCheckpointVersion
+	// ErrFaultInjected marks failures produced by a FaultInjector.
+	ErrFaultInjected = faultinject.ErrInjected
+)
+
+// Fault injection points (FaultInjector.Arm).
+const (
+	FaultCGSolve         = faultinject.PointCGSolve
+	FaultThermalAssemble = faultinject.PointThermalAssemble
+	FaultCheckpointWrite = faultinject.PointCheckpointWrite
+	FaultCheckpointRead  = faultinject.PointCheckpointRead
+	FaultJournalWrite    = faultinject.PointJournalWrite
+	FaultExperimentFlow  = faultinject.PointExperimentFlow
+)
+
+// NewFaultInjector creates a seeded deterministic fault injector. Arm points
+// on it and pass it to Options.FaultInjector (or a CheckpointStore / JSONLSink)
+// to rehearse failures; an unarmed or nil injector never fires.
+func NewFaultInjector(seed int64) *FaultInjector { return faultinject.New(seed) }
 
 // RunEvent kinds (RunEvent.Kind).
 const (
-	EventStep        = placer.EventStep
-	EventCheckpoint  = placer.EventCheckpoint
-	EventResume      = placer.EventResume
-	EventFinal       = placer.EventFinal
-	EventInterrupted = placer.EventInterrupted
+	EventStep           = placer.EventStep
+	EventCheckpoint     = placer.EventCheckpoint
+	EventResume         = placer.EventResume
+	EventFinal          = placer.EventFinal
+	EventInterrupted    = placer.EventInterrupted
+	EventStepSkipped    = placer.EventStepSkipped
+	EventResumeFallback = placer.EventResumeFallback
 )
 
 // NewJSONLSink wraps w (typically the run journal file) as an event sink;
@@ -135,13 +189,20 @@ func ServeDebug(addr string, o *Observer) (*DebugServer, error) {
 	return obs.Serve(addr, o)
 }
 
-// SaveCheckpoint atomically writes a run snapshot to path (temp file +
-// rename, so a crash mid-write never corrupts an existing checkpoint).
+// SaveCheckpoint durably writes a run snapshot to path: the payload is
+// sealed in a CRC-checksummed envelope, written atomically (temp file +
+// fsync + rename + directory fsync), and the previous snapshot is rotated to
+// path+".prev" so one surviving generation always exists even if the newest
+// write is torn by a crash.
 func SaveCheckpoint(path string, cp *RunCheckpoint) error {
 	return placer.SaveCheckpointFile(path, cp)
 }
 
-// LoadCheckpoint reads a snapshot written by SaveCheckpoint.
+// LoadCheckpoint reads a snapshot written by SaveCheckpoint, verifying its
+// checksum. When the newest generation is corrupt or version-skewed it falls
+// back to path+".prev"; rejections match ErrCheckpointCorrupt or
+// ErrCheckpointVersion. Use a CheckpointStore to observe the fallback (event
+// + counter) or to forbid it (Strict).
 func LoadCheckpoint(path string) (*RunCheckpoint, error) {
 	return placer.LoadCheckpointFile(path)
 }
@@ -254,6 +315,26 @@ type Options struct {
 	// observed and unobserved flows produce bit-identical results, and a
 	// nil Observer costs only pointer tests on the hot paths.
 	Observer *Observer
+
+	// Failure-domain controls. Like orchestration, none of these affect a
+	// fault-free annealing trajectory: recovery and skip paths only
+	// activate on failures, so default and hardened runs are bit-identical
+	// until something actually goes wrong.
+
+	// DisableRecovery turns off the thermal solver's recovery ladder
+	// (cold restart, stronger preconditioner, relaxed tolerance): the
+	// first CG non-convergence fails the solve, as before this option
+	// existed. Useful to make numerical trouble loud in CI.
+	DisableRecovery bool
+	// EvalFailureBudget, when positive, lets each annealing run skip SA
+	// steps whose evaluation failed transiently, up to this many
+	// consecutive failures (the counter resets on success). 0 keeps the
+	// historical fail-fast behavior.
+	EvalFailureBudget int
+	// FaultInjector, when non-nil, injects deterministic failures at the
+	// Fault* points inside the flow (CG solves, thermal assembly) for
+	// resilience rehearsals. nil disables injection.
+	FaultInjector *FaultInjector
 }
 
 func (o Options) thermalOptions(sys *System) thermal.Options {
@@ -262,7 +343,8 @@ func (o Options) thermalOptions(sys *System) thermal.Options {
 		grid = 64
 	}
 	stack := material.DefaultStackFor(sys.InterposerW, sys.InterposerH)
-	return thermal.Options{Grid: grid, Stack: &stack, Obs: o.Observer}
+	return thermal.Options{Grid: grid, Stack: &stack, Obs: o.Observer,
+		DisableRecovery: o.DisableRecovery, Inject: o.FaultInjector}
 }
 
 func (o Options) routeOptions() route.Options {
@@ -275,20 +357,21 @@ func (o Options) placerOptions() placer.Options {
 		fa = -1
 	}
 	return placer.Options{
-		Steps:           o.Steps,
-		Seed:            o.Seed,
-		CriticalC:       o.CriticalC,
-		CompactSteps:    o.CompactSteps,
-		Initial:         o.InitialPlacement,
-		History:         o.History,
-		DisableJump:     o.DisableJump,
-		FixedAlpha:      fa,
-		Progress:        o.Progress,
-		ProgressEvery:   o.ProgressEvery,
-		CheckpointEvery: o.CheckpointEvery,
-		Checkpoint:      o.Checkpoint,
-		Restore:         o.Restore,
-		Obs:             o.Observer,
+		Steps:             o.Steps,
+		Seed:              o.Seed,
+		CriticalC:         o.CriticalC,
+		CompactSteps:      o.CompactSteps,
+		Initial:           o.InitialPlacement,
+		History:           o.History,
+		DisableJump:       o.DisableJump,
+		FixedAlpha:        fa,
+		Progress:          o.Progress,
+		ProgressEvery:     o.ProgressEvery,
+		CheckpointEvery:   o.CheckpointEvery,
+		Checkpoint:        o.Checkpoint,
+		Restore:           o.Restore,
+		Obs:               o.Observer,
+		EvalFailureBudget: o.EvalFailureBudget,
 	}
 }
 
@@ -356,7 +439,7 @@ func finalize(sys *System, p Placement, opt Options) (*Result, error) {
 	ctr.RouteCalls++
 	rres, err := route.Route(sys, p, ropt)
 	if err != nil {
-		return nil, err
+		return nil, wrapRouteErr(err)
 	}
 	// This evaluation runs outside any annealing run; fold its counters into
 	// the observer so the end-of-flow report accounts for the whole flow.
@@ -511,7 +594,7 @@ func EvaluateLiquid(sys *System, p Placement, lc LiquidCooling, opt Options) (*R
 	}
 	rres, err := route.Route(sys, p, ropt)
 	if err != nil {
-		return nil, err
+		return nil, wrapRouteErr(err)
 	}
 	return &Result{
 		Placement:    p,
@@ -521,6 +604,17 @@ func EvaluateLiquid(sys *System, p Placement, lc LiquidCooling, opt Options) (*R
 		Thermal:      tres,
 		Routing:      rres,
 	}, nil
+}
+
+// wrapRouteErr gives routing failures a facade-level diagnosis: an
+// infeasible instance is a property of the placement-vs-pin-budget pairing,
+// not a transient fault, and the wrapped error stays errors.Is-matchable
+// against ErrRouteInfeasible.
+func wrapRouteErr(err error) error {
+	if errors.Is(err, ErrRouteInfeasible) {
+		return fmt.Errorf("tap25d: placement cannot be wired within the pin-clump budgets — raise PinsPerClumpLimit or change the placement: %w", err)
+	}
+	return err
 }
 
 // Transient simulates the thermal step response of placement p: the package
