@@ -16,7 +16,10 @@
 // generations; -resume falls back to the previous generation when the newest
 // is corrupt unless -strict-resume forbids it. -no-recover disables the CG
 // recovery ladder and -eval-failure-budget tolerates transient evaluation
-// failures. -journal appends structured progress events as JSON Lines. See
+// failures. -journal appends structured progress events as JSON Lines.
+// -no-surrogate turns off the analytical-surrogate prescreen (byte-identical
+// to the exact-only flows); -bench-out regenerates the BENCH_E1.json
+// surrogate-vs-exact micro-benchmark instead of the sweep. See
 // docs/OPERATIONS.md for the full runbook.
 package main
 
@@ -54,6 +57,8 @@ func main() {
 		strictRes  = flag.Bool("strict-resume", false, "fail on a corrupt newest checkpoint instead of falling back to the previous generation")
 		noRecover  = flag.Bool("no-recover", false, "disable the thermal solver's CG recovery ladder (non-convergence fails immediately)")
 		evalBudget = flag.Int("eval-failure-budget", 0, "skip up to N consecutive transiently-failed SA steps per run (0: fail fast)")
+		noSur      = flag.Bool("no-surrogate", false, "disable the analytical-surrogate prescreen (every SA step pays an exact thermal solve; byte-identical to the pre-surrogate flow)")
+		benchOut   = flag.String("bench-out", "", "run the surrogate-vs-exact E1 micro-benchmark and write its BENCH_*.json entries to this file (skips the experiment sweep)")
 	)
 	flag.Parse()
 
@@ -72,6 +77,11 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	cfg.Surrogate = !*noSur
+	if *benchOut != "" {
+		runBench(cfg, *benchOut)
+		return
 	}
 	if *resume && *ckptDir == "" {
 		fmt.Fprintln(os.Stderr, "experiments: -resume requires -checkpoint-dir")
@@ -190,6 +200,32 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runBench regenerates the BENCH_E1.json artifact: the surrogate-vs-exact
+// micro-benchmark on the multi-GPU case study at the configured fidelity.
+func runBench(cfg experiments.Config, path string) {
+	rep, entries, err := experiments.BenchmarkSurrogate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: bench:", err)
+		os.Exit(1)
+	}
+	rep.Format(os.Stdout)
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: bench:", err)
+		os.Exit(1)
+	}
+	if err := experiments.WriteBenchEntries(f, entries); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "experiments: bench:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("benchmark entries written to", path)
 }
 
 // bestTracker keeps the latest event per run index of the flow currently in

@@ -17,8 +17,9 @@
 // write at kill time), -resume falls back to the previous one unless
 // -strict-resume forbids it. -no-recover disables the CG recovery ladder and
 // -eval-failure-budget tolerates transient evaluation failures by skipping
-// steps. -journal appends structured progress events as JSON Lines. See
-// docs/OPERATIONS.md.
+// steps. -journal appends structured progress events as JSON Lines.
+// -no-surrogate turns off the analytical-surrogate prescreen and makes the
+// flow byte-identical to the exact-only annealer. See docs/OPERATIONS.md.
 package main
 
 import (
@@ -45,6 +46,7 @@ func main() {
 		grid       = flag.Int("grid", 64, "thermal grid resolution (paper: 64)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		gas        = flag.Bool("gas", false, "use 2-stage gas-station links (Eqn. 9)")
+		noSur      = flag.Bool("no-surrogate", false, "disable the analytical-surrogate prescreen (every SA step pays an exact thermal solve; byte-identical to the pre-surrogate flow)")
 		exact      = flag.Bool("exact", false, "route the final placement with the exact MILP")
 		outPath    = flag.String("out", "", "write the resulting placement as JSON")
 		ppmPath    = flag.String("ppm", "", "write the thermal map as a PPM image")
@@ -79,6 +81,7 @@ func main() {
 		Runs:              *runs,
 		Seed:              *seed,
 		GasStation:        *gas,
+		Surrogate:         !*noSur,
 		ExactRouting:      *exact,
 		Context:           ctx,
 		ProgressEvery:     *progEvery,
@@ -164,6 +167,10 @@ func main() {
 		sys.Name, res.PeakC, tap25d.CriticalC, res.Feasible, res.WirelengthMM)
 	if *mode == "tap" && !res.Interrupted {
 		fmt.Printf("initial (Compact-2.5D): %.2f C, %.0f mm\n", res.InitialPeakC, res.InitialWirelength)
+	}
+	if s := res.Surrogate; s != nil {
+		fmt.Printf("surrogate: %d prescreens, %d rejected without an exact solve (hit rate %.2f), %d audits, %d refits, drift RMS %.3f C\n",
+			s.Prescreens, s.Rejects, s.HitRate, s.Audits, s.Refits, s.DriftRMSC)
 	}
 	for i, c := range res.Placement.Centers {
 		rot := ""

@@ -15,9 +15,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
+	"math/rand"
 	"os"
 
 	"tap25d"
+	"tap25d/internal/surrogate"
 )
 
 func main() {
@@ -34,6 +37,8 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "serve live metrics/pprof on this address (e.g. localhost:6060)")
 		obsReport  = flag.String("obs-report", "", "write the observability report as JSON to this file")
 		noRecover  = flag.Bool("no-recover", false, "disable the thermal solver's CG recovery ladder (non-convergence fails immediately)")
+		compareSur = flag.Int("compare-surrogate", 0, "fit the analytical thermal surrogate from N random perturbations of the placement and report its predicted-vs-exact error (0: off)")
+		seed       = flag.Int64("seed", 1, "random seed for -compare-surrogate perturbations")
 	)
 	flag.Parse()
 
@@ -108,6 +113,12 @@ func main() {
 		}
 	}
 
+	if *compareSur > 0 {
+		if err := compareSurrogate(sys, p, *compareSur, *seed, opt); err != nil {
+			fatal(err)
+		}
+	}
+
 	if observer != nil {
 		rep := observer.Report()
 		rep.WriteTable(os.Stderr)
@@ -118,6 +129,71 @@ func main() {
 			fmt.Println("observability report written to", *obsReport)
 		}
 	}
+}
+
+// compareSurrogate fits the closed-form analytical thermal model from n
+// random perturbations of the placement (each paying an exact finite-
+// difference solve) and scores it on a fresh holdout set of the same size —
+// the offline view of the accuracy the two-fidelity annealer gets online.
+func compareSurrogate(sys *tap25d.System, p tap25d.Placement, n int, seed int64, opt tap25d.Options) error {
+	fit := surrogate.NewFitter(surrogate.Config{Window: n})
+	rng := rand.New(rand.NewSource(seed))
+	// Rejection-sample: a jitter may push two dies inside the minimum gap
+	// (Eqn. 10), which Evaluate rejects; keep drawing until legal.
+	perturb := func() (tap25d.Placement, error) {
+		for attempt := 0; attempt < 10000; attempt++ {
+			q := p.Clone()
+			i := rng.Intn(len(q.Centers))
+			w, h := sys.Chiplets[i].W, sys.Chiplets[i].H
+			if q.Rotated[i] {
+				w, h = h, w
+			}
+			q.Centers[i].X += (rng.Float64()*2 - 1) * 2
+			q.Centers[i].Y += (rng.Float64()*2 - 1) * 2
+			q.Centers[i].X = math.Max(w/2, math.Min(sys.InterposerW-w/2, q.Centers[i].X))
+			q.Centers[i].Y = math.Max(h/2, math.Min(sys.InterposerH-h/2, q.Centers[i].Y))
+			if sys.CheckPlacement(q) == nil {
+				return q, nil
+			}
+		}
+		return tap25d.Placement{}, fmt.Errorf("no legal perturbation of the placement found in 10000 draws")
+	}
+	exact := func(q tap25d.Placement) (float64, error) {
+		res, err := tap25d.Evaluate(sys, q, opt)
+		if err != nil {
+			return 0, err
+		}
+		return res.PeakC, nil
+	}
+	for i := 0; i < n; i++ {
+		q, err := perturb()
+		if err != nil {
+			return err
+		}
+		t, err := exact(q)
+		if err != nil {
+			return err
+		}
+		fit.Observe(sys, q, t)
+	}
+	fit.Refit(sys)
+	var sumSq, maxAbs float64
+	for i := 0; i < n; i++ {
+		q, err := perturb()
+		if err != nil {
+			return err
+		}
+		t, err := exact(q)
+		if err != nil {
+			return err
+		}
+		e := fit.Predict(sys, q) - t
+		sumSq += e * e
+		maxAbs = math.Max(maxAbs, math.Abs(e))
+	}
+	fmt.Printf("\nsurrogate vs exact over %d holdout perturbations (fit on %d): RMS %.3f C, max %.3f C\n",
+		n, n, math.Sqrt(sumSq/float64(n)), maxAbs)
+	return nil
 }
 
 func load(name, jsonPath, placementPath string) (*tap25d.System, tap25d.Placement, error) {

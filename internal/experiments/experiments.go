@@ -47,6 +47,12 @@ type Config struct {
 	CompactSteps int
 	// Seed drives all randomness.
 	Seed int64
+	// Surrogate enables the two-fidelity evaluator in every annealing flow:
+	// the analytical thermal surrogate prescreens SA candidates and only
+	// surrogate-approved moves pay the exact solve (tap25d.Options.Surrogate).
+	// Off by default, which keeps experiment results byte-identical to the
+	// exact-only flow.
+	Surrogate bool
 
 	// orch carries the campaign's run-orchestration state when the
 	// experiment was started through RunOrchestrated; nil means plain
@@ -214,6 +220,7 @@ func (c Config) options() tap25d.Options {
 		Runs:         c.Runs,
 		Seed:         c.Seed,
 		CompactSteps: c.CompactSteps,
+		Surrogate:    c.Surrogate,
 	}
 }
 

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tap25d/internal/chiplet"
+	"tap25d/internal/placer"
+	"tap25d/internal/route"
+	"tap25d/internal/surrogate"
+	"tap25d/internal/systems"
+	"tap25d/internal/thermal"
+)
+
+// TestSurrogateDriftWithinAuditBound is the accuracy property behind the
+// two-fidelity annealer's audit design: warm the fitter up on 50 random
+// perturbations of each paper case study (each paying an exact solve, as the
+// online fit does), then require the drift — predicted minus exact peak
+// temperature — to stay under the default audit bound in RMS on a fresh
+// 50-perturbation holdout. If this breaks, the annealer's drift audits would
+// be refitting constantly and the prescreen would buy nothing.
+func TestSurrogateDriftWithinAuditBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("thermal solves in -short mode")
+	}
+	const perturbations = 50
+	bound := surrogate.Config{}.WithDefaults().AuditBoundC
+	for _, name := range systems.Names() {
+		t.Run(name, func(t *testing.T) {
+			sys, err := systems.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := randomPlacement(sys, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev, err := placer.NewSystemEvaluator(sys, thermal.Options{Grid: 16}, route.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact := func(q chiplet.Placement) float64 {
+				tempC, _, err := ev.Evaluate(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return tempC
+			}
+			// Jitter one die at a time by up to ±2 mm, clamped to the
+			// interposer — the move scale of the annealer's low-temperature
+			// regime, where the prescreen does its work. Rejection-sample
+			// until the jitter keeps the placement legal (min gap, Eqn. 10).
+			rng := rand.New(rand.NewSource(7))
+			perturb := func() chiplet.Placement {
+				for {
+					q := base.Clone()
+					i := rng.Intn(len(q.Centers))
+					w, h := sys.Chiplets[i].W, sys.Chiplets[i].H
+					if q.Rotated[i] {
+						w, h = h, w
+					}
+					q.Centers[i].X += (rng.Float64()*2 - 1) * 2
+					q.Centers[i].Y += (rng.Float64()*2 - 1) * 2
+					q.Centers[i].X = math.Max(w/2, math.Min(sys.InterposerW-w/2, q.Centers[i].X))
+					q.Centers[i].Y = math.Max(h/2, math.Min(sys.InterposerH-h/2, q.Centers[i].Y))
+					if sys.CheckPlacement(q) == nil {
+						return q
+					}
+				}
+			}
+
+			fit := surrogate.NewFitter(surrogate.Config{Window: perturbations})
+			for i := 0; i < perturbations; i++ {
+				q := perturb()
+				fit.Observe(sys, q, exact(q))
+			}
+			fit.Refit(sys)
+
+			var sumSq, maxAbs float64
+			for i := 0; i < perturbations; i++ {
+				q := perturb()
+				e := fit.Predict(sys, q) - exact(q)
+				sumSq += e * e
+				maxAbs = math.Max(maxAbs, math.Abs(e))
+			}
+			rms := math.Sqrt(sumSq / perturbations)
+			t.Logf("%s: drift RMS %.3f C (max %.3f C), audit bound %.1f C", name, rms, maxAbs, bound)
+			if rms > bound {
+				t.Fatalf("%s: surrogate drift RMS %.3f C exceeds the audit bound %.1f C", name, rms, bound)
+			}
+		})
+	}
+}

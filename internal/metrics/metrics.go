@@ -61,6 +61,17 @@ type Counters struct {
 	// ResumeFallbacks counts resumes that fell back to the previous
 	// checkpoint generation because the newest file was corrupt or missing.
 	ResumeFallbacks int64 `json:"resume_fallbacks"`
+	// SurrogatePrescreens counts SA candidates scored by the analytical
+	// thermal surrogate before (possibly instead of) the exact solver;
+	// SurrogateRejects counts the prescreens that declined the move without
+	// paying the exact solve.
+	SurrogatePrescreens int64 `json:"surrogate_prescreens"`
+	SurrogateRejects    int64 `json:"surrogate_rejects"`
+	// SurrogateAudits counts prescreen-rejected candidates re-scored exactly
+	// to measure surrogate drift; SurrogateRefits counts audits whose error
+	// breached the bound and forced a spread-length refit.
+	SurrogateAudits int64 `json:"surrogate_audits"`
+	SurrogateRefits int64 `json:"surrogate_refits"`
 }
 
 // Merge adds o into c.
@@ -81,6 +92,10 @@ func (c *Counters) Merge(o Counters) {
 	c.StepEvalSkipped += o.StepEvalSkipped
 	c.CkptWriteRetries += o.CkptWriteRetries
 	c.ResumeFallbacks += o.ResumeFallbacks
+	c.SurrogatePrescreens += o.SurrogatePrescreens
+	c.SurrogateRejects += o.SurrogateRejects
+	c.SurrogateAudits += o.SurrogateAudits
+	c.SurrogateRefits += o.SurrogateRefits
 }
 
 // IsZero reports whether no counter has been incremented.
@@ -94,11 +109,13 @@ func (c Counters) IsZero() bool {
 func (c Counters) String() string {
 	return fmt.Sprintf("evals=%d cache=%d/%d (hit/miss) solves=%d cg_iters=%d "+
 		"assembles=%d/%d/%d (full/delta/skip) routes=%d ckpts=%d resumes=%d "+
-		"recovery=%d/%d (cold/ssor) skipped_steps=%d ckpt_retries=%d resume_fallbacks=%d",
+		"recovery=%d/%d (cold/ssor) skipped_steps=%d ckpt_retries=%d resume_fallbacks=%d "+
+		"surrogate=%d/%d/%d/%d (prescreen/reject/audit/refit)",
 		c.Evaluations, c.CacheHits, c.CacheMisses,
 		c.ThermalSolves, c.CGIterations,
 		c.FullAssembles, c.DeltaAssembles, c.SkippedAssembles,
 		c.RouteCalls, c.Checkpoints, c.Resumes,
 		c.CGRetries, c.CGFallbackPrecond,
-		c.StepEvalSkipped, c.CkptWriteRetries, c.ResumeFallbacks)
+		c.StepEvalSkipped, c.CkptWriteRetries, c.ResumeFallbacks,
+		c.SurrogatePrescreens, c.SurrogateRejects, c.SurrogateAudits, c.SurrogateRefits)
 }

@@ -37,7 +37,8 @@ func TestStringStableOrder(t *testing.T) {
 	var zero Counters
 	wantZero := "evals=0 cache=0/0 (hit/miss) solves=0 cg_iters=0 " +
 		"assembles=0/0/0 (full/delta/skip) routes=0 ckpts=0 resumes=0 " +
-		"recovery=0/0 (cold/ssor) skipped_steps=0 ckpt_retries=0 resume_fallbacks=0"
+		"recovery=0/0 (cold/ssor) skipped_steps=0 ckpt_retries=0 resume_fallbacks=0 " +
+		"surrogate=0/0/0/0 (prescreen/reject/audit/refit)"
 	if s := zero.String(); s != wantZero {
 		t.Fatalf("zero counters:\n got %q\nwant %q", s, wantZero)
 	}
@@ -49,10 +50,12 @@ func TestStringStableOrder(t *testing.T) {
 		RouteCalls: 9, Checkpoints: 3, Resumes: 1,
 		CGRetries: 2, CGFallbackPrecond: 1,
 		StepEvalSkipped: 4, CkptWriteRetries: 2, ResumeFallbacks: 1,
+		SurrogatePrescreens: 20, SurrogateRejects: 12, SurrogateAudits: 3, SurrogateRefits: 1,
 	}
 	want := "evals=11 cache=2/9 (hit/miss) solves=9 cg_iters=123 " +
 		"assembles=1/7/1 (full/delta/skip) routes=9 ckpts=3 resumes=1 " +
-		"recovery=2/1 (cold/ssor) skipped_steps=4 ckpt_retries=2 resume_fallbacks=1"
+		"recovery=2/1 (cold/ssor) skipped_steps=4 ckpt_retries=2 resume_fallbacks=1 " +
+		"surrogate=20/12/3/1 (prescreen/reject/audit/refit)"
 	if s := c.String(); s != want {
 		t.Fatalf("populated counters:\n got %q\nwant %q", s, want)
 	}
@@ -68,6 +71,7 @@ func TestJSONSchema(t *testing.T) {
 		RouteCalls: 9, Checkpoints: 10, Resumes: 11,
 		CGRetries: 12, CGFallbackPrecond: 13,
 		StepEvalSkipped: 14, CkptWriteRetries: 15, ResumeFallbacks: 16,
+		SurrogatePrescreens: 17, SurrogateRejects: 18, SurrogateAudits: 19, SurrogateRefits: 20,
 	}
 	raw, err := json.Marshal(c)
 	if err != nil {
@@ -87,7 +91,8 @@ func TestJSONSchema(t *testing.T) {
 		"cg_retries", "checkpoints", "ckpt_write_retries", "delta_assembles",
 		"evaluations", "full_assembles", "resume_fallbacks", "resumes",
 		"route_calls", "skipped_assembles", "step_eval_skipped",
-		"thermal_solves",
+		"surrogate_audits", "surrogate_prescreens", "surrogate_refits",
+		"surrogate_rejects", "thermal_solves",
 	}
 	if !reflect.DeepEqual(keys, want) {
 		t.Fatalf("JSON keys:\n got %v\nwant %v", keys, want)

@@ -55,6 +55,10 @@ const (
 	PhaseRouteSolve
 	// PhaseCheckpointWrite covers persisting one run snapshot.
 	PhaseCheckpointWrite
+	// PhaseSurrogateEval covers one analytical-surrogate prediction during
+	// a two-fidelity prescreen (microseconds; contrast with
+	// PhaseThermalSolve to see the fidelity gap).
+	PhaseSurrogateEval
 	numPhases
 )
 
@@ -67,6 +71,7 @@ var phaseNames = [numPhases]string{
 	"thermal_assemble",
 	"route_solve",
 	"checkpoint_write",
+	"surrogate_eval",
 }
 
 func (p Phase) String() string {

@@ -76,6 +76,10 @@ type Event struct {
 	// events (checkpoint, resume, final, interrupted) when observability is
 	// enabled; step events omit it to keep the journal lean.
 	Obs *obs.EventSnapshot `json:"obs,omitempty"`
+	// Surrogate carries the two-fidelity evaluation statistics on lifecycle
+	// events when the run uses a surrogate-prescreening evaluator; step
+	// events omit it.
+	Surrogate *SurrogateStats `json:"surrogate,omitempty"`
 }
 
 // EventFunc receives progress events. PlaceBestOf runs anneal in parallel, so

@@ -83,6 +83,8 @@ func TestEventGoldenSchema(t *testing.T) {
 		ThermalSolves: 32, CGIterations: 640,
 		FullAssembles: 1, DeltaAssembles: 30, SkippedAssembles: 1,
 		RouteCalls: 32, Checkpoints: 2, Resumes: 1,
+		SurrogatePrescreens: 180, SurrogateRejects: 150,
+		SurrogateAudits: 9, SurrogateRefits: 1,
 	}
 	step := Event{
 		Kind: EventStep, Run: 0, Step: 250, Steps: 1000,
@@ -95,6 +97,10 @@ func TestEventGoldenSchema(t *testing.T) {
 		Kind: EventCheckpoint, Run: 1, Step: 500, Steps: 1000,
 		K: 0.35, BestTempC: 83.52, BestWirelengthMM: 1210, AcceptRate: 0.44,
 		Counters: &ctr,
+		Surrogate: &SurrogateStats{
+			Prescreens: 180, Rejects: 150, Audits: 9, Refits: 1,
+			DriftRMSC: 0.45, HitRate: 0.8333333333333334,
+		},
 		Obs: &obs.EventSnapshot{
 			UptimeNS: 1_500_000_000,
 			Phases: []obs.PhaseSummary{
@@ -132,9 +138,13 @@ func TestEventGoldenSchema(t *testing.T) {
 		t.Fatalf("journal output drifted from %s:\n got: %s\nwant: %s", golden, buf.Bytes(), want)
 	}
 
-	// The step line must stay lean: no observability payload on step events.
+	// The step line must stay lean: no observability or surrogate payload on
+	// step events.
 	lines := strings.SplitN(buf.String(), "\n", 2)
 	if strings.Contains(lines[0], `"obs"`) {
 		t.Fatalf("step event carries an obs payload: %s", lines[0])
+	}
+	if strings.Contains(lines[0], `"surrogate":{`) {
+		t.Fatalf("step event carries a surrogate payload: %s", lines[0])
 	}
 }

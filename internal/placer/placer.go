@@ -332,6 +332,10 @@ type Result struct {
 	// Metrics carries the evaluator's counters when the evaluator exposes
 	// them; for PlaceBestOf it aggregates the counters of every run.
 	Metrics metrics.Counters
+	// Surrogate carries the two-fidelity evaluation statistics when the run
+	// used a surrogate-prescreening evaluator (nil otherwise); for
+	// PlaceBestOf it pools the statistics of every run.
+	Surrogate *SurrogateStats
 }
 
 // RunFailure attaches one failed run's reason to a degraded PlaceBestOf
@@ -663,9 +667,17 @@ func Resume(ctx context.Context, sys *chiplet.System, ev Evaluator, cp *Checkpoi
 // reproduces the original single-function annealer exactly — same draw
 // order, same arithmetic — so orchestration (cancellation polls, event
 // emission, checkpointing) adds observability without perturbing results.
+//
+// When the evaluator implements prescreener, each step becomes two-fidelity:
+// the candidate is first scored by the surrogate, and only moves the
+// surrogate cannot confidently reject (Metropolis on predicted cost, padded
+// by the margin) pay the exact evaluation, which alone drives acceptance.
+// With a non-prescreening evaluator the loop is branch-for-branch identical
+// to the single-fidelity annealer, including RNG draw order.
 func (st *saState) anneal(ctx context.Context) (*Result, error) {
 	opt := st.opt
 	opt.Obs.SetRunState(opt.RunIndex, "running")
+	pre, _ := st.ev.(prescreener)
 
 	// Annealing schedule: K decays by KDecay once per level; levels are
 	// spread evenly over the step budget.
@@ -701,45 +713,89 @@ func (st *saState) anneal(ctx context.Context) (*Result, error) {
 			sp.End()
 			continue // no valid perturbation found this step
 		}
-		nbT, nbW, err := evaluate(obs.ContextWithSpan(ctx, sp), st.ev, nb)
-		if err != nil {
-			sp.End()
-			if ctx.Err() != nil {
-				return st.interrupt(ctx.Err())
-			}
-			if opt.EvalFailureBudget > 0 && st.evalFails < opt.EvalFailureBudget {
-				// Transient failure within budget: skip this step (like a
-				// step with no valid perturbation — the step index advances,
-				// the completed-steps count does not) and keep annealing.
-				st.evalFails++
-				st.res.SkippedSteps++
-				if ctr := st.counters(); ctr != nil {
-					ctr.StepEvalSkipped++
+		var nbT, nbW, nbCost, alpha float64
+		var accepted bool
+		exact := true
+		if pre != nil {
+			predT, predW, ready, perr := pre.Prescreen(obs.ContextWithSpan(ctx, sp), st.cur, nb, st.curT)
+			if perr != nil {
+				sp.End()
+				res, ferr, skip := st.stepEvalFailed(ctx, step, perr)
+				if skip {
+					continue
 				}
-				opt.Obs.Add("step_eval_skipped", 1)
-				st.emit(Event{Kind: EventStepSkipped, Step: st.res.Steps, Error: err.Error()})
-				continue
+				return res, ferr
 			}
-			return nil, fmt.Errorf("placer: step %d: %w", step, err)
+			if ready {
+				alpha = opt.FixedAlpha
+				if alpha < 0 {
+					alpha = Alpha(math.Max(st.curT, predT), opt.AmbientC, opt.CriticalC)
+				}
+				curCost := st.bounds.cost(st.curT, st.curW, alpha)
+				predCost := st.bounds.cost(predT, predW, alpha)
+				// Metropolis on the predicted cost at the sharpened prescreen
+				// temperature k/sharpen, padded by the margin: candidates
+				// predicted worse than the margin are declined decisively,
+				// while predicted-improving and within-margin moves always
+				// fall through to the exact solver, which alone decides
+				// acceptance. The sharpening ramps with annealing progress —
+				// near K=KStart the prescreen mirrors the exact Metropolis
+				// test and defers to the high-temperature exploration the
+				// schedule intends; as K cools toward KEnd it approaches the
+				// configured decisiveness, declining the ever-larger fraction
+				// of proposals the converging anneal would reject anyway.
+				// Predicted values never feed the normalization window.
+				margin, sharpen := pre.PrescreenPolicy()
+				// Progress is linear in the schedule's level index (K decays
+				// geometrically), 0 at KStart and 1 at KEnd.
+				progress := math.Log(opt.KStart/st.k) / math.Log(opt.KStart/opt.KEnd)
+				eff := 1 + (sharpen-1)*progress
+				ap := math.Exp((curCost - predCost + margin) * eff / st.k)
+				if ap < 1 && st.rng.Float64() >= ap {
+					exact = false
+					nbT, nbW, nbCost = predT, predW, predCost
+					if aerr := pre.MaybeAudit(obs.ContextWithSpan(ctx, sp), nb, predT); aerr != nil {
+						sp.End()
+						res, ferr, skip := st.stepEvalFailed(ctx, step, aerr)
+						if skip {
+							continue
+						}
+						return res, ferr
+					}
+					st.evalFails = 0
+				}
+			}
 		}
-		st.evalFails = 0
-		st.bounds.observe(nbT, nbW)
+		if exact {
+			var err error
+			nbT, nbW, err = evaluate(obs.ContextWithSpan(ctx, sp), st.ev, nb)
+			if err != nil {
+				sp.End()
+				res, ferr, skip := st.stepEvalFailed(ctx, step, err)
+				if skip {
+					continue
+				}
+				return res, ferr
+			}
+			st.evalFails = 0
+			st.bounds.observe(nbT, nbW)
 
-		alpha := opt.FixedAlpha
-		if alpha < 0 {
-			alpha = Alpha(math.Max(st.curT, nbT), opt.AmbientC, opt.CriticalC)
-		}
-		curCost := st.bounds.cost(st.curT, st.curW, alpha)
-		nbCost := st.bounds.cost(nbT, nbW, alpha)
+			alpha = opt.FixedAlpha
+			if alpha < 0 {
+				alpha = Alpha(math.Max(st.curT, nbT), opt.AmbientC, opt.CriticalC)
+			}
+			curCost := st.bounds.cost(st.curT, st.curW, alpha)
+			nbCost = st.bounds.cost(nbT, nbW, alpha)
 
-		// Eqn. (14): AP = exp((cost_cur - cost_nb) / K).
-		ap := math.Exp((curCost - nbCost) / st.k)
-		accepted := ap >= 1 || st.rng.Float64() < ap
-		if accepted {
-			st.cur, st.curT, st.curW = nb, nbT, nbW
-			st.res.Accepted++
-			if betterCost(st.curT, st.curW, st.bestT, st.bestW, &st.bounds, opt) {
-				st.best, st.bestT, st.bestW = st.cur.Clone(), st.curT, st.curW
+			// Eqn. (14): AP = exp((cost_cur - cost_nb) / K).
+			ap := math.Exp((curCost - nbCost) / st.k)
+			accepted = ap >= 1 || st.rng.Float64() < ap
+			if accepted {
+				st.cur, st.curT, st.curW = nb, nbT, nbW
+				st.res.Accepted++
+				if betterCost(st.curT, st.curW, st.bestT, st.bestW, &st.bounds, opt) {
+					st.best, st.bestT, st.bestW = st.cur.Clone(), st.curT, st.curW
+				}
 			}
 		}
 		sp.End()
@@ -772,6 +828,32 @@ func (st *saState) anneal(ctx context.Context) (*Result, error) {
 	return st.res, nil
 }
 
+// stepEvalFailed handles an evaluation (or prescreen/audit) failure inside
+// the anneal loop: cancellation turns into an interrupt, transient failures
+// within Options.EvalFailureBudget consume the step (skip=true tells the loop
+// to continue), and anything else aborts the run. Semantics match the
+// original inline error path exactly.
+func (st *saState) stepEvalFailed(ctx context.Context, step int, err error) (res *Result, ferr error, skip bool) {
+	if ctx.Err() != nil {
+		res, ferr = st.interrupt(ctx.Err())
+		return res, ferr, false
+	}
+	if st.opt.EvalFailureBudget > 0 && st.evalFails < st.opt.EvalFailureBudget {
+		// Transient failure within budget: skip this step (like a step with
+		// no valid perturbation — the step index advances, the
+		// completed-steps count does not) and keep annealing.
+		st.evalFails++
+		st.res.SkippedSteps++
+		if ctr := st.counters(); ctr != nil {
+			ctr.StepEvalSkipped++
+		}
+		st.opt.Obs.Add("step_eval_skipped", 1)
+		st.emit(Event{Kind: EventStepSkipped, Step: st.res.Steps, Error: err.Error()})
+		return nil, nil, true
+	}
+	return nil, fmt.Errorf("placer: step %d: %w", step, err), false
+}
+
 // recordObsStep feeds one completed SA step into the observer's per-run time
 // series and refreshes the run's live status (no-op when observability is
 // disabled).
@@ -802,6 +884,9 @@ func (st *saState) finish(interrupted bool) {
 	st.res.Interrupted = interrupted
 	if mp, ok := st.ev.(MetricsProvider); ok {
 		st.res.Metrics = mp.Metrics()
+	}
+	if sp, ok := st.ev.(surrogateStatsProvider); ok {
+		st.res.Surrogate = sp.SurrogateStats()
 	}
 	state := "final"
 	if interrupted {
@@ -854,9 +939,13 @@ func (st *saState) emit(e Event) {
 		e.Counters = &ctr
 	}
 	// Lifecycle events (resume, checkpoint, final, interrupted) carry the
-	// observability snapshot; per-step events stay lean.
+	// observability snapshot and surrogate statistics; per-step events stay
+	// lean.
 	if e.Kind != EventStep {
 		e.Obs = st.opt.Obs.EventSnapshot()
+		if sp, ok := st.ev.(surrogateStatsProvider); ok {
+			e.Surrogate = sp.SurrogateStats()
+		}
 	}
 	st.opt.Progress(e)
 }
@@ -1022,6 +1111,7 @@ func PlaceBestOfContext(ctx context.Context, sys *chiplet.System, factory func()
 	var best *Result
 	var firstErr error
 	var merged metrics.Counters
+	var mergedSur *SurrogateStats
 	var failures []RunFailure
 	skipped := 0
 	interrupted := false
@@ -1036,6 +1126,7 @@ func PlaceBestOfContext(ctx context.Context, sys *chiplet.System, factory func()
 			continue
 		}
 		merged.Merge(results[r].Metrics)
+		mergedSur = mergeSurrogateStats(mergedSur, results[r].Surrogate)
 		skipped += results[r].SkippedSteps
 		interrupted = interrupted || results[r].Interrupted
 		if best == nil || Better(results[r].PeakC, results[r].WirelengthMM, best.PeakC, best.WirelengthMM, opt.CriticalC) {
@@ -1049,6 +1140,7 @@ func PlaceBestOfContext(ctx context.Context, sys *chiplet.System, factory func()
 		return nil, errors.New("placer: no runs executed")
 	}
 	best.Metrics = merged
+	best.Surrogate = mergedSur
 	best.SkippedSteps = skipped
 	best.RunFailures = failures
 	best.Interrupted = interrupted

@@ -1,0 +1,196 @@
+package placer
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"tap25d/internal/chiplet"
+	"tap25d/internal/geom"
+	"tap25d/internal/route"
+	"tap25d/internal/surrogate"
+	"tap25d/internal/thermal"
+)
+
+// fastSurrogateCfg makes the two-fidelity path active within a short test
+// run: the fit seeds after 4 exact solves and audits every 4th rejection.
+func fastSurrogateCfg() surrogate.Config {
+	return surrogate.Config{Window: 16, MinFit: 4, AuditEvery: 4}
+}
+
+func newSurrogateEval(t *testing.T, sys *chiplet.System) *SurrogateEvaluator {
+	t.Helper()
+	ev, err := NewSystemEvaluator(sys, thermal.Options{Grid: 16}, route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSurrogateEvaluator(ev, fastSurrogateCfg(), nil)
+}
+
+// TestSurrogateDeterministicAtFixedSeed runs the two-fidelity annealer twice
+// at the same seed and requires bit-identical outcomes: the surrogate adds
+// RNG draws (the prescreen Metropolis test) but all of them go through the
+// same counted source.
+func TestSurrogateDeterministicAtFixedSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("thermal solves in -short mode")
+	}
+	sys := placerSystem()
+	opt := Options{Steps: 40, Seed: 9, CompactSteps: 2000}
+	a, err := Place(sys, newSurrogateEval(t, sys), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Place(sys, newSurrogateEval(t, sys), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutcome(t, a, b)
+}
+
+// TestSurrogateStatsReported checks the Result carries two-fidelity
+// statistics consistent with the counters once the prescreen engages.
+func TestSurrogateStatsReported(t *testing.T) {
+	if testing.Short() {
+		t.Skip("thermal solves in -short mode")
+	}
+	sys := placerSystem()
+	ev := newSurrogateEval(t, sys)
+	res, err := Place(sys, ev, Options{Steps: 60, Seed: 3, CompactSteps: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Surrogate == nil {
+		t.Fatal("Result.Surrogate is nil for a surrogate-wrapped run")
+	}
+	st := res.Surrogate
+	if st.Prescreens == 0 {
+		t.Fatal("surrogate never prescreened despite MinFit=4 and 60 steps")
+	}
+	if st.Rejects > st.Prescreens {
+		t.Fatalf("rejects %d > prescreens %d", st.Rejects, st.Prescreens)
+	}
+	if got := res.Metrics.SurrogatePrescreens; got != st.Prescreens {
+		t.Fatalf("counter prescreens %d != stats prescreens %d", got, st.Prescreens)
+	}
+	if st.Prescreens > 0 && st.HitRate != float64(st.Rejects)/float64(st.Prescreens) {
+		t.Fatalf("hit rate %v inconsistent with %d/%d", st.HitRate, st.Rejects, st.Prescreens)
+	}
+	// An exact solve ran for the initial placement, every surrogate-accepted
+	// step and every audit; prescreen rejects saved the rest.
+	wantEvals := int64(res.Steps) - st.Rejects + 1
+	if res.Metrics.Evaluations != wantEvals {
+		t.Fatalf("evaluations %d, want steps(%d) - rejects(%d) + 1 = %d",
+			res.Metrics.Evaluations, res.Steps, st.Rejects, wantEvals)
+	}
+}
+
+// TestSurrogateKillResumeBitCompatible extends the kill/resume suite to the
+// two-fidelity evaluator: interrupt mid-run, round-trip the checkpoint
+// through its file format (fitted surrogate state included), resume with a
+// fresh evaluator, and require the exact outcome of an uninterrupted run.
+func TestSurrogateKillResumeBitCompatible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("thermal solves in -short mode")
+	}
+	sys := placerSystem()
+	opt := Options{Steps: 40, Seed: 5, CompactSteps: 2000}
+	baseline, err := Place(sys, newSurrogateEval(t, sys), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Surrogate == nil || baseline.Surrogate.Prescreens == 0 {
+		t.Fatal("baseline run never engaged the surrogate; test would not cover fit state")
+	}
+
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	ctx, progress := interruptAfter(20)
+	iopt := opt
+	iopt.Progress = progress
+	iopt.ProgressEvery = 1
+	iopt.Checkpoint = func(c *Checkpoint) error { return SaveCheckpointFile(path, c) }
+	if _, err := PlaceContext(ctx, sys, newSurrogateEval(t, sys), iopt); err == nil {
+		t.Fatal("interrupted run returned no error")
+	}
+
+	cp, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.EvalState) == 0 {
+		t.Fatal("checkpoint carries no evaluator state (warm start + surrogate fit)")
+	}
+	resumed, err := Resume(context.Background(), sys, newSurrogateEval(t, sys), cp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutcome(t, baseline, resumed)
+	if resumed.Surrogate == nil {
+		t.Fatal("resumed run lost its surrogate statistics")
+	}
+}
+
+// TestSurrogateEvaluatorStateRoundTrip checks the evaluator-level snapshot in
+// isolation: restore onto a fresh evaluator and require bit-identical
+// predictions and audit bookkeeping.
+func TestSurrogateEvaluatorStateRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("thermal solves in -short mode")
+	}
+	sys := placerSystem()
+	ev := newSurrogateEval(t, sys)
+	p := chiplet.NewPlacement(4)
+	p.Centers[0] = geom.Point{X: 5, Y: 5}
+	p.Centers[1] = geom.Point{X: 25, Y: 25}
+	p.Centers[2] = geom.Point{X: 5, Y: 25}
+	p.Centers[3] = geom.Point{X: 25, Y: 5}
+	for i := 0; i < 6; i++ {
+		q := p.Clone()
+		q.Centers[0].X += float64(i)
+		if _, _, err := ev.Evaluate(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ev.rejectsSinceAudit, ev.widenLeft, ev.driftN, ev.driftSumSq = 3, 7, 2, 1.25
+
+	blob, err := ev.CheckpointState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := newSurrogateEval(t, sys)
+	if err := fresh.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.rejectsSinceAudit != 3 || fresh.widenLeft != 7 || fresh.driftN != 2 || fresh.driftSumSq != 1.25 {
+		t.Fatalf("audit bookkeeping lost: %d %d %d %v",
+			fresh.rejectsSinceAudit, fresh.widenLeft, fresh.driftN, fresh.driftSumSq)
+	}
+	q := p.Clone()
+	q.Centers[0].Y += 2
+	if a, b := ev.fit.Predict(sys, q), fresh.fit.Predict(sys, q); a != b {
+		t.Fatalf("restored fit predicts %v, original %v", b, a)
+	}
+}
+
+func TestMergeSurrogateStats(t *testing.T) {
+	a := &SurrogateStats{Prescreens: 100, Rejects: 80, Audits: 4, Refits: 1, DriftRMSC: 1, HitRate: 0.8}
+	b := &SurrogateStats{Prescreens: 100, Rejects: 60, Audits: 12, Refits: 0, DriftRMSC: 2, HitRate: 0.6}
+	m := mergeSurrogateStats(a, b)
+	if m.Prescreens != 200 || m.Rejects != 140 || m.Audits != 16 || m.Refits != 1 {
+		t.Fatalf("merged counts wrong: %+v", m)
+	}
+	if m.HitRate != 0.7 {
+		t.Fatalf("merged hit rate %v, want 0.7", m.HitRate)
+	}
+	want := math.Sqrt((4*1 + 12*4) / 16.0)
+	if math.Abs(m.DriftRMSC-want) > 1e-12 {
+		t.Fatalf("merged drift RMS %v, want %v", m.DriftRMSC, want)
+	}
+	if mergeSurrogateStats(nil, a) != a || mergeSurrogateStats(a, nil) != a {
+		t.Fatal("nil merge should pass through")
+	}
+	if mergeSurrogateStats(nil, nil) != nil {
+		t.Fatal("nil+nil merge should stay nil")
+	}
+}

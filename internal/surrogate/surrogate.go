@@ -1,0 +1,347 @@
+// Package surrogate implements the closed-form analytical chiplet thermal
+// model of ATPlace2.5D (Analytical Thermal-Aware Chiplet Placement Framework
+// for Large-Scale 2.5D-ICs): each chiplet contributes a superposition of four
+// corner heat-spread kernels F(a, b, c), scaled by its power, and the peak
+// temperature of a placement is approximated by an affine map of the field's
+// maximum over the chiplet centers. The model has a handful of scalar
+// parameters — a global amplitude and bias plus a spread-length multiplier —
+// that are fitted ONLINE by least-squares against the exact finite-difference
+// solves a placement run performs anyway, so the surrogate needs no training
+// phase: it seeds itself from the first window of exact evaluations and
+// refreshes from every exact solve thereafter.
+//
+// The placer uses a Fitter as the cheap half of a two-fidelity evaluator:
+// microseconds per Predict against milliseconds per exact solve. Everything in
+// this package is deterministic — no randomness, no time reads — and a
+// Fitter's complete state round-trips through State for checkpoint/resume.
+package surrogate
+
+import (
+	"fmt"
+	"math"
+
+	"tap25d/internal/chiplet"
+	"tap25d/internal/geom"
+)
+
+// Config tunes the two-fidelity evaluation policy. The zero value takes the
+// documented defaults (see DESIGN.md for how they interact).
+type Config struct {
+	// Window is the sliding window of exact observations the fit spans
+	// (default 64). Older observations fall out, so the fit tracks the
+	// region of the design space the annealer currently explores.
+	Window int
+	// MinFit is the number of exact observations required before the
+	// surrogate reports Ready (default 12). Until then every step pays the
+	// exact solve, which is what seeds the fit.
+	MinFit int
+	// Margin is the prescreen slack in normalized-cost units (default
+	// 0.005): the predicted Metropolis acceptance is computed with the
+	// candidate's cost reduced by Margin, so borderline moves err toward
+	// the exact solver rather than toward a false reject. The prescreen
+	// compares delta-anchored predictions (candidate minus current under the
+	// same fit), which cancels the fit's local bias and lets the margin sit
+	// well below the absolute drift RMS.
+	Margin float64
+	// Sharpen is the prescreen decisiveness (default 2048): the prescreen
+	// runs its margin-padded Metropolis test at temperature k/Sharpen
+	// (ramped in with annealing progress), so a candidate whose predicted
+	// cost exceeds the current cost by more than Margin is declined with
+	// near-certainty once the anneal cools, while predicted-improving and
+	// within-margin candidates always fall through to the exact solver.
+	// 1 mirrors the exact Metropolis test exactly — which caps the saving
+	// at the annealer's own rejection rate.
+	Sharpen float64
+	// AuditEvery re-scores one prescreen-rejected candidate with the exact
+	// solver out of every AuditEvery rejects (default 32), feeding the drift
+	// statistics and the fitter. Audits are the prescreen's only fixed
+	// overhead, so the cadence trades insurance against speedup; the
+	// measured drift RMS on the case studies sits >20× under the default
+	// AuditBoundC, which is why every-32 is still generous.
+	AuditEvery int
+	// AuditBoundC is the |predicted - exact| peak-temperature error (°C)
+	// beyond which an audit triggers a refit and widens the margin
+	// (default 2).
+	AuditBoundC float64
+	// WidenFactor multiplies Margin after an audit breach (default 3);
+	// WidenSteps is how many subsequent prescreens the widened margin lasts
+	// (default 50).
+	WidenFactor float64
+	WidenSteps  int
+}
+
+// WithDefaults fills zero fields with the package defaults.
+func (c Config) WithDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.MinFit <= 0 {
+		c.MinFit = 12
+	}
+	if c.MinFit > c.Window {
+		c.MinFit = c.Window
+	}
+	if c.Margin == 0 {
+		c.Margin = 0.005
+	}
+	if c.Sharpen <= 0 {
+		c.Sharpen = 2048
+	}
+	if c.AuditEvery <= 0 {
+		c.AuditEvery = 32
+	}
+	if c.AuditBoundC == 0 {
+		c.AuditBoundC = 2
+	}
+	if c.WidenFactor == 0 {
+		c.WidenFactor = 3
+	}
+	if c.WidenSteps == 0 {
+		c.WidenSteps = 50
+	}
+	return c
+}
+
+// spreadPadMM offsets the per-chiplet spread lengths so a zero-area die still
+// spreads heat over a finite length: lx = spread*(w/2 + pad).
+const spreadPadMM = 1.0
+
+// spreadGrid is the deterministic candidate set Refit searches for the global
+// spread-length multiplier.
+var spreadGrid = []float64{0.25, 0.5, 0.75, 1, 1.5, 2, 3}
+
+// F is the ATPlace2.5D four-corner heat-spread kernel: the contribution of a
+// rectangular source corner at normalized offsets (b, c) under thickness
+// factor a. It is smooth and finite for a > 0 (delta >= |b|, |c| keeps both
+// logarithms' arguments positive).
+func F(a, b, c float64) float64 {
+	delta := math.Sqrt(a*a + b*b + c*c)
+	t1 := b * math.Log((c+delta)/math.Sqrt(a*a+b*b))
+	t2 := c * math.Log((b+delta)/math.Sqrt(a*a+c*c))
+	t3 := a * math.Atan(b*c/(a*delta))
+	return 2 / math.SqrtPi * (t1 + t2 - t3)
+}
+
+// fieldAt evaluates the superposed kernel field of placement p at point
+// (x, y): sum over chiplets of power times the four-corner kernel sum, with
+// per-chiplet spread lengths spread*(w/2+pad), spread*(h/2+pad).
+func fieldAt(sys *chiplet.System, p chiplet.Placement, spread, x, y float64) float64 {
+	s := 0.0
+	for i := range sys.Chiplets {
+		r := p.Rect(sys, i) // rotation-aware footprint
+		dx := x - r.Center.X
+		dy := y - r.Center.Y
+		w2 := r.W / 2
+		h2 := r.H / 2
+		lx := spread * (w2 + spreadPadMM)
+		ly := spread * (h2 + spreadPadMM)
+		sum4 := 0.0
+		for _, sx := range [2]float64{-1, 1} {
+			for _, sy := range [2]float64{-1, 1} {
+				sum4 += F(1, (w2-sx*dx)/lx, (h2-sy*dy)/ly)
+			}
+		}
+		s += sys.Chiplets[i].Power * sum4
+	}
+	return s
+}
+
+// Feature reduces a placement to the scalar the affine fit maps to peak
+// temperature: the maximum of the superposed kernel field over the chiplet
+// centers (the peak sits at or near the hottest die's center, so sampling
+// only the N centers keeps Feature at O(N²) kernel evaluations instead of a
+// full-grid render).
+func Feature(sys *chiplet.System, p chiplet.Placement, spread float64) float64 {
+	peak := math.Inf(-1)
+	for j := range p.Centers {
+		if s := fieldAt(sys, p, spread, p.Centers[j].X, p.Centers[j].Y); s > peak {
+			peak = s
+		}
+	}
+	return peak
+}
+
+// entry is one exact observation in the fit window.
+type entry struct {
+	p     chiplet.Placement
+	tempC float64
+	s     float64 // Feature under the current spread
+}
+
+// Fitter holds the fitted surrogate: predicted peak = A*Feature + B under the
+// current spread multiplier, refreshed from a sliding window of exact solves.
+// Not safe for concurrent use; each annealing run owns its own Fitter.
+type Fitter struct {
+	cfg    Config
+	spread float64
+	a, b   float64
+	win    []entry
+	next   int // ring write slot once the window is full
+}
+
+// NewFitter builds an empty fitter (cfg zero fields take defaults).
+func NewFitter(cfg Config) *Fitter {
+	return &Fitter{cfg: cfg.WithDefaults(), spread: 1}
+}
+
+// Config returns the fitter's effective (defaulted) configuration.
+func (f *Fitter) Config() Config { return f.cfg }
+
+// Ready reports whether the window holds enough exact observations for
+// predictions to be trusted.
+func (f *Fitter) Ready() bool { return len(f.win) >= f.cfg.MinFit }
+
+// Len returns the number of observations currently in the window.
+func (f *Fitter) Len() int { return len(f.win) }
+
+// Predict estimates the peak temperature (°C) of p under the current fit.
+func (f *Fitter) Predict(sys *chiplet.System, p chiplet.Placement) float64 {
+	return f.a*Feature(sys, p, f.spread) + f.b
+}
+
+// Observe feeds one exact evaluation into the window and refreshes the affine
+// fit. O(window) per call; the feature of the new observation is the only one
+// recomputed.
+func (f *Fitter) Observe(sys *chiplet.System, p chiplet.Placement, exactC float64) {
+	e := entry{p: p.Clone(), tempC: exactC, s: Feature(sys, p, f.spread)}
+	if len(f.win) < f.cfg.Window {
+		f.win = append(f.win, e)
+	} else {
+		f.win[f.next] = e
+		f.next = (f.next + 1) % f.cfg.Window
+	}
+	f.refresh()
+}
+
+// refresh recomputes the least-squares line through the window's (feature,
+// temperature) pairs. A degenerate window (no feature variance) degrades to
+// the mean temperature, which keeps Predict finite.
+func (f *Fitter) refresh() {
+	f.a, f.b = fitLine(f.win)
+}
+
+// fitLine is the closed-form simple linear regression over the window.
+func fitLine(win []entry) (a, b float64) {
+	n := float64(len(win))
+	if n == 0 {
+		return 0, 0
+	}
+	var sumS, sumT float64
+	for _, e := range win {
+		sumS += e.s
+		sumT += e.tempC
+	}
+	meanS, meanT := sumS/n, sumT/n
+	var cov, varS float64
+	for _, e := range win {
+		ds := e.s - meanS
+		cov += ds * (e.tempC - meanT)
+		varS += ds * ds
+	}
+	if varS <= 1e-12 {
+		return 0, meanT
+	}
+	return cov / varS, meanT - cov/varS*meanS
+}
+
+// sse is the sum of squared prediction errors of line (a, b) over win.
+func sse(win []entry, a, b float64) float64 {
+	var s float64
+	for _, e := range win {
+		d := a*e.s + b - e.tempC
+		s += d * d
+	}
+	return s
+}
+
+// Refit grid-searches the global spread multiplier over the current window —
+// recomputing every stored feature per candidate — and keeps the candidate
+// whose least-squares line has the lowest residual. Called by the evaluator
+// when a drift audit breaches the bound; deterministic given the window.
+func (f *Fitter) Refit(sys *chiplet.System) {
+	if len(f.win) == 0 {
+		return
+	}
+	bestSpread, bestSSE := f.spread, math.Inf(1)
+	var bestS []float64
+	cand := make([]float64, 0, len(spreadGrid)+1)
+	cand = append(cand, f.spread)
+	cand = append(cand, spreadGrid...)
+	trial := make([]entry, len(f.win))
+	for _, sp := range cand {
+		copy(trial, f.win)
+		feats := make([]float64, len(trial))
+		for i := range trial {
+			feats[i] = Feature(sys, trial[i].p, sp)
+			trial[i].s = feats[i]
+		}
+		a, b := fitLine(trial)
+		if e := sse(trial, a, b); e < bestSSE {
+			bestSpread, bestSSE, bestS = sp, e, feats
+		}
+	}
+	f.spread = bestSpread
+	for i := range f.win {
+		f.win[i].s = bestS[i]
+	}
+	f.refresh()
+}
+
+// Observation is one window entry in serialized form (placements flattened so
+// State gob/JSON-encodes without importing this package's internals).
+type Observation struct {
+	Centers []geom.Point
+	Rotated []bool
+	TempC   float64
+}
+
+// State is a Fitter's complete serializable state. Restoring it on a fresh
+// Fitter with the same Config and System reproduces Predict bit-for-bit,
+// which is what keeps resumed two-fidelity runs on the original trajectory.
+type State struct {
+	Spread float64
+	A, B   float64
+	// Obs holds the window oldest-first.
+	Obs []Observation
+}
+
+// State snapshots the fitter.
+func (f *Fitter) State() State {
+	st := State{Spread: f.spread, A: f.a, B: f.b}
+	// Export oldest-first: once the ring is full, next points at the oldest.
+	n := len(f.win)
+	for i := 0; i < n; i++ {
+		e := f.win[(f.next+i)%n]
+		st.Obs = append(st.Obs, Observation{
+			Centers: append([]geom.Point(nil), e.p.Centers...),
+			Rotated: append([]bool(nil), e.p.Rotated...),
+			TempC:   e.tempC,
+		})
+	}
+	return st
+}
+
+// Restore re-installs a snapshot taken by State, recomputing the window
+// features for sys under the snapshotted spread.
+func (f *Fitter) Restore(sys *chiplet.System, st State) error {
+	if st.Spread <= 0 {
+		return fmt.Errorf("surrogate: invalid spread %v in state", st.Spread)
+	}
+	f.spread = st.Spread
+	f.win = f.win[:0]
+	f.next = 0
+	for _, o := range st.Obs {
+		p := chiplet.Placement{
+			Centers: append([]geom.Point(nil), o.Centers...),
+			Rotated: append([]bool(nil), o.Rotated...),
+		}
+		f.win = append(f.win, entry{p: p, tempC: o.TempC, s: Feature(sys, p, f.spread)})
+	}
+	if len(f.win) > f.cfg.Window {
+		// Window shrank across a config change: keep the newest entries.
+		f.win = f.win[len(f.win)-f.cfg.Window:]
+	}
+	f.refresh()
+	f.a, f.b = st.A, st.B // trust the snapshotted line over re-derivation
+	return nil
+}

@@ -1,0 +1,209 @@
+package surrogate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tap25d/internal/chiplet"
+	"tap25d/internal/systems"
+)
+
+// randomPlacement scatters the chiplets uniformly over the interposer.
+func randomPlacement(sys *chiplet.System, rng *rand.Rand) chiplet.Placement {
+	p := chiplet.NewPlacement(len(sys.Chiplets))
+	for i := range p.Centers {
+		p.Centers[i].X = rng.Float64() * sys.InterposerW
+		p.Centers[i].Y = rng.Float64() * sys.InterposerH
+		p.Rotated[i] = rng.Float64() < 0.5
+	}
+	return p
+}
+
+func TestKernelSanity(t *testing.T) {
+	if got := F(1, 0.5, 0.8); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("F(1,0.5,0.8) = %v, want finite", got)
+	}
+	// The kernel is symmetric in its two offset arguments.
+	if a, b := F(1, 0.3, 1.7), F(1, 1.7, 0.3); math.Abs(a-b) > 1e-12 {
+		t.Fatalf("F not symmetric: F(1,0.3,1.7)=%v F(1,1.7,0.3)=%v", a, b)
+	}
+	// The superposed field decays as the probe point moves away from a
+	// single source centered at the origin.
+	sys := &chiplet.System{
+		InterposerW: 40, InterposerH: 40,
+		Chiplets: []chiplet.Chiplet{{Name: "die", W: 8, H: 8, Power: 50}},
+	}
+	p := chiplet.NewPlacement(1)
+	p.Centers[0].X, p.Centers[0].Y = 20, 20
+	at := func(x, y float64) float64 { return fieldAt(sys, p, 1, x, y) }
+	if !(at(20, 20) > at(26, 20) && at(26, 20) > at(34, 20)) {
+		t.Fatalf("field does not decay with distance: %v %v %v",
+			at(20, 20), at(26, 20), at(34, 20))
+	}
+}
+
+func TestFeatureRespectsRotation(t *testing.T) {
+	sys := &chiplet.System{
+		InterposerW: 40, InterposerH: 40,
+		// The peak sits at hot die b's center; rotating elongated die a
+		// changes a's cross-contribution there.
+		Chiplets: []chiplet.Chiplet{
+			{Name: "a", W: 12, H: 4, Power: 10},
+			{Name: "b", W: 4, H: 4, Power: 60},
+		},
+	}
+	p := chiplet.NewPlacement(2)
+	p.Centers[0].X, p.Centers[0].Y = 15, 20
+	p.Centers[1].X, p.Centers[1].Y = 25, 20
+	plain := Feature(sys, p, 1)
+	q := p.Clone()
+	q.Rotated[0] = true
+	if rot := Feature(sys, q, 1); rot == plain {
+		t.Fatalf("rotating a non-square die left Feature unchanged (%v)", plain)
+	}
+}
+
+// TestFitRecoversAffineModel feeds the fitter synthetic exact temperatures
+// that ARE an affine function of the feature and checks the regression
+// recovers it.
+func TestFitRecoversAffineModel(t *testing.T) {
+	sys := systems.MultiGPU()
+	rng := rand.New(rand.NewSource(7))
+	f := NewFitter(Config{})
+	const gain, bias = 1.75, 45.0
+	var holdout []chiplet.Placement
+	for i := 0; i < 40; i++ {
+		p := randomPlacement(sys, rng)
+		if i >= 30 {
+			holdout = append(holdout, p)
+			continue
+		}
+		f.Observe(sys, p, gain*Feature(sys, p, 1)+bias)
+	}
+	if !f.Ready() {
+		t.Fatalf("fitter not ready after %d observations (MinFit=%d)", f.Len(), f.Config().MinFit)
+	}
+	for _, p := range holdout {
+		want := gain*Feature(sys, p, 1) + bias
+		if got := f.Predict(sys, p); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("Predict=%v want %v", got, want)
+		}
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	sys := systems.MultiGPU()
+	rng := rand.New(rand.NewSource(3))
+	f := NewFitter(Config{Window: 8, MinFit: 4})
+	for i := 0; i < 20; i++ {
+		f.Observe(sys, randomPlacement(sys, rng), 80+float64(i))
+	}
+	if f.Len() != 8 {
+		t.Fatalf("window len = %d, want 8", f.Len())
+	}
+	st := f.State()
+	if len(st.Obs) != 8 {
+		t.Fatalf("state obs = %d, want 8", len(st.Obs))
+	}
+	// Oldest-first export: the surviving temps are 92..99.
+	for i, o := range st.Obs {
+		if want := 80 + float64(12+i); o.TempC != want {
+			t.Fatalf("state obs[%d].TempC = %v, want %v", i, o.TempC, want)
+		}
+	}
+}
+
+// TestStateRoundTrip checks Restore reproduces Predict bit-for-bit, the
+// property resumed runs rely on.
+func TestStateRoundTrip(t *testing.T) {
+	sys := systems.MultiGPU()
+	rng := rand.New(rand.NewSource(11))
+	f := NewFitter(Config{Window: 16, MinFit: 4})
+	for i := 0; i < 25; i++ {
+		f.Observe(sys, randomPlacement(sys, rng), 70+10*rng.Float64())
+	}
+	f.Refit(sys) // exercise a non-default spread in the snapshot
+	st := f.State()
+
+	g := NewFitter(Config{Window: 16, MinFit: 4})
+	if err := g.Restore(sys, st); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		p := randomPlacement(sys, rng)
+		if a, b := f.Predict(sys, p), g.Predict(sys, p); a != b {
+			t.Fatalf("restored Predict differs: %v vs %v", a, b)
+		}
+	}
+	// Continuing to observe must also stay bit-identical (ring alignment).
+	for i := 0; i < 5; i++ {
+		p := randomPlacement(sys, rng)
+		f.Observe(sys, p, 75)
+		g.Observe(sys, p, 75)
+	}
+	p := randomPlacement(sys, rng)
+	if a, b := f.Predict(sys, p), g.Predict(sys, p); a != b {
+		t.Fatalf("post-restore Observe diverged: %v vs %v", a, b)
+	}
+}
+
+func TestRestoreRejectsBadState(t *testing.T) {
+	f := NewFitter(Config{})
+	if err := f.Restore(systems.MultiGPU(), State{Spread: 0}); err == nil {
+		t.Fatal("Restore accepted zero spread")
+	}
+}
+
+// TestRefitReducesResidual builds a window whose temperatures come from a
+// wider spread than the fitter's current one and checks Refit finds a lower
+// residual (and never a higher one).
+func TestRefitReducesResidual(t *testing.T) {
+	sys := systems.MultiGPU()
+	rng := rand.New(rand.NewSource(5))
+	f := NewFitter(Config{Window: 24, MinFit: 4})
+	const trueSpread = 2.0
+	for i := 0; i < 24; i++ {
+		p := randomPlacement(sys, rng)
+		f.Observe(sys, p, 1.3*Feature(sys, p, trueSpread)+40)
+	}
+	before := sse(f.win, f.a, f.b)
+	f.Refit(sys)
+	after := sse(f.win, f.a, f.b)
+	if after > before+1e-9 {
+		t.Fatalf("Refit increased residual: %v -> %v", before, after)
+	}
+	if f.spread != trueSpread {
+		t.Fatalf("Refit picked spread %v, want %v", f.spread, trueSpread)
+	}
+}
+
+func BenchmarkSurrogateEval(b *testing.B) {
+	sys := systems.MultiGPU()
+	rng := rand.New(rand.NewSource(1))
+	f := NewFitter(Config{})
+	for i := 0; i < 16; i++ {
+		f.Observe(sys, randomPlacement(sys, rng), 80+5*rng.Float64())
+	}
+	p := randomPlacement(sys, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Predict(sys, p)
+	}
+}
+
+func BenchmarkSurrogateFit(b *testing.B) {
+	sys := systems.MultiGPU()
+	rng := rand.New(rand.NewSource(2))
+	placements := make([]chiplet.Placement, 128)
+	for i := range placements {
+		placements[i] = randomPlacement(sys, rng)
+	}
+	f := NewFitter(Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Observe(sys, placements[i%len(placements)], 80+float64(i%7))
+	}
+}

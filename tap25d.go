@@ -38,6 +38,7 @@ import (
 	"tap25d/internal/route"
 	"tap25d/internal/seqpair"
 	"tap25d/internal/signal"
+	"tap25d/internal/surrogate"
 	"tap25d/internal/systems"
 	"tap25d/internal/tdp"
 	"tap25d/internal/thermal"
@@ -126,6 +127,14 @@ type (
 	FaultSpec = faultinject.Spec
 	// FaultPoint names an injection point.
 	FaultPoint = faultinject.Point
+	// SurrogateConfig tunes the analytical-surrogate prescreen of the
+	// two-fidelity evaluator (Options.SurrogateConfig): fit window, margin,
+	// audit cadence and bound, widened-margin recovery.
+	SurrogateConfig = surrogate.Config
+	// SurrogateStats summarizes a run's two-fidelity evaluation: prescreen
+	// and reject counts, drift audits and refits, drift RMS and hit rate
+	// (Result.Surrogate; also attached to lifecycle RunEvents).
+	SurrogateStats = placer.SurrogateStats
 )
 
 // Failure sentinels, matchable with errors.Is.
@@ -279,6 +288,20 @@ type Options struct {
 	// cached runs are reproducible at fixed seed but not bit-identical to
 	// uncached ones).
 	EvalCache int
+	// Surrogate enables the two-fidelity evaluator: an analytical thermal
+	// surrogate (internal/surrogate), fitted online against the exact
+	// solves the run performs anyway, prescreens every SA candidate and
+	// declines clearly-rejected moves without paying the finite-difference
+	// solve; periodic drift audits keep it honest. Off (the default) is
+	// byte-identical to the single-fidelity flow; on, results remain
+	// deterministic at fixed seed and checkpoint/resume-compatible, but
+	// follow a different (much cheaper) trajectory. Takes precedence over
+	// EvalCache — the two optimizations target the same solves and are not
+	// composed.
+	Surrogate bool
+	// SurrogateConfig overrides the surrogate defaults (nil uses them);
+	// ignored unless Surrogate is set.
+	SurrogateConfig *SurrogateConfig
 
 	// Run orchestration. None of these affect the annealing trajectory;
 	// they add cancellation, observability and resumability around it.
@@ -409,6 +432,9 @@ type Result struct {
 	// Metrics aggregates the evaluation counters of the whole flow: every
 	// annealing run's evaluator plus the final full-fidelity evaluation.
 	Metrics EvalCounters
+	// Surrogate carries the pooled two-fidelity statistics of the annealing
+	// runs when Options.Surrogate was set (nil otherwise).
+	Surrogate *SurrogateStats
 }
 
 func (o Options) critical() float64 {
@@ -484,6 +510,13 @@ func Place(sys *System, opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if opt.Surrogate {
+			var scfg SurrogateConfig
+			if opt.SurrogateConfig != nil {
+				scfg = *opt.SurrogateConfig
+			}
+			return placer.NewSurrogateEvaluator(ev, scfg, opt.Observer), nil
+		}
 		if opt.EvalCache > 0 {
 			return placer.NewCachingEvaluator(ev, opt.EvalCache), nil
 		}
@@ -507,6 +540,7 @@ func Place(sys *System, opt Options) (*Result, error) {
 	res.History = pres.History
 	res.Interrupted = pres.Interrupted
 	res.Metrics.Merge(pres.Metrics)
+	res.Surrogate = pres.Surrogate
 	return res, perr
 }
 
