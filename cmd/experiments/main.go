@@ -39,28 +39,83 @@ import (
 	"tap25d/internal/experiments"
 )
 
+// cliFlags collects every flag of the command. newFlagSet registers them on a
+// fresh FlagSet so tests can golden-check the -h output without running main.
+type cliFlags struct {
+	ids                  *string
+	full                 *bool
+	grid, steps, runs    *int
+	seed                 *int64
+	ckptDir              *string
+	ckptEvery            *int
+	resume               *bool
+	journal              *string
+	progEvery            *int
+	debugAddr, obsReport *string
+	strictRes, noRecover *bool
+	evalBudget           *int
+	noSur                *bool
+	benchOut             *string
+}
+
+const usageHeader = `Usage: experiments [options]
+
+Regenerates the tables and figures of the paper's evaluation (E1-E13; see
+DESIGN.md for the index). With no options, runs every experiment at reduced
+fidelity (32x32 grid, 300 steps, 2 runs, seed 1); -full switches to the
+paper's settings. -grid/-steps/-runs/-seed override either preset
+individually (0 keeps the preset's value).
+
+The two-fidelity surrogate prescreen is ON by default; -no-surrogate restores
+the exact-only flows. Checkpointing is OFF until -checkpoint-dir is set; with
+it, runs snapshot every -checkpoint-every steps plus on SIGINT/SIGTERM, and
+-resume continues the campaign bit-identically. See docs/OPERATIONS.md.
+
+Options:
+`
+
+// newFlagSet registers the command's flags and usage text on a fresh FlagSet.
+func newFlagSet(name string) (*flag.FlagSet, *cliFlags) {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	f := &cliFlags{
+		ids:        fs.String("e", "", "comma-separated experiment IDs (default: all of E1-E13)"),
+		full:       fs.Bool("full", false, "paper-fidelity settings (64x64 grid, 4500 steps, 5 runs)"),
+		grid:       fs.Int("grid", 0, "override the preset's thermal grid resolution (0: keep preset)"),
+		steps:      fs.Int("steps", 0, "override the preset's SA steps (0: keep preset)"),
+		runs:       fs.Int("runs", 0, "override the preset's SA run count (0: keep preset)"),
+		seed:       fs.Int64("seed", 0, "override the preset's random seed (0: keep preset)"),
+		ckptDir:    fs.String("checkpoint-dir", "", "directory for resumable run snapshots (off by default; enables checkpointing)"),
+		ckptEvery:  fs.Int("checkpoint-every", 0, "snapshot cadence in SA steps, used with -checkpoint-dir (0: snapshot only on interrupt)"),
+		resume:     fs.Bool("resume", false, "resume interrupted runs from -checkpoint-dir snapshots (requires -checkpoint-dir)"),
+		journal:    fs.String("journal", "", "append progress events to this JSONL file"),
+		progEvery:  fs.Int("progress-every", 0, "emit a step event every N SA steps (0: lifecycle events only)"),
+		debugAddr:  fs.String("debug-addr", "", "serve live metrics/pprof/run status on this address (e.g. localhost:6060)"),
+		obsReport:  fs.String("obs-report", "", "write the end-of-campaign observability report as JSON to this file"),
+		strictRes:  fs.Bool("strict-resume", false, "fail on a corrupt newest checkpoint instead of the default fallback to the previous generation"),
+		noRecover:  fs.Bool("no-recover", false, "disable the thermal solver's CG recovery ladder that is on by default (non-convergence fails immediately)"),
+		evalBudget: fs.Int("eval-failure-budget", 0, "skip up to N consecutive transiently-failed SA steps per run (0: fail fast)"),
+		noSur:      fs.Bool("no-surrogate", false, "disable the analytical-surrogate prescreen that is on by default (every SA step pays an exact thermal solve; byte-identical to the pre-surrogate flow)"),
+		benchOut:   fs.String("bench-out", "", "run the surrogate-vs-exact E1 micro-benchmark and write its BENCH_*.json entries to this file (skips the experiment sweep)"),
+	}
+	fs.Usage = func() {
+		fmt.Fprint(fs.Output(), usageHeader)
+		fs.PrintDefaults()
+	}
+	return fs, f
+}
+
 func main() {
+	fs, f := newFlagSet("experiments")
+	fs.Parse(os.Args[1:])
 	var (
-		ids        = flag.String("e", "", "comma-separated experiment IDs (default: all of E1-E13)")
-		full       = flag.Bool("full", false, "paper-fidelity settings (64x64 grid, 4500 steps, 5 runs)")
-		grid       = flag.Int("grid", 0, "override thermal grid resolution")
-		steps      = flag.Int("steps", 0, "override SA steps")
-		runs       = flag.Int("runs", 0, "override SA run count")
-		seed       = flag.Int64("seed", 0, "override random seed")
-		ckptDir    = flag.String("checkpoint-dir", "", "directory for resumable run snapshots (enables checkpointing)")
-		ckptEvery  = flag.Int("checkpoint-every", 0, "snapshot cadence in SA steps (0: only on interrupt)")
-		resume     = flag.Bool("resume", false, "resume interrupted runs from -checkpoint-dir snapshots")
-		journal    = flag.String("journal", "", "append progress events to this JSONL file")
-		progEvery  = flag.Int("progress-every", 0, "emit a step event every N SA steps (0: lifecycle events only)")
-		debugAddr  = flag.String("debug-addr", "", "serve live metrics/pprof/run status on this address (e.g. localhost:6060)")
-		obsReport  = flag.String("obs-report", "", "write the end-of-campaign observability report as JSON to this file")
-		strictRes  = flag.Bool("strict-resume", false, "fail on a corrupt newest checkpoint instead of falling back to the previous generation")
-		noRecover  = flag.Bool("no-recover", false, "disable the thermal solver's CG recovery ladder (non-convergence fails immediately)")
-		evalBudget = flag.Int("eval-failure-budget", 0, "skip up to N consecutive transiently-failed SA steps per run (0: fail fast)")
-		noSur      = flag.Bool("no-surrogate", false, "disable the analytical-surrogate prescreen (every SA step pays an exact thermal solve; byte-identical to the pre-surrogate flow)")
-		benchOut   = flag.String("bench-out", "", "run the surrogate-vs-exact E1 micro-benchmark and write its BENCH_*.json entries to this file (skips the experiment sweep)")
+		ids, full                        = f.ids, f.full
+		grid, steps, runs, seed          = f.grid, f.steps, f.runs, f.seed
+		ckptDir, ckptEvery, resume       = f.ckptDir, f.ckptEvery, f.resume
+		journal, progEvery               = f.journal, f.progEvery
+		debugAddr, obsReport             = f.debugAddr, f.obsReport
+		strictRes, noRecover, evalBudget = f.strictRes, f.noRecover, f.evalBudget
+		noSur, benchOut                  = f.noSur, f.benchOut
 	)
-	flag.Parse()
 
 	cfg := experiments.Reduced()
 	if *full {

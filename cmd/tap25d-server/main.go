@@ -1,0 +1,191 @@
+// Command tap25d-server runs placement-as-a-service: an HTTP/JSON job-queue
+// server around the TAP-2.5D placement flow. Clients POST placement jobs to
+// /v1/jobs, track them via GET /v1/jobs/{id}, stream live annealing progress
+// over Server-Sent Events from /v1/jobs/{id}/events, and cancel with DELETE.
+// Jobs persist across restarts: queued jobs stay queued, and jobs that were
+// mid-anneal resume bit-compatibly from their per-job checkpoint directory.
+//
+// On SIGINT/SIGTERM the server drains gracefully: intake stops (503), running
+// jobs checkpoint and return to the queue, and the process exits 0 — a
+// subsequent start picks the work back up. docs/SERVICE.md is the full API
+// reference and runbook.
+//
+// Usage:
+//
+//	tap25d-server -data /var/lib/tap25d [-addr :8080] [-workers N]
+//	              [-quota N] [-checkpoint-every N] [-progress-every N]
+//	tap25d-server -bench-out BENCH_SERVICE.json   # self-contained load drive
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tap25d"
+	"tap25d/internal/experiments"
+	"tap25d/internal/service"
+)
+
+// cliFlags collects every flag of the command. newFlagSet registers them on a
+// fresh FlagSet so tests can golden-check the -h output without running main.
+type cliFlags struct {
+	addr, dataDir              *string
+	workers, quota             *int
+	ckptEvr, progEvr, drainSec *int
+	benchOut                   *string
+}
+
+const usageHeader = `Usage: tap25d-server -data DIR [options]
+
+Serves placement-as-a-service: POST placement jobs to /v1/jobs, track them
+with GET /v1/jobs/{id}, stream live progress from /v1/jobs/{id}/events
+(Server-Sent Events), cancel with DELETE, and scrape Prometheus metrics from
+/metrics. Jobs persist in the -data directory and survive restarts: a job
+killed mid-anneal resumes bit-identically from its last checkpoint. SIGTERM
+drains gracefully. The surrogate prescreen follows each job's spec (on unless
+the job sets no_surrogate). See docs/SERVICE.md for the API reference and
+runbook.
+
+Options:
+`
+
+// newFlagSet registers the command's flags and usage text on a fresh FlagSet.
+func newFlagSet(name string) (*flag.FlagSet, *cliFlags) {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	f := &cliFlags{
+		addr:     fs.String("addr", ":8080", "HTTP listen address"),
+		dataDir:  fs.String("data", "tap25d-data", "state directory: job records under <data>/jobs, per-job checkpoints under <data>/ckpt"),
+		workers:  fs.Int("workers", 0, "placement worker pool size (0: half the CPUs, min 1)"),
+		quota:    fs.Int("quota", 0, "max active (queued+running) jobs per tenant; 0 = unlimited (exceeding returns HTTP 429)"),
+		ckptEvr:  fs.Int("checkpoint-every", 25, "checkpoint cadence in SA steps per run (smaller loses less work on a kill)"),
+		progEvr:  fs.Int("progress-every", 10, "SSE step-event cadence in SA steps (0 streams lifecycle events only)"),
+		drainSec: fs.Int("drain-timeout", 60, "seconds to wait for running jobs to checkpoint on shutdown"),
+		benchOut: fs.String("bench-out", "", "run the self-contained service load drive and write its BENCH_*.json entries to this file (skips serving)"),
+	}
+	fs.Usage = func() {
+		fmt.Fprint(fs.Output(), usageHeader)
+		fs.PrintDefaults()
+	}
+	return fs, f
+}
+
+func main() {
+	fs, f := newFlagSet("tap25d-server")
+	fs.Parse(os.Args[1:])
+	var (
+		addr, dataDir              = f.addr, f.dataDir
+		workers, quota             = f.workers, f.quota
+		ckptEvr, progEvr, drainSec = f.ckptEvr, f.progEvr, f.drainSec
+		benchOut                   = f.benchOut
+	)
+
+	if *benchOut != "" {
+		if err := runBench(*benchOut, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "tap25d-server:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	obs := tap25d.NewObserver()
+	svc, err := service.New(service.Config{
+		DataDir:         *dataDir,
+		Workers:         *workers,
+		TenantQuota:     *quota,
+		CheckpointEvery: *ckptEvr,
+		ProgressEvery:   *progEvr,
+		Observer:        obs,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tap25d-server:", err)
+		os.Exit(1)
+	}
+	svc.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tap25d-server:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: service.Handler(svc)}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "tap25d-server: serve:", err)
+			os.Exit(1)
+		}
+	}()
+	fmt.Printf("tap25d-server: serving on %s, state in %s\n", ln.Addr(), *dataDir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("tap25d-server: draining (intake stopped, checkpointing running jobs)")
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSec)*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	if err := svc.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "tap25d-server:", err)
+		os.Exit(1)
+	}
+	fmt.Println("tap25d-server: drained cleanly")
+}
+
+// runBench spins up an in-process server on a loopback port, drives it with
+// the built-in load generator, and writes the BENCH_SERVICE.json artifact.
+func runBench(path string, workers int) error {
+	dir, err := os.MkdirTemp("", "tap25d-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	svc, err := service.New(service.Config{
+		DataDir:  dir,
+		Workers:  workers,
+		Observer: tap25d.NewObserver(),
+	})
+	if err != nil {
+		return err
+	}
+	svc.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: service.Handler(svc)}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	entries, err := service.RunLoad(service.LoadConfig{
+		BaseURL: "http://" + ln.Addr().String(),
+		Jobs:    24,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiments.WriteBenchEntries(f, entries); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		fmt.Printf("%-45s %10.2f %s\n", e.Name, e.Value, e.Unit)
+	}
+	return nil
+}

@@ -35,34 +35,88 @@ import (
 	"tap25d"
 )
 
+// cliFlags collects every flag of the command. newFlagSet registers them on a
+// fresh FlagSet so tests can golden-check the -h output without running main.
+type cliFlags struct {
+	systemName, jsonPath, mode, placement *string
+	steps, runs, grid                     *int
+	seed                                  *int64
+	gas, noSur, exact                     *bool
+	outPath, ppmPath                      *string
+	quiet                                 *bool
+	ckptDir                               *string
+	ckptEvery                             *int
+	resume                                *bool
+	journal                               *string
+	progEvery                             *int
+	debugAddr, obsReport                  *string
+	strictRes, noRecover                  *bool
+	evalBudget                            *int
+}
+
+const usageHeader = `Usage: tap25d -system NAME | -json FILE [options]
+
+Runs the TAP-2.5D thermally-aware placement flow (or the Compact-2.5D
+baseline, or evaluation of an existing placement) and reports temperature,
+wirelength, placement and thermal map.
+
+The two-fidelity surrogate prescreen is ON by default; -no-surrogate restores
+the exact-only flow. Checkpointing is OFF until -checkpoint-dir is set; with
+it, runs snapshot every -checkpoint-every steps plus on SIGINT/SIGTERM, and
+-resume continues them bit-identically. See docs/OPERATIONS.md.
+
+Options:
+`
+
+// newFlagSet registers the command's flags and usage text on a fresh FlagSet.
+func newFlagSet(name string) (*flag.FlagSet, *cliFlags) {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	f := &cliFlags{
+		systemName: fs.String("system", "", "built-in system: multigpu, cpudram, ascend910"),
+		jsonPath:   fs.String("json", "", "path to a JSON system description (alternative to -system)"),
+		mode:       fs.String("mode", "tap", "flow: tap (thermally-aware), compact (baseline), evaluate (score -placement)"),
+		placement:  fs.String("placement", "", "JSON placement file for -mode evaluate"),
+		steps:      fs.Int("steps", 1000, "SA steps per run (paper: 4500)"),
+		runs:       fs.Int("runs", 1, "independent SA runs, best wins (paper: 5)"),
+		grid:       fs.Int("grid", 64, "thermal grid resolution (paper: 64)"),
+		seed:       fs.Int64("seed", 1, "random seed"),
+		gas:        fs.Bool("gas", false, "use 2-stage gas-station links (Eqn. 9)"),
+		noSur:      fs.Bool("no-surrogate", false, "disable the analytical-surrogate prescreen that is on by default (every SA step pays an exact thermal solve; byte-identical to the pre-surrogate flow)"),
+		exact:      fs.Bool("exact", false, "route the final placement with the exact MILP"),
+		outPath:    fs.String("out", "", "write the resulting placement as JSON"),
+		ppmPath:    fs.String("ppm", "", "write the thermal map as a PPM image"),
+		quiet:      fs.Bool("q", false, "suppress the ASCII thermal map"),
+		ckptDir:    fs.String("checkpoint-dir", "", "directory for resumable run snapshots (off by default; enables checkpointing, -mode tap only)"),
+		ckptEvery:  fs.Int("checkpoint-every", 0, "snapshot cadence in SA steps, used with -checkpoint-dir (0: snapshot only on interrupt)"),
+		resume:     fs.Bool("resume", false, "resume interrupted runs from -checkpoint-dir snapshots (requires -checkpoint-dir)"),
+		journal:    fs.String("journal", "", "append progress events to this JSONL file"),
+		progEvery:  fs.Int("progress-every", 0, "emit a step event every N SA steps (0: lifecycle events only)"),
+		debugAddr:  fs.String("debug-addr", "", "serve live metrics/pprof/run status on this address (e.g. localhost:6060)"),
+		obsReport:  fs.String("obs-report", "", "write the end-of-run observability report as JSON to this file"),
+		strictRes:  fs.Bool("strict-resume", false, "fail on a corrupt newest checkpoint instead of the default fallback to the previous generation"),
+		noRecover:  fs.Bool("no-recover", false, "disable the thermal solver's CG recovery ladder that is on by default (non-convergence fails immediately)"),
+		evalBudget: fs.Int("eval-failure-budget", 0, "skip up to N consecutive transiently-failed SA steps per run (0: fail fast)"),
+	}
+	fs.Usage = func() {
+		fmt.Fprint(fs.Output(), usageHeader)
+		fs.PrintDefaults()
+	}
+	return fs, f
+}
+
 func main() {
+	fs, f := newFlagSet("tap25d")
+	fs.Parse(os.Args[1:])
 	var (
-		systemName = flag.String("system", "", "built-in system: multigpu, cpudram, ascend910")
-		jsonPath   = flag.String("json", "", "path to a JSON system description (alternative to -system)")
-		mode       = flag.String("mode", "tap", "flow: tap (thermally-aware), compact (baseline), evaluate (score -placement)")
-		placement  = flag.String("placement", "", "JSON placement file for -mode evaluate")
-		steps      = flag.Int("steps", 1000, "SA steps per run (paper: 4500)")
-		runs       = flag.Int("runs", 1, "independent SA runs, best wins (paper: 5)")
-		grid       = flag.Int("grid", 64, "thermal grid resolution (paper: 64)")
-		seed       = flag.Int64("seed", 1, "random seed")
-		gas        = flag.Bool("gas", false, "use 2-stage gas-station links (Eqn. 9)")
-		noSur      = flag.Bool("no-surrogate", false, "disable the analytical-surrogate prescreen (every SA step pays an exact thermal solve; byte-identical to the pre-surrogate flow)")
-		exact      = flag.Bool("exact", false, "route the final placement with the exact MILP")
-		outPath    = flag.String("out", "", "write the resulting placement as JSON")
-		ppmPath    = flag.String("ppm", "", "write the thermal map as a PPM image")
-		quiet      = flag.Bool("q", false, "suppress the ASCII thermal map")
-		ckptDir    = flag.String("checkpoint-dir", "", "directory for resumable run snapshots (enables checkpointing, -mode tap)")
-		ckptEvery  = flag.Int("checkpoint-every", 0, "snapshot cadence in SA steps (0: only on interrupt)")
-		resume     = flag.Bool("resume", false, "resume interrupted runs from -checkpoint-dir snapshots")
-		journal    = flag.String("journal", "", "append progress events to this JSONL file")
-		progEvery  = flag.Int("progress-every", 0, "emit a step event every N SA steps (0: lifecycle events only)")
-		debugAddr  = flag.String("debug-addr", "", "serve live metrics/pprof/run status on this address (e.g. localhost:6060)")
-		obsReport  = flag.String("obs-report", "", "write the end-of-run observability report as JSON to this file")
-		strictRes  = flag.Bool("strict-resume", false, "fail on a corrupt newest checkpoint instead of falling back to the previous generation")
-		noRecover  = flag.Bool("no-recover", false, "disable the thermal solver's CG recovery ladder (non-convergence fails immediately)")
-		evalBudget = flag.Int("eval-failure-budget", 0, "skip up to N consecutive transiently-failed SA steps per run (0: fail fast)")
+		systemName, jsonPath, mode, placement = f.systemName, f.jsonPath, f.mode, f.placement
+		steps, runs, grid, seed               = f.steps, f.runs, f.grid, f.seed
+		gas, noSur, exact                     = f.gas, f.noSur, f.exact
+		outPath, ppmPath, quiet               = f.outPath, f.ppmPath, f.quiet
+		ckptDir, ckptEvery, resume            = f.ckptDir, f.ckptEvery, f.resume
+		journal, progEvery                    = f.journal, f.progEvery
+		debugAddr, obsReport                  = f.debugAddr, f.obsReport
+		strictRes, noRecover, evalBudget      = f.strictRes, f.noRecover, f.evalBudget
 	)
-	flag.Parse()
 
 	sys, err := loadSystem(*systemName, *jsonPath)
 	if err != nil {

@@ -8,34 +8,60 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"tap25d/internal/metrics"
 )
 
 // TestPackageComments enforces the godoc convention on every package of the
 // repository: the root facade and each internal package must carry a doc
-// comment beginning "Package <name> ..." so `go doc` renders a useful
-// synopsis. CI runs this as the docs gate.
+// comment beginning "Package <name> ...", and each command under cmd/ one
+// beginning "Command <dir> ...", so `go doc` renders a useful synopsis. CI
+// runs this as the docs gate.
 func TestPackageComments(t *testing.T) {
-	dirs := []string{"."}
+	type rule struct {
+		dir  string
+		want string // required doc-comment prefix
+	}
+	rules := []rule{{dir: "."}}
 	entries, err := os.ReadDir("internal")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, e := range entries {
 		if e.IsDir() {
-			dirs = append(dirs, filepath.Join("internal", e.Name()))
+			rules = append(rules, rule{dir: filepath.Join("internal", e.Name())})
 		}
 	}
-	if len(dirs) < 20 {
-		t.Fatalf("expected the facade plus >= 19 internal packages, found %d dirs", len(dirs))
+	if len(rules) < 20 {
+		t.Fatalf("expected the facade plus >= 19 internal packages, found %d dirs", len(rules))
+	}
+	cmds, err := os.ReadDir("cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncmd := 0
+	for _, e := range cmds {
+		if e.IsDir() {
+			// Command mains are all package main; godoc convention names them
+			// "Command <dir> ..." instead of "Package main ...".
+			rules = append(rules, rule{
+				dir:  filepath.Join("cmd", e.Name()),
+				want: "Command " + e.Name() + " ",
+			})
+			ncmd++
+		}
+	}
+	if ncmd < 4 {
+		t.Fatalf("expected >= 4 commands under cmd/, found %d", ncmd)
 	}
 
-	for _, dir := range dirs {
+	for _, r := range rules {
 		fset := token.NewFileSet()
-		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		pkgs, err := parser.ParseDir(fset, r.dir, func(fi os.FileInfo) bool {
 			return !strings.HasSuffix(fi.Name(), "_test.go")
 		}, parser.ParseComments|parser.PackageClauseOnly)
 		if err != nil {
-			t.Fatalf("%s: %v", dir, err)
+			t.Fatalf("%s: %v", r.dir, err)
 		}
 		for name, pkg := range pkgs {
 			doc := ""
@@ -46,18 +72,80 @@ func TestPackageComments(t *testing.T) {
 				}
 			}
 			if doc == "" {
-				t.Errorf("package %s (%s) has no package comment", name, dir)
+				t.Errorf("package %s (%s) has no package comment", name, r.dir)
 				continue
 			}
-			if want := "Package " + name + " "; !strings.HasPrefix(doc, want) {
+			want := r.want
+			if want == "" {
+				want = "Package " + name + " "
+			}
+			if !strings.HasPrefix(doc, want) {
 				t.Errorf("package %s (%s): doc comment does not start with %q: %.60q",
-					name, dir, want, doc)
+					name, r.dir, want, doc)
 			}
 		}
 	}
 }
 
 var markdownLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+var backtickedKey = regexp.MustCompile("`([a-z][a-z0-9_]*)`")
+
+// TestCountersDocumented keeps the counters reference in docs/OPERATIONS.md
+// and the code in lockstep, in both directions: every counter the code
+// exports (a key of metrics.Counters.Each, which also names the JSON journal
+// fields and the Prometheus tap25d_<key>_total series) must be documented in
+// the "Reading the counters line" table, and every key that table documents
+// must still exist in the code — so renaming or adding a counter without
+// touching the runbook fails the docs gate.
+func TestCountersDocumented(t *testing.T) {
+	inCode := map[string]bool{}
+	metrics.Counters{}.Each(func(name string, _ int64) { inCode[name] = true })
+	if len(inCode) < 20 {
+		t.Fatalf("metrics.Counters.Each yields only %d keys — enumeration regressed", len(inCode))
+	}
+
+	data, err := os.ReadFile(filepath.Join("docs", "OPERATIONS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The counters table is in the "## Reading the `counters:` line" section;
+	// its second column holds the backticked JSON keys.
+	text := string(data)
+	start := strings.Index(text, "## Reading the `counters:` line")
+	if start < 0 {
+		t.Fatal("docs/OPERATIONS.md lost its counters-reference section")
+	}
+	section := text[start:]
+	if end := strings.Index(section[2:], "\n## "); end >= 0 {
+		section = section[:end+2]
+	}
+
+	inDocs := map[string]bool{}
+	for _, line := range strings.Split(section, "\n") {
+		if !strings.HasPrefix(line, "|") {
+			continue
+		}
+		cells := strings.Split(line, "|")
+		if len(cells) < 3 || strings.Contains(cells[2], "JSON key") || strings.HasPrefix(strings.TrimSpace(cells[2]), "---") {
+			continue
+		}
+		for _, m := range backtickedKey.FindAllStringSubmatch(cells[2], -1) {
+			inDocs[m[1]] = true
+		}
+	}
+
+	for key := range inCode {
+		if !inDocs[key] {
+			t.Errorf("counter %q exists in metrics.Counters but is not documented in docs/OPERATIONS.md", key)
+		}
+	}
+	for key := range inDocs {
+		if !inCode[key] {
+			t.Errorf("docs/OPERATIONS.md documents counter %q, which does not exist in metrics.Counters", key)
+		}
+	}
+}
 
 // TestMarkdownLinks resolves every relative link in the reader-facing
 // markdown (README, DESIGN, EXPERIMENTS, ROADMAP, docs/) against the

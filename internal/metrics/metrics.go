@@ -72,6 +72,61 @@ type Counters struct {
 	// breached the bound and forced a spread-length refit.
 	SurrogateAudits int64 `json:"surrogate_audits"`
 	SurrogateRefits int64 `json:"surrogate_refits"`
+
+	// Service-level job counters (internal/service). They carry omitempty so
+	// the per-run journal events of a plain CLI flow — where no job queue
+	// exists — serialize exactly as they did before the service landed.
+
+	// JobsSubmitted counts placement jobs accepted into the service queue
+	// (deduplicated resubmits are counted by JobsDeduped instead).
+	JobsSubmitted int64 `json:"jobs_submitted,omitempty"`
+	// JobsCompleted, JobsFailed and JobsCanceled split terminal job states.
+	JobsCompleted int64 `json:"jobs_completed,omitempty"`
+	JobsFailed    int64 `json:"jobs_failed,omitempty"`
+	JobsCanceled  int64 `json:"jobs_canceled,omitempty"`
+	// JobsResumed counts jobs that continued from a mid-run checkpoint after
+	// a server drain or restart instead of starting fresh.
+	JobsResumed int64 `json:"jobs_resumed,omitempty"`
+	// JobsQuotaRejected counts submissions refused with 429 because the
+	// tenant's active-job quota was exhausted.
+	JobsQuotaRejected int64 `json:"jobs_quota_rejected,omitempty"`
+	// JobsDeduped counts submissions answered with an existing job because
+	// the (tenant, idempotency key) pair was already known.
+	JobsDeduped int64 `json:"jobs_deduped,omitempty"`
+}
+
+// Each calls f with every counter's stable snake_case JSON name and value, in
+// declaration order. It is the single enumeration the Prometheus exporter and
+// the documentation lint share, so a field added here is automatically
+// exported and automatically required to be documented.
+func (c Counters) Each(f func(name string, v int64)) {
+	f("evaluations", c.Evaluations)
+	f("cache_hits", c.CacheHits)
+	f("cache_misses", c.CacheMisses)
+	f("thermal_solves", c.ThermalSolves)
+	f("cg_iterations", c.CGIterations)
+	f("full_assembles", c.FullAssembles)
+	f("delta_assembles", c.DeltaAssembles)
+	f("skipped_assembles", c.SkippedAssembles)
+	f("route_calls", c.RouteCalls)
+	f("checkpoints", c.Checkpoints)
+	f("resumes", c.Resumes)
+	f("cg_retries", c.CGRetries)
+	f("cg_fallback_precond", c.CGFallbackPrecond)
+	f("step_eval_skipped", c.StepEvalSkipped)
+	f("ckpt_write_retries", c.CkptWriteRetries)
+	f("resume_fallbacks", c.ResumeFallbacks)
+	f("surrogate_prescreens", c.SurrogatePrescreens)
+	f("surrogate_rejects", c.SurrogateRejects)
+	f("surrogate_audits", c.SurrogateAudits)
+	f("surrogate_refits", c.SurrogateRefits)
+	f("jobs_submitted", c.JobsSubmitted)
+	f("jobs_completed", c.JobsCompleted)
+	f("jobs_failed", c.JobsFailed)
+	f("jobs_canceled", c.JobsCanceled)
+	f("jobs_resumed", c.JobsResumed)
+	f("jobs_quota_rejected", c.JobsQuotaRejected)
+	f("jobs_deduped", c.JobsDeduped)
 }
 
 // Merge adds o into c.
@@ -96,6 +151,13 @@ func (c *Counters) Merge(o Counters) {
 	c.SurrogateRejects += o.SurrogateRejects
 	c.SurrogateAudits += o.SurrogateAudits
 	c.SurrogateRefits += o.SurrogateRefits
+	c.JobsSubmitted += o.JobsSubmitted
+	c.JobsCompleted += o.JobsCompleted
+	c.JobsFailed += o.JobsFailed
+	c.JobsCanceled += o.JobsCanceled
+	c.JobsResumed += o.JobsResumed
+	c.JobsQuotaRejected += o.JobsQuotaRejected
+	c.JobsDeduped += o.JobsDeduped
 }
 
 // IsZero reports whether no counter has been incremented.
@@ -103,11 +165,14 @@ func (c Counters) IsZero() bool {
 	return c == Counters{}
 }
 
-// String renders the counters as a compact single-line summary. Every group
-// appears, zero or not, in the struct's declaration order, so lines from
-// different runs and tools align and can be diffed or parsed column-wise.
+// String renders the counters as a compact single-line summary. Every
+// per-flow group appears, zero or not, in the struct's declaration order, so
+// lines from different runs and tools align and can be diffed or parsed
+// column-wise. The service-level jobs group is the one exception: it is
+// appended only when non-zero, so CLI and library flows (which never touch
+// it) keep their historical line format.
 func (c Counters) String() string {
-	return fmt.Sprintf("evals=%d cache=%d/%d (hit/miss) solves=%d cg_iters=%d "+
+	s := fmt.Sprintf("evals=%d cache=%d/%d (hit/miss) solves=%d cg_iters=%d "+
 		"assembles=%d/%d/%d (full/delta/skip) routes=%d ckpts=%d resumes=%d "+
 		"recovery=%d/%d (cold/ssor) skipped_steps=%d ckpt_retries=%d resume_fallbacks=%d "+
 		"surrogate=%d/%d/%d/%d (prescreen/reject/audit/refit)",
@@ -118,4 +183,13 @@ func (c Counters) String() string {
 		c.CGRetries, c.CGFallbackPrecond,
 		c.StepEvalSkipped, c.CkptWriteRetries, c.ResumeFallbacks,
 		c.SurrogatePrescreens, c.SurrogateRejects, c.SurrogateAudits, c.SurrogateRefits)
+	if c.JobsSubmitted != 0 || c.JobsCompleted != 0 || c.JobsFailed != 0 ||
+		c.JobsCanceled != 0 || c.JobsResumed != 0 ||
+		c.JobsQuotaRejected != 0 || c.JobsDeduped != 0 {
+		s += fmt.Sprintf(" jobs=%d/%d/%d/%d/%d (submit/done/fail/cancel/resume) "+
+			"job_rejects=%d/%d (quota/dedup)",
+			c.JobsSubmitted, c.JobsCompleted, c.JobsFailed, c.JobsCanceled, c.JobsResumed,
+			c.JobsQuotaRejected, c.JobsDeduped)
+	}
+	return s
 }

@@ -30,9 +30,11 @@ func TestIsZero(t *testing.T) {
 	}
 }
 
-// TestStringStableOrder locks the single-line rendering: every group appears
-// unconditionally, zero or not, in declaration order. Tools diff these lines
-// across runs, so the format is part of the journal/report contract.
+// TestStringStableOrder locks the single-line rendering: every per-flow
+// group appears unconditionally, zero or not, in declaration order. Tools
+// diff these lines across runs, so the format is part of the journal/report
+// contract. The service-level jobs group is the exception — appended only
+// when non-zero, so flows that never touch it keep the historical format.
 func TestStringStableOrder(t *testing.T) {
 	var zero Counters
 	wantZero := "evals=0 cache=0/0 (hit/miss) solves=0 cg_iters=0 " +
@@ -51,11 +53,14 @@ func TestStringStableOrder(t *testing.T) {
 		CGRetries: 2, CGFallbackPrecond: 1,
 		StepEvalSkipped: 4, CkptWriteRetries: 2, ResumeFallbacks: 1,
 		SurrogatePrescreens: 20, SurrogateRejects: 12, SurrogateAudits: 3, SurrogateRefits: 1,
+		JobsSubmitted: 8, JobsCompleted: 5, JobsFailed: 1, JobsCanceled: 2, JobsResumed: 3,
+		JobsQuotaRejected: 4, JobsDeduped: 6,
 	}
 	want := "evals=11 cache=2/9 (hit/miss) solves=9 cg_iters=123 " +
 		"assembles=1/7/1 (full/delta/skip) routes=9 ckpts=3 resumes=1 " +
 		"recovery=2/1 (cold/ssor) skipped_steps=4 ckpt_retries=2 resume_fallbacks=1 " +
-		"surrogate=20/12/3/1 (prescreen/reject/audit/refit)"
+		"surrogate=20/12/3/1 (prescreen/reject/audit/refit) " +
+		"jobs=8/5/1/2/3 (submit/done/fail/cancel/resume) job_rejects=4/6 (quota/dedup)"
 	if s := c.String(); s != want {
 		t.Fatalf("populated counters:\n got %q\nwant %q", s, want)
 	}
@@ -72,6 +77,8 @@ func TestJSONSchema(t *testing.T) {
 		CGRetries: 12, CGFallbackPrecond: 13,
 		StepEvalSkipped: 14, CkptWriteRetries: 15, ResumeFallbacks: 16,
 		SurrogatePrescreens: 17, SurrogateRejects: 18, SurrogateAudits: 19, SurrogateRefits: 20,
+		JobsSubmitted: 21, JobsCompleted: 22, JobsFailed: 23, JobsCanceled: 24,
+		JobsResumed: 25, JobsQuotaRejected: 26, JobsDeduped: 27,
 	}
 	raw, err := json.Marshal(c)
 	if err != nil {
@@ -89,7 +96,9 @@ func TestJSONSchema(t *testing.T) {
 	want := []string{
 		"cache_hits", "cache_misses", "cg_fallback_precond", "cg_iterations",
 		"cg_retries", "checkpoints", "ckpt_write_retries", "delta_assembles",
-		"evaluations", "full_assembles", "resume_fallbacks", "resumes",
+		"evaluations", "full_assembles", "jobs_canceled", "jobs_completed",
+		"jobs_deduped", "jobs_failed", "jobs_quota_rejected", "jobs_resumed",
+		"jobs_submitted", "resume_fallbacks", "resumes",
 		"route_calls", "skipped_assembles", "step_eval_skipped",
 		"surrogate_audits", "surrogate_prescreens", "surrogate_refits",
 		"surrogate_rejects", "thermal_solves",
@@ -104,5 +113,53 @@ func TestJSONSchema(t *testing.T) {
 	}
 	if back != c {
 		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", back, c)
+	}
+}
+
+// TestJobCountersOmittedWhenZero pins the journal-compatibility contract of
+// the service counters: a flow with no job queue serializes exactly the
+// pre-service key set, so existing JSONL consumers (and the golden journal
+// schema) see no new keys.
+func TestJobCountersOmittedWhenZero(t *testing.T) {
+	raw, err := json.Marshal(Counters{Evaluations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]int64
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for k := range m {
+		if len(k) > 5 && k[:5] == "jobs_" {
+			t.Fatalf("zero job counter %q serialized; omitempty contract broken", k)
+		}
+	}
+}
+
+// TestEachCoversEveryField keeps Each exhaustive: the number of enumerated
+// names must match the number of struct fields, and the names must be the
+// JSON tags.
+func TestEachCoversEveryField(t *testing.T) {
+	var names []string
+	Counters{}.Each(func(name string, _ int64) { names = append(names, name) })
+	typ := reflect.TypeOf(Counters{})
+	if len(names) != typ.NumField() {
+		t.Fatalf("Each enumerates %d names, struct has %d fields", len(names), typ.NumField())
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		tag := typ.Field(i).Tag.Get("json")
+		for j, r := range tag {
+			if r == ',' {
+				tag = tag[:j]
+				break
+			}
+		}
+		if !seen[tag] {
+			t.Errorf("field %s (json %q) missing from Each", typ.Field(i).Name, tag)
+		}
 	}
 }

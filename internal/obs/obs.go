@@ -97,14 +97,18 @@ type Observer struct {
 	flow     metrics.Counters // counters absorbed outside any run
 	extra    map[string]*atomic.Int64
 	extraKey []string // registration order, for stable export
+	gauges   map[string]float64
+	named    map[string]*Histogram // named duration histograms (service)
 }
 
 // New returns an enabled Observer.
 func New() *Observer {
 	return &Observer{
-		start: time.Now(),
-		runs:  make(map[int]*runState),
-		extra: make(map[string]*atomic.Int64),
+		start:  time.Now(),
+		runs:   make(map[int]*runState),
+		extra:  make(map[string]*atomic.Int64),
+		gauges: make(map[string]float64),
+		named:  make(map[string]*Histogram),
 	}
 }
 
@@ -177,6 +181,81 @@ func (o *Observer) extraSnapshot() map[string]int64 {
 	out := make(map[string]int64, len(o.extra))
 	for name, c := range o.extra {
 		out[name] = c.Load()
+	}
+	return out
+}
+
+// SetGauge sets a named instantaneous value (last write wins) — queue depth,
+// busy workers, in-flight jobs. Gauges are exported as
+// tap25d_gauge{name="..."} on /metrics. Names should be snake_case.
+func (o *Observer) SetGauge(name string, v float64) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.gauges[name] = v
+	o.mu.Unlock()
+}
+
+// gaugeSnapshot returns the gauges by name.
+func (o *Observer) gaugeSnapshot() map[string]float64 {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.gauges) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(o.gauges))
+	for name, v := range o.gauges {
+		out[name] = v
+	}
+	return out
+}
+
+// ObserveNamed records one duration into a named histogram (created on first
+// use) — job latency, queue wait. Named histograms are exported as
+// tap25d_named_duration_seconds{name="..."} on /metrics, beside the
+// fixed-phase histograms of ObservePhase. Names should be snake_case.
+func (o *Observer) ObserveNamed(name string, d time.Duration) {
+	if o == nil || d < 0 {
+		return
+	}
+	o.mu.Lock()
+	h, ok := o.named[name]
+	if !ok {
+		h = &Histogram{}
+		o.named[name] = h
+	}
+	o.mu.Unlock()
+	h.Observe(uint64(d))
+}
+
+// NamedHistogram exposes one named duration histogram (nil when disabled or
+// never observed). Durations are recorded in nanoseconds.
+func (o *Observer) NamedHistogram(name string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.named[name]
+}
+
+// namedSnapshot returns a snapshot of every named histogram.
+func (o *Observer) namedSnapshot() map[string]HistogramSnapshot {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.named) == 0 {
+		return nil
+	}
+	out := make(map[string]HistogramSnapshot, len(o.named))
+	for name, h := range o.named {
+		out[name] = h.Snapshot()
 	}
 	return out
 }

@@ -83,24 +83,33 @@ func writePrometheus(w http.ResponseWriter, o *Observer) {
 	if h := o.cgIters.Snapshot(); h.Count > 0 {
 		writePromHistogram(w, "tap25d_cg_iterations", "", h, 1)
 	}
-	total := o.countersTotal()
-	for _, c := range []struct {
-		name string
-		v    int64
-	}{
-		{"evaluations", total.Evaluations},
-		{"cache_hits", total.CacheHits},
-		{"cache_misses", total.CacheMisses},
-		{"thermal_solves", total.ThermalSolves},
-		{"cg_iterations", total.CGIterations},
-		{"full_assembles", total.FullAssembles},
-		{"delta_assembles", total.DeltaAssembles},
-		{"skipped_assembles", total.SkippedAssembles},
-		{"route_calls", total.RouteCalls},
-		{"checkpoints", total.Checkpoints},
-		{"resumes", total.Resumes},
-	} {
-		fmt.Fprintf(w, "# TYPE tap25d_%s_total counter\ntap25d_%s_total %d\n", c.name, c.name, c.v)
+	// Every metrics.Counters field is exported, in declaration order: the
+	// enumeration is shared with the docs lint, so a counter that exists is
+	// both scrape-able and documented.
+	o.countersTotal().Each(func(name string, v int64) {
+		fmt.Fprintf(w, "# TYPE tap25d_%s_total counter\ntap25d_%s_total %d\n", name, name, v)
+	})
+	if named := o.namedSnapshot(); len(named) > 0 {
+		names := make([]string, 0, len(named))
+		for name := range named {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			writePromHistogram(w, "tap25d_named_duration_seconds",
+				fmt.Sprintf("name=%q", name), named[name], 1e-9)
+		}
+	}
+	if gauges := o.gaugeSnapshot(); len(gauges) > 0 {
+		names := make([]string, 0, len(gauges))
+		for name := range gauges {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "# TYPE tap25d_gauge gauge\n")
+		for _, name := range names {
+			fmt.Fprintf(w, "tap25d_gauge{name=%q} %g\n", name, gauges[name])
+		}
 	}
 	extra := o.extraSnapshot()
 	names := make([]string, 0, len(extra))

@@ -1,0 +1,175 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"tap25d/internal/obs"
+)
+
+// apiError is the uniform error body of the HTTP API:
+//
+//	{"error": {"code": "quota_exhausted", "message": "..."}}
+//
+// Codes are stable strings documented in docs/SERVICE.md; messages are
+// human-readable and may change.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]apiError{"error": {Code: code, Message: msg}})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// Handler builds the service's HTTP API:
+//
+//	POST   /v1/jobs             submit a JobSpec → 201 Job (200 on idempotent replay)
+//	GET    /v1/jobs             list jobs, newest first
+//	GET    /v1/jobs/{id}        one job
+//	DELETE /v1/jobs/{id}        cancel (queued → canceled; running → interrupt)
+//	GET    /v1/jobs/{id}/events Server-Sent Events stream of the job's RunEvents
+//	GET    /v1/healthz          {"status":"ok"} — "draining" with 503 during drain
+//	GET    /metrics             Prometheus text exposition (via the shared Observer)
+//
+// Error bodies follow the apiError envelope; docs/SERVICE.md is the full
+// reference.
+func Handler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.List()})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, err := s.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, "not_found", err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, j)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	if s.obs != nil {
+		mux.Handle("GET /metrics", obs.Handler(s.obs))
+	}
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_json", fmt.Sprintf("decoding job spec: %v", err))
+		return
+	}
+	job, created, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQuotaExhausted):
+		writeError(w, http.StatusTooManyRequests, "quota_exhausted", err.Error())
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "draining", err.Error())
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "bad_spec", err.Error())
+	case created:
+		w.Header().Set("Location", "/v1/jobs/"+job.ID)
+		writeJSON(w, http.StatusCreated, job)
+	default:
+		w.Header().Set("Location", "/v1/jobs/"+job.ID)
+		writeJSON(w, http.StatusOK, job)
+	}
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+	case errors.Is(err, ErrTerminal):
+		writeError(w, http.StatusConflict, "terminal", err.Error())
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	default:
+		writeJSON(w, http.StatusOK, job)
+	}
+}
+
+// handleEvents streams a job's RunEvents as Server-Sent Events. Each placer
+// event becomes one frame with the event kind as the SSE event name:
+//
+//	event: step
+//	data: {"kind":"step","run":0,...}
+//
+// When the job reaches a terminal state a final frame with event name "job"
+// carries the full job record, then the stream ends. Clients that reconnect
+// replay the retained tail of the history first.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ch, cancel, err := s.Subscribe(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	defer cancel()
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "no_flush", "response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	writeFrame := func(name string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e, ok := <-ch:
+			if !ok {
+				// Stream closed: the job reached a terminal state (or had
+				// already). Send the final record and end.
+				if job, err := s.Get(id); err == nil {
+					writeFrame("job", job)
+				}
+				return
+			}
+			if !writeFrame(e.Kind, e) {
+				return
+			}
+		}
+	}
+}

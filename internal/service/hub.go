@@ -1,0 +1,137 @@
+package service
+
+import (
+	"sync"
+
+	"tap25d"
+)
+
+// ringSize bounds the per-job event history kept for late SSE subscribers: a
+// subscriber that attaches mid-run first replays the newest ringSize events,
+// then follows live. Lifecycle events are sparse, so the ring comfortably
+// covers them plus the recent step cadence.
+const ringSize = 256
+
+// subBuffer is each subscriber's channel capacity. A subscriber that stalls
+// past it loses intermediate events (dropped, counted) rather than stalling
+// the placement worker: the journal is advisory, the annealing is not.
+const subBuffer = 64
+
+// hub fans one job's RunEvent stream out to any number of subscribers. The
+// worker publishes; SSE handlers subscribe. Closed topics replay their ring
+// and then end the stream, so subscribing to a finished job terminates
+// cleanly instead of hanging.
+type hub struct {
+	mu     sync.Mutex
+	topics map[string]*topic
+}
+
+type topic struct {
+	ring    []tap25d.RunEvent // newest-last, at most ringSize
+	subs    map[chan tap25d.RunEvent]*subscriber
+	closed  bool
+	dropped int64
+}
+
+type subscriber struct{ dropped int64 }
+
+func newHub() *hub { return &hub{topics: map[string]*topic{}} }
+
+func (h *hub) topic(id string) *topic {
+	t, ok := h.topics[id]
+	if !ok {
+		t = &topic{subs: map[chan tap25d.RunEvent]*subscriber{}}
+		h.topics[id] = t
+	}
+	return t
+}
+
+// Publish appends e to the job's history ring and offers it to every live
+// subscriber without blocking.
+func (h *hub) Publish(id string, e tap25d.RunEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	t := h.topic(id)
+	if t.closed {
+		return
+	}
+	t.ring = append(t.ring, e)
+	if len(t.ring) > ringSize {
+		t.ring = t.ring[1:]
+	}
+	for ch, s := range t.subs {
+		select {
+		case ch <- e:
+		default:
+			s.dropped++
+			t.dropped++
+		}
+	}
+}
+
+// Subscribe attaches to a job's event stream: the returned channel first
+// receives a replay of the retained history, then live events; it is closed
+// when the job's stream closes (or already was). Call the returned cancel
+// function to detach.
+func (h *hub) Subscribe(id string) (<-chan tap25d.RunEvent, func()) {
+	h.mu.Lock()
+	t := h.topic(id)
+	replay := make([]tap25d.RunEvent, len(t.ring))
+	copy(replay, t.ring)
+	ch := make(chan tap25d.RunEvent, max(subBuffer, len(replay)+1))
+	for _, e := range replay {
+		ch <- e
+	}
+	if t.closed {
+		close(ch)
+		h.mu.Unlock()
+		return ch, func() {}
+	}
+	s := &subscriber{}
+	t.subs[ch] = s
+	h.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			h.mu.Lock()
+			if _, ok := t.subs[ch]; ok {
+				delete(t.subs, ch)
+				close(ch)
+			}
+			h.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// Close ends a job's stream: subscribers' channels are closed after draining
+// and new subscribers get replay-then-EOF. The ring is retained so a status
+// page can still show the tail of a finished job.
+func (h *hub) Close(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	t := h.topic(id)
+	if t.closed {
+		return
+	}
+	t.closed = true
+	for ch := range t.subs {
+		close(ch)
+		delete(t.subs, ch)
+	}
+}
+
+// Reopen undoes Close for a job that is executing again (a re-queued job
+// resuming after a drain): new events flow to new subscribers.
+func (h *hub) Reopen(id string) {
+	h.mu.Lock()
+	h.topic(id).closed = false
+	h.mu.Unlock()
+}
+
+// Dropped returns the total events dropped on slow subscribers of one job.
+func (h *hub) Dropped(id string) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.topic(id).dropped
+}

@@ -1,0 +1,85 @@
+package service
+
+import (
+	"testing"
+
+	"tap25d"
+)
+
+func TestHubReplayThenLive(t *testing.T) {
+	h := newHub()
+	h.Publish("j", tap25d.RunEvent{Kind: "step", Step: 1})
+	h.Publish("j", tap25d.RunEvent{Kind: "step", Step: 2})
+
+	ch, cancel := h.Subscribe("j")
+	defer cancel()
+	h.Publish("j", tap25d.RunEvent{Kind: "step", Step: 3})
+
+	for want := 1; want <= 3; want++ {
+		e := <-ch
+		if e.Step != want {
+			t.Fatalf("event step %d, want %d", e.Step, want)
+		}
+	}
+}
+
+func TestHubCloseEndsStream(t *testing.T) {
+	h := newHub()
+	ch, cancel := h.Subscribe("j")
+	defer cancel()
+	h.Publish("j", tap25d.RunEvent{Kind: "final"})
+	h.Close("j")
+	if e, ok := <-ch; !ok || e.Kind != "final" {
+		t.Fatalf("first recv: %+v ok=%v", e, ok)
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("stream still open after Close")
+	}
+	// A late subscriber to a closed topic gets replay then EOF.
+	late, cancel2 := h.Subscribe("j")
+	defer cancel2()
+	if e, ok := <-late; !ok || e.Kind != "final" {
+		t.Fatalf("late replay: %+v ok=%v", e, ok)
+	}
+	if _, ok := <-late; ok {
+		t.Fatal("late stream did not end")
+	}
+}
+
+func TestHubRingBounded(t *testing.T) {
+	h := newHub()
+	for i := 0; i < ringSize+50; i++ {
+		h.Publish("j", tap25d.RunEvent{Kind: "step", Step: i})
+	}
+	h.Close("j")
+	ch, cancel := h.Subscribe("j")
+	defer cancel()
+	first := <-ch
+	if first.Step != 50 {
+		t.Fatalf("ring kept step %d first, want %d", first.Step, 50)
+	}
+	n := 1
+	for range ch {
+		n++
+	}
+	if n != ringSize {
+		t.Fatalf("replayed %d events, want %d", n, ringSize)
+	}
+}
+
+func TestHubSlowSubscriberDropsNotBlocks(t *testing.T) {
+	h := newHub()
+	_, cancel := h.Subscribe("j") // never read
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < subBuffer+100; i++ {
+			h.Publish("j", tap25d.RunEvent{Kind: "step", Step: i})
+		}
+		close(done)
+	}()
+	<-done // Publish must not block on the stalled subscriber
+	if h.Dropped("j") == 0 {
+		t.Fatal("no drops recorded for stalled subscriber")
+	}
+}

@@ -1,0 +1,209 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"tap25d/internal/obs"
+)
+
+// LoadConfig parameterizes RunLoad, the service's built-in load driver.
+type LoadConfig struct {
+	// BaseURL is the server under test (e.g. "http://127.0.0.1:8080").
+	BaseURL string
+	// Jobs is the number of jobs to submit (default 16).
+	Jobs int
+	// Concurrency is the number of concurrent submitting clients (default 4).
+	Concurrency int
+	// Spec is the job template; each submission gets Seed = Spec.Seed + index
+	// so the jobs are distinct work, not cache replays. Leave zero for a
+	// small fast default spec.
+	Spec JobSpec
+	// Timeout bounds the whole drive (default 5 minutes).
+	Timeout time.Duration
+}
+
+func (c LoadConfig) jobs() int {
+	if c.Jobs > 0 {
+		return c.Jobs
+	}
+	return 16
+}
+
+func (c LoadConfig) concurrency() int {
+	if c.Concurrency > 0 {
+		return c.Concurrency
+	}
+	return 4
+}
+
+func (c LoadConfig) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 5 * time.Minute
+}
+
+func (c LoadConfig) spec() JobSpec {
+	if c.Spec.System != "" || len(c.Spec.SystemJSON) != 0 {
+		return c.Spec
+	}
+	// A deliberately tiny flow: the driver measures the service machinery
+	// (queueing, dispatch, persistence, streaming), not the annealer.
+	return JobSpec{System: "multigpu", ThermalGrid: 16, Steps: 20, Runs: 1, CompactSteps: 400}
+}
+
+// RunLoad drives a running server: it submits cfg.Jobs placement jobs from
+// cfg.Concurrency concurrent clients, polls each to a terminal state, and
+// returns the measured throughput and latency distribution as BENCH_*.json
+// entries:
+//
+//	tap25d/service/submit_requests_per_sec   submissions accepted per second
+//	tap25d/service/job_latency_p50_ms        median submit→terminal latency
+//	tap25d/service/job_latency_p99_ms        99th-percentile job latency
+//	tap25d/service/jobs_completed            jobs that reached done
+//
+// It fails if any job finishes in a state other than done.
+func RunLoad(cfg LoadConfig) ([]obs.BenchEntry, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	n := cfg.jobs()
+	spec := cfg.spec()
+	deadline := time.Now().Add(cfg.timeout())
+
+	type outcome struct {
+		latency time.Duration
+		state   string
+		err     error
+	}
+	outcomes := make([]outcome, n)
+	work := make(chan int)
+	var wg sync.WaitGroup
+
+	submitStart := time.Now()
+	var submitEnd time.Time
+	var submitMu sync.Mutex
+	for w := 0; w < cfg.concurrency(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				s := spec
+				s.Seed = spec.Seed + int64(i)
+				s.IdempotencyKey = fmt.Sprintf("load-%d", i)
+				start := time.Now()
+				job, err := submitJob(client, cfg.BaseURL, s)
+				if err != nil {
+					outcomes[i] = outcome{err: err}
+					continue
+				}
+				submitMu.Lock()
+				if t := time.Now(); t.After(submitEnd) {
+					submitEnd = t
+				}
+				submitMu.Unlock()
+				final, err := pollJob(client, cfg.BaseURL, job.ID, deadline)
+				if err != nil {
+					outcomes[i] = outcome{err: err}
+					continue
+				}
+				outcomes[i] = outcome{latency: time.Since(start), state: final.State}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	latencies := make([]time.Duration, 0, n)
+	completed := 0
+	for i, o := range outcomes {
+		if o.err != nil {
+			return nil, fmt.Errorf("load job %d: %w", i, o.err)
+		}
+		if o.state != StateDone {
+			return nil, fmt.Errorf("load job %d finished %s, want %s", i, o.state, StateDone)
+		}
+		completed++
+		latencies = append(latencies, o.latency)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	submitWindow := submitEnd.Sub(submitStart)
+	if submitWindow <= 0 {
+		submitWindow = time.Millisecond
+	}
+	return []obs.BenchEntry{
+		{Name: "tap25d/service/submit_requests_per_sec", Unit: "req/s",
+			Value: float64(n) / submitWindow.Seconds()},
+		{Name: "tap25d/service/job_latency_p50_ms", Unit: "ms",
+			Value: float64(percentile(latencies, 50)) / float64(time.Millisecond)},
+		{Name: "tap25d/service/job_latency_p99_ms", Unit: "ms",
+			Value: float64(percentile(latencies, 99)) / float64(time.Millisecond)},
+		{Name: "tap25d/service/jobs_completed", Unit: "count", Value: float64(completed)},
+	}, nil
+}
+
+// percentile returns the p-th percentile of sorted (nearest-rank).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func submitJob(client *http.Client, base string, spec JobSpec) (*Job, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, msg)
+	}
+	var job Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		return nil, fmt.Errorf("submit: decoding response: %w", err)
+	}
+	return &job, nil
+}
+
+func pollJob(client *http.Client, base, id string, deadline time.Time) (*Job, error) {
+	for {
+		resp, err := client.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return nil, err
+		}
+		var job Job
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("poll %s: %w", id, err)
+		}
+		if job.Terminal() {
+			return &job, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("poll %s: job still %s at deadline", id, job.State)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

@@ -1,0 +1,307 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"tap25d/internal/placer"
+)
+
+// Submission failure sentinels, mapped to HTTP statuses by the API layer.
+var (
+	// ErrQuotaExhausted rejects a submission whose tenant already has its full
+	// quota of active (queued or running) jobs. HTTP 429.
+	ErrQuotaExhausted = errors.New("service: tenant active-job quota exhausted")
+	// ErrDraining rejects submissions while the server is shutting down.
+	// HTTP 503.
+	ErrDraining = errors.New("service: server is draining, not accepting jobs")
+	// ErrNotFound marks lookups of unknown job IDs. HTTP 404.
+	ErrNotFound = errors.New("service: no such job")
+	// ErrTerminal rejects canceling a job that already finished. HTTP 409.
+	ErrTerminal = errors.New("service: job already in a terminal state")
+)
+
+// queue is the persistent job queue: an in-memory index over one directory of
+// sealed job records. All mutations go through the lock and are persisted
+// before they are visible to other goroutines, so the on-disk state never
+// lags what the API has acknowledged.
+type queue struct {
+	dir   string // <data>/jobs
+	quota int    // max active jobs per tenant; 0 = unlimited
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	byIdem   map[string]string // "tenant\x00key" → job ID
+	nextSeq  int64
+	draining bool
+	notify   chan struct{} // buffered(1); poked on every enqueue
+}
+
+// newQueue opens (or creates) the queue directory and loads every surviving
+// job record. Jobs found in StateRunning were in flight when the previous
+// process died: they are moved back to StateQueued so a worker picks them up
+// and resumes them from their checkpoint directory. The returned count is the
+// number of such orphans re-queued.
+func newQueue(dir string, quota int) (*queue, int, error) {
+	q := &queue{
+		dir:    dir,
+		quota:  quota,
+		jobs:   map[string]*Job{},
+		byIdem: map[string]string{},
+		notify: make(chan struct{}, 1),
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, 0, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	requeued := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		var j Job
+		path := filepath.Join(dir, name)
+		if err := placer.ReadSealedFile(path, jobFormat, &j); err != nil {
+			// A corrupt record is quarantined, not fatal: the queue must come
+			// back up even if one record was torn by a dying disk.
+			os.Rename(path, path+".corrupt")
+			continue
+		}
+		if j.State == StateRunning {
+			j.State = StateQueued
+			if err := q.persistLocked(&j); err != nil {
+				return nil, 0, err
+			}
+			requeued++
+		}
+		q.jobs[j.ID] = &j
+		if k := idemKey(&j.Spec); k != "" {
+			q.byIdem[k] = j.ID
+		}
+		if j.Seq >= q.nextSeq {
+			q.nextSeq = j.Seq + 1
+		}
+	}
+	return q, requeued, nil
+}
+
+func idemKey(s *JobSpec) string {
+	if s.IdempotencyKey == "" {
+		return ""
+	}
+	return s.tenant() + "\x00" + s.IdempotencyKey
+}
+
+// persistLocked seals the record to disk. Callers hold q.mu (or, during
+// newQueue, have exclusive access).
+func (q *queue) persistLocked(j *Job) error {
+	return placer.WriteSealedFile(filepath.Join(q.dir, j.ID+".json"), jobFormat, j)
+}
+
+// Submit validates, deduplicates, quota-checks and enqueues a job. The bool
+// reports whether the job is new (false: an existing job was returned under
+// the spec's idempotency key).
+func (q *queue) Submit(spec JobSpec, now time.Time) (*Job, bool, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, false, err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.draining {
+		return nil, false, ErrDraining
+	}
+	if k := idemKey(&spec); k != "" {
+		if id, ok := q.byIdem[k]; ok {
+			return q.jobs[id].clone(), false, nil
+		}
+	}
+	if q.quota > 0 {
+		active := 0
+		for _, j := range q.jobs {
+			if !j.Terminal() && j.Spec.tenant() == spec.tenant() {
+				active++
+			}
+		}
+		if active >= q.quota {
+			return nil, false, fmt.Errorf("%w: tenant %q has %d active jobs (quota %d)",
+				ErrQuotaExhausted, spec.tenant(), active, q.quota)
+		}
+	}
+	j := &Job{
+		ID:          newJobID(),
+		Spec:        spec,
+		State:       StateQueued,
+		Seq:         q.nextSeq,
+		SubmittedAt: now.UTC(),
+	}
+	q.nextSeq++
+	if err := q.persistLocked(j); err != nil {
+		return nil, false, err
+	}
+	q.jobs[j.ID] = j
+	if k := idemKey(&spec); k != "" {
+		q.byIdem[k] = j.ID
+	}
+	q.poke()
+	return j.clone(), true, nil
+}
+
+// poke wakes one waiting worker. The channel has capacity 1: a pending poke
+// already guarantees every waiter will rescan, so drops are harmless.
+func (q *queue) poke() {
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Next blocks until a queued job is available, marks it running and returns
+// it. It returns nil once ctx is canceled. Priority wins; ties go to the
+// lowest sequence number (FIFO).
+func (q *queue) Next(ctx context.Context) *Job {
+	for {
+		// Checked before scanning: a drain re-queues interrupted jobs, and a
+		// draining worker must exit rather than re-dispatch them.
+		select {
+		case <-ctx.Done():
+			return nil
+		default:
+		}
+		q.mu.Lock()
+		var best *Job
+		for _, j := range q.jobs {
+			if j.State != StateQueued {
+				continue
+			}
+			if best == nil || j.Spec.Priority > best.Spec.Priority ||
+				(j.Spec.Priority == best.Spec.Priority && j.Seq < best.Seq) {
+				best = j
+			}
+		}
+		if best != nil {
+			best.State = StateRunning
+			best.Attempts++
+			now := time.Now().UTC()
+			best.StartedAt = &now
+			best.Resumed = false
+			// Persistence failure here is not fatal to the dispatch: the job
+			// still runs, and the next state transition re-persists. The
+			// worst case after a crash in that window is a duplicate "fresh"
+			// queued record, which the checkpoint restore makes idempotent.
+			q.persistLocked(best)
+			j := best.clone()
+			q.mu.Unlock()
+			return j
+		}
+		q.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-q.notify:
+		}
+	}
+}
+
+// update applies f to the job under the lock and persists the result.
+func (q *queue) update(id string, f func(*Job)) (*Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	f(j)
+	if err := q.persistLocked(j); err != nil {
+		return nil, err
+	}
+	if j.State == StateQueued {
+		q.poke()
+	}
+	return j.clone(), nil
+}
+
+// Get returns a snapshot of one job.
+func (q *queue) Get(id string) (*Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j.clone(), nil
+}
+
+// List returns snapshots of every job, newest submission first.
+func (q *queue) List() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]*Job, 0, len(q.jobs))
+	for _, j := range q.jobs {
+		out = append(out, j.clone())
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Seq > out[k].Seq })
+	return out
+}
+
+// Depth returns the number of queued and running jobs.
+func (q *queue) Depth() (queued, running int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, j := range q.jobs {
+		switch j.State {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		}
+	}
+	return queued, running
+}
+
+// CancelQueued transitions a still-queued job to canceled. It returns
+// (nil, false, err) when the job is unknown; (job, false, nil) when the job
+// is running or terminal (the caller must handle those states); and
+// (job, true, nil) when the queued job was canceled here.
+func (q *queue) CancelQueued(id string, now time.Time) (*Job, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return nil, false, ErrNotFound
+	}
+	if j.State != StateQueued {
+		return j.clone(), false, nil
+	}
+	j.State = StateCanceled
+	at := now.UTC()
+	j.FinishedAt = &at
+	if err := q.persistLocked(j); err != nil {
+		return nil, false, err
+	}
+	return j.clone(), true, nil
+}
+
+// StartDrain stops intake: every Submit from now on fails with ErrDraining.
+func (q *queue) StartDrain() {
+	q.mu.Lock()
+	q.draining = true
+	q.mu.Unlock()
+}
+
+// Draining reports whether intake is stopped.
+func (q *queue) Draining() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.draining
+}

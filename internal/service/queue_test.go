@@ -1,0 +1,203 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testSpec(seed int64) JobSpec {
+	return JobSpec{System: "multigpu", ThermalGrid: 16, Steps: 20, Runs: 1, CompactSteps: 400, Seed: seed}
+}
+
+func TestQueuePersistAndReload(t *testing.T) {
+	dir := t.TempDir()
+	q, requeued, err := newQueue(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if requeued != 0 {
+		t.Fatalf("fresh queue requeued %d jobs", requeued)
+	}
+	a, created, err := q.Submit(testSpec(1), time.Now())
+	if err != nil || !created {
+		t.Fatalf("submit a: created=%v err=%v", created, err)
+	}
+	b, _, err := q.Submit(testSpec(2), time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dispatch a so it is "running" when the process dies.
+	got := q.Next(context.Background())
+	if got.ID != a.ID {
+		t.Fatalf("Next returned %s, want FIFO head %s", got.ID, a.ID)
+	}
+
+	// "Restart": a new queue over the same directory.
+	q2, requeued, err := newQueue(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if requeued != 1 {
+		t.Fatalf("requeued %d running orphans, want 1", requeued)
+	}
+	ja, err := q2.Get(a.ID)
+	if err != nil || ja.State != StateQueued {
+		t.Fatalf("orphaned running job: %+v err=%v", ja, err)
+	}
+	if ja.Attempts != 1 {
+		t.Fatalf("orphan kept attempts=%d, want 1", ja.Attempts)
+	}
+	jb, err := q2.Get(b.ID)
+	if err != nil || jb.State != StateQueued {
+		t.Fatalf("queued job after reload: %+v err=%v", jb, err)
+	}
+}
+
+func TestQueuePriorityThenFIFO(t *testing.T) {
+	q, _, err := newQueue(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low1, _, _ := q.Submit(testSpec(1), time.Now())
+	s := testSpec(2)
+	s.Priority = 5
+	high, _, _ := q.Submit(s, time.Now())
+	low2, _, _ := q.Submit(testSpec(3), time.Now())
+
+	order := []string{q.Next(context.Background()).ID, q.Next(context.Background()).ID, q.Next(context.Background()).ID}
+	want := []string{high.ID, low1.ID, low2.ID}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestQueueNextHonorsContext(t *testing.T) {
+	q, _, err := newQueue(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if j := q.Next(ctx); j != nil {
+		t.Fatalf("Next on empty queue returned %+v", j)
+	}
+}
+
+func TestQueueIdempotentSubmit(t *testing.T) {
+	q, _, err := newQueue(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSpec(1)
+	s.IdempotencyKey = "retry-me"
+	first, created, err := q.Submit(s, time.Now())
+	if err != nil || !created {
+		t.Fatalf("first submit: created=%v err=%v", created, err)
+	}
+	second, created, err := q.Submit(s, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created || second.ID != first.ID {
+		t.Fatalf("resubmit: created=%v id=%s, want replay of %s", created, second.ID, first.ID)
+	}
+	// A different tenant with the same key is a different job.
+	s.Tenant = "other"
+	third, created, err := q.Submit(s, time.Now())
+	if err != nil || !created || third.ID == first.ID {
+		t.Fatalf("cross-tenant key collided: created=%v err=%v", created, err)
+	}
+}
+
+func TestQueueQuota(t *testing.T) {
+	q, _, err := newQueue(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q.Submit(testSpec(1), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := q.Submit(testSpec(2), time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q.Submit(testSpec(3), time.Now()); !errors.Is(err, ErrQuotaExhausted) {
+		t.Fatalf("third active submit: err=%v, want ErrQuotaExhausted", err)
+	}
+	// Other tenants have their own budget.
+	s := testSpec(4)
+	s.Tenant = "other"
+	if _, _, err := q.Submit(s, time.Now()); err != nil {
+		t.Fatalf("other tenant rejected: %v", err)
+	}
+	// Terminal jobs stop counting.
+	if _, done, err := q.CancelQueued(second.ID, time.Now()); err != nil || !done {
+		t.Fatalf("cancel queued: done=%v err=%v", done, err)
+	}
+	if _, _, err := q.Submit(testSpec(5), time.Now()); err != nil {
+		t.Fatalf("submit after freeing quota: %v", err)
+	}
+}
+
+func TestQueueDrainStopsIntake(t *testing.T) {
+	q, _, err := newQueue(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.StartDrain()
+	if _, _, err := q.Submit(testSpec(1), time.Now()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit while draining: err=%v, want ErrDraining", err)
+	}
+}
+
+func TestQueueQuarantinesCorruptRecords(t *testing.T) {
+	dir := t.TempDir()
+	q, _, err := newQueue(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, _, err := q.Submit(testSpec(1), time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "job-dead.json")
+	if err := os.WriteFile(bad, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q2, _, err := newQueue(dir, 0)
+	if err != nil {
+		t.Fatalf("reload with corrupt record: %v", err)
+	}
+	if _, err := q2.Get(good.ID); err != nil {
+		t.Fatalf("good record lost: %v", err)
+	}
+	if _, err := os.Stat(bad + ".corrupt"); err != nil {
+		t.Fatalf("corrupt record not quarantined: %v", err)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec JobSpec
+		ok   bool
+	}{
+		{"builtin", JobSpec{System: "multigpu"}, true},
+		{"empty", JobSpec{}, false},
+		{"unknown system", JobSpec{System: "nope"}, false},
+		{"both sources", JobSpec{System: "multigpu", SystemJSON: []byte(`{}`)}, false},
+		{"bad json", JobSpec{SystemJSON: []byte(`{`)}, false},
+		{"negative steps", JobSpec{System: "multigpu", Steps: -1}, false},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: err=%v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}

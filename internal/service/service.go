@@ -1,0 +1,381 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"tap25d"
+	"tap25d/internal/metrics"
+)
+
+// Config parameterizes a Service. The zero value of every optional field is
+// a sensible default; DataDir is required.
+type Config struct {
+	// DataDir is the service's state root: job records under <DataDir>/jobs,
+	// per-job checkpoints under <DataDir>/ckpt/<job id>. Created if missing.
+	DataDir string
+	// Workers is the placement worker pool size (default: GOMAXPROCS/2,
+	// minimum 1 — each placement job is itself internally parallel).
+	Workers int
+	// TenantQuota caps each tenant's active (queued+running) jobs; exceeding
+	// it rejects the submission with ErrQuotaExhausted (HTTP 429). 0 means
+	// unlimited.
+	TenantQuota int
+	// CheckpointEvery is the per-run checkpoint cadence in SA steps
+	// (default 25). Smaller loses less work on a kill; larger does less I/O.
+	CheckpointEvery int
+	// ProgressEvery is the step-event cadence fanned out over SSE
+	// (default 10; 0 keeps lifecycle events only).
+	ProgressEvery int
+	// Observer, when non-nil, aggregates the whole service's observability:
+	// counters, queue-depth gauges, job-latency histograms; serve it with
+	// tap25d.ServeDebug to expose /metrics. nil disables observability.
+	Observer *tap25d.Observer
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	if n := runtime.GOMAXPROCS(0) / 2; n > 1 {
+		return n
+	}
+	return 1
+}
+
+func (c Config) checkpointEvery() int {
+	if c.CheckpointEvery > 0 {
+		return c.CheckpointEvery
+	}
+	return 25
+}
+
+func (c Config) progressEvery() int {
+	if c.ProgressEvery > 0 {
+		return c.ProgressEvery
+	}
+	return 10
+}
+
+// Service is the placement-as-a-service engine: one persistent queue, one
+// event hub, and a pool of workers draining the queue through tap25d.Place.
+// Construct with New, start the workers with Start, and stop with Drain.
+type Service struct {
+	cfg   Config
+	queue *queue
+	hub   *hub
+	obs   *tap25d.Observer
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	counters metrics.Counters
+	cancels  map[string]context.CancelFunc // running job → its cancel
+	canceled map[string]bool               // running job → user asked to cancel
+	busy     int
+}
+
+// New opens the service state under cfg.DataDir. Jobs that were running when
+// the previous process died are re-queued (they will resume from their
+// checkpoints); the count of such jobs is logged via the observer gauge
+// "service_requeued_on_boot".
+func New(cfg Config) (*Service, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("service: Config.DataDir is required")
+	}
+	q, requeued, err := newQueue(filepath.Join(cfg.DataDir, "jobs"), cfg.TenantQuota)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:      cfg,
+		queue:    q,
+		hub:      newHub(),
+		obs:      cfg.Observer,
+		ctx:      ctx,
+		cancel:   cancel,
+		cancels:  map[string]context.CancelFunc{},
+		canceled: map[string]bool{},
+	}
+	s.obs.SetGauge("service_requeued_on_boot", float64(requeued))
+	s.publishGauges()
+	return s, nil
+}
+
+// Start launches the worker pool. It returns immediately; jobs execute in
+// the background until Drain.
+func (s *Service) Start() {
+	for i := 0; i < s.cfg.workers(); i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				job := s.queue.Next(s.ctx)
+				if job == nil {
+					return
+				}
+				s.runJob(job)
+			}
+		}()
+	}
+}
+
+// Drain gracefully stops the service: intake stops (submissions fail with
+// ErrDraining), every running job is interrupted — the placer checkpoints
+// and returns its best-so-far — and the interrupted jobs go back to the
+// queue in StateQueued so the next boot resumes them. Drain blocks until all
+// workers have exited or ctx expires.
+func (s *Service) Drain(ctx context.Context) error {
+	s.queue.StartDrain()
+	s.cancel() // stops Next and cancels every in-flight job's context
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain timed out: %w", ctx.Err())
+	}
+}
+
+// count applies f to the service counters and mirrors the single-increment
+// delta into the observer, so the Prometheus endpoint and the service's own
+// totals stay in lockstep.
+func (s *Service) count(f func(c *metrics.Counters)) {
+	var delta metrics.Counters
+	f(&delta)
+	s.mu.Lock()
+	s.counters.Merge(delta)
+	s.mu.Unlock()
+	s.obs.AbsorbCounters(delta)
+}
+
+// Counters returns a snapshot of the service-level job counters.
+func (s *Service) Counters() metrics.Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters
+}
+
+// publishGauges refreshes the queue-depth and utilization gauges.
+func (s *Service) publishGauges() {
+	if s.obs == nil {
+		return
+	}
+	queued, running := s.queue.Depth()
+	s.mu.Lock()
+	busy := s.busy
+	s.mu.Unlock()
+	s.obs.SetGauge("service_queue_depth", float64(queued))
+	s.obs.SetGauge("service_jobs_running", float64(running))
+	s.obs.SetGauge("service_workers_busy", float64(busy))
+	s.obs.SetGauge("service_workers", float64(s.cfg.workers()))
+}
+
+// ckptDir is the job's private checkpoint directory.
+func (s *Service) ckptDir(id string) string {
+	return filepath.Join(s.cfg.DataDir, "ckpt", id)
+}
+
+// Submit enqueues a job (or returns the existing one under the spec's
+// idempotency key).
+func (s *Service) Submit(spec JobSpec) (*Job, bool, error) {
+	j, created, err := s.queue.Submit(spec, time.Now())
+	switch {
+	case errors.Is(err, ErrQuotaExhausted):
+		s.count(func(c *metrics.Counters) { c.JobsQuotaRejected++ })
+	case err == nil && created:
+		s.count(func(c *metrics.Counters) { c.JobsSubmitted++ })
+	case err == nil && !created:
+		s.count(func(c *metrics.Counters) { c.JobsDeduped++ })
+	}
+	s.publishGauges()
+	return j, created, err
+}
+
+// Get returns a snapshot of one job.
+func (s *Service) Get(id string) (*Job, error) { return s.queue.Get(id) }
+
+// List returns snapshots of all jobs, newest first.
+func (s *Service) List() []*Job { return s.queue.List() }
+
+// Draining reports whether intake is stopped.
+func (s *Service) Draining() bool { return s.queue.Draining() }
+
+// Subscribe attaches to a job's RunEvent stream (replay + live; see hub).
+// The error is ErrNotFound for unknown jobs.
+func (s *Service) Subscribe(id string) (<-chan tap25d.RunEvent, func(), error) {
+	if _, err := s.queue.Get(id); err != nil {
+		return nil, nil, err
+	}
+	ch, cancel := s.hub.Subscribe(id)
+	return ch, cancel, nil
+}
+
+// Cancel cancels a job: a queued job transitions to canceled immediately; a
+// running job's context is canceled and the worker finalizes it as canceled
+// (keeping the best-so-far result if one exists). Canceling a terminal job
+// returns ErrTerminal.
+func (s *Service) Cancel(id string) (*Job, error) {
+	j, done, err := s.queue.CancelQueued(id, time.Now())
+	if err != nil {
+		return nil, err
+	}
+	if done {
+		s.count(func(c *metrics.Counters) { c.JobsCanceled++ })
+		s.hub.Close(id)
+		s.publishGauges()
+		return j, nil
+	}
+	if j.Terminal() {
+		return j, ErrTerminal
+	}
+	// Running: flag the job as user-canceled and cut its context. The worker
+	// observes the flag when Place returns and finalizes the record.
+	s.mu.Lock()
+	s.canceled[id] = true
+	cancel := s.cancels[id]
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return j, nil
+}
+
+// runJob executes one job to a terminal state (or back to queued on drain).
+func (s *Service) runJob(job *Job) {
+	jobCtx, cancelJob := context.WithCancel(s.ctx)
+	defer cancelJob()
+	s.mu.Lock()
+	s.cancels[job.ID] = cancelJob
+	s.busy++
+	s.mu.Unlock()
+	s.hub.Reopen(job.ID)
+	s.publishGauges()
+	start := time.Now()
+	s.obs.ObserveNamed("job_queue_wait", start.Sub(job.SubmittedAt))
+
+	res, resumed, runErr := s.execute(jobCtx, job)
+
+	s.mu.Lock()
+	delete(s.cancels, job.ID)
+	userCanceled := s.canceled[job.ID]
+	delete(s.canceled, job.ID)
+	s.busy--
+	s.mu.Unlock()
+
+	now := time.Now()
+	finished := now.UTC()
+	interrupted := runErr != nil && errors.Is(runErr, context.Canceled)
+	final, err := s.queue.update(job.ID, func(j *Job) {
+		j.Resumed = resumed
+		switch {
+		case interrupted && !userCanceled:
+			// Drain: hand the job back to the queue; its checkpoints carry
+			// the annealing state forward into the next process.
+			j.State = StateQueued
+			j.StartedAt = nil
+		case interrupted && userCanceled:
+			j.State = StateCanceled
+			j.FinishedAt = &finished
+			j.Result = jobResult(res)
+		case runErr != nil:
+			j.State = StateFailed
+			j.FinishedAt = &finished
+			j.Error = runErr.Error()
+		default:
+			j.State = StateDone
+			j.FinishedAt = &finished
+			j.Result = jobResult(res)
+		}
+	})
+	if err != nil {
+		// The record refused to persist (disk trouble). The job's events
+		// still tell the story; nothing else we can do from a worker.
+		s.obs.Add("service_persist_errors", 1)
+	}
+	if resumed {
+		s.count(func(c *metrics.Counters) { c.JobsResumed++ })
+	}
+	if final != nil && final.Terminal() {
+		switch final.State {
+		case StateDone:
+			s.count(func(c *metrics.Counters) { c.JobsCompleted++ })
+		case StateFailed:
+			s.count(func(c *metrics.Counters) { c.JobsFailed++ })
+		case StateCanceled:
+			s.count(func(c *metrics.Counters) { c.JobsCanceled++ })
+		}
+		s.obs.ObserveNamed("job_latency", now.Sub(job.SubmittedAt))
+		os.RemoveAll(s.ckptDir(job.ID)) // spent snapshots
+		s.hub.Close(job.ID)
+	}
+	s.publishGauges()
+}
+
+// execute runs the placement flow of one job attempt. It reports the result,
+// whether any run resumed from a checkpoint, and the flow error.
+func (s *Service) execute(ctx context.Context, job *Job) (*tap25d.Result, bool, error) {
+	sys, err := job.Spec.LoadSystem()
+	if err != nil {
+		return nil, false, err
+	}
+	store := &tap25d.CheckpointStore{Dir: s.ckptDir(job.ID), Obs: s.obs}
+	var resumedMu sync.Mutex
+	resumed := false
+	progress := func(e tap25d.RunEvent) {
+		if e.Kind == tap25d.EventResume {
+			resumedMu.Lock()
+			resumed = true
+			resumedMu.Unlock()
+		}
+		s.hub.Publish(job.ID, e)
+	}
+	res, err := tap25d.Place(sys, tap25d.Options{
+		ThermalGrid:     job.Spec.ThermalGrid,
+		Steps:           job.Spec.Steps,
+		Runs:            job.Spec.Runs,
+		CompactSteps:    job.Spec.CompactSteps,
+		Seed:            job.Spec.Seed,
+		GasStation:      job.Spec.GasStation,
+		Surrogate:       !job.Spec.NoSurrogate,
+		Context:         ctx,
+		Progress:        progress,
+		ProgressEvery:   s.cfg.progressEvery(),
+		CheckpointEvery: s.cfg.checkpointEvery(),
+		Checkpoint:      store.Checkpoint,
+		Restore:         store.Restore,
+		Observer:        s.obs,
+	})
+	resumedMu.Lock()
+	defer resumedMu.Unlock()
+	return res, resumed, err
+}
+
+// jobResult projects a tap25d.Result onto the persisted record (nil-safe).
+func jobResult(res *tap25d.Result) *JobResult {
+	if res == nil {
+		return nil
+	}
+	return &JobResult{
+		Placement:           res.Placement,
+		PeakC:               res.PeakC,
+		WirelengthMM:        res.WirelengthMM,
+		Feasible:            res.Feasible,
+		InitialPeakC:        res.InitialPeakC,
+		InitialWirelengthMM: res.InitialWirelength,
+		Metrics:             res.Metrics,
+	}
+}
