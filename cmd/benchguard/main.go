@@ -1,0 +1,196 @@
+// Command benchguard compares freshly generated BENCH_*.json entries against
+// the committed benchmark trajectory and fails (exit 1) when a metric
+// regressed beyond the configured tolerance — the CI tripwire that keeps the
+// repo's performance claims honest.
+//
+// Direction is inferred from each entry's unit: throughput-like units
+// (steps/s, req/s, x, fraction) must not drop, latency-like units (ms, ns, s)
+// must not grow, and purely informational units (C, mm, count, %) are
+// reported but never gate. Entries present on only one side are reported and
+// skipped: a new benchmark cannot regress, and a retired one cannot be
+// checked.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_E1.json,BENCH_SERVICE.json -candidate fresh.json
+//	benchguard -baseline BENCH_E1.json -candidate fresh.json -tolerance 0.5 -match tap25d/e1/
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tap25d/internal/buildinfo"
+	"tap25d/internal/obs"
+)
+
+const usageHeader = `Usage: benchguard -baseline FILE[,FILE...] -candidate FILE [options]
+
+Diffs candidate BENCH_*.json entries against the committed baseline trajectory
+and exits 1 when a gated metric regressed beyond -tolerance. Higher-is-better
+vs lower-is-better is inferred from each entry's unit; informational units
+(C, mm, count, %) never gate.
+
+Options:
+`
+
+func main() {
+	fs := flag.NewFlagSet("benchguard", flag.ExitOnError)
+	baseline := fs.String("baseline", "", "comma-separated committed BENCH_*.json files to compare against")
+	candidate := fs.String("candidate", "", "freshly generated BENCH_*.json file to check")
+	tolerance := fs.Float64("tolerance", 0.2, "allowed fractional regression (0.2 = 20%) before failing")
+	match := fs.String("match", "", "only gate entries whose name contains this substring")
+	version := fs.Bool("version", false, "print the build version and exit")
+	fs.Usage = func() {
+		fmt.Fprint(fs.Output(), usageHeader)
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+	if *version {
+		fmt.Println("benchguard", buildinfo.Version())
+		return
+	}
+	if *baseline == "" || *candidate == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	base := map[string]obs.BenchEntry{}
+	for _, path := range strings.Split(*baseline, ",") {
+		entries, err := readEntries(strings.TrimSpace(path))
+		if err != nil {
+			fatal(err)
+		}
+		for _, e := range entries {
+			base[e.Name] = e
+		}
+	}
+	cand, err := readEntries(*candidate)
+	if err != nil {
+		fatal(err)
+	}
+
+	results := compare(base, cand, *tolerance, *match)
+	failed := false
+	for _, r := range results {
+		fmt.Println(r.String())
+		if r.Verdict == verdictRegressed {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchguard: regression detected")
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d entries checked against %d baselines, no regression beyond %.0f%%\n",
+		len(cand), len(base), *tolerance*100)
+}
+
+// verdicts of one entry's comparison.
+const (
+	verdictOK         = "ok"
+	verdictRegressed  = "REGRESSED"
+	verdictImproved   = "improved"
+	verdictInfo       = "info"
+	verdictNoBaseline = "new"
+	verdictSkipped    = "skipped"
+)
+
+// result is one entry's comparison outcome.
+type result struct {
+	Name     string
+	Unit     string
+	Base     float64
+	New      float64
+	Change   float64 // signed fractional change, positive = value grew
+	Verdict  string
+	HigherIs bool
+}
+
+func (r result) String() string {
+	switch r.Verdict {
+	case verdictNoBaseline:
+		return fmt.Sprintf("  new        %-45s %12.3f %s (no baseline)", r.Name, r.New, r.Unit)
+	case verdictSkipped:
+		return fmt.Sprintf("  skipped    %-45s (outside -match)", r.Name)
+	case verdictInfo:
+		return fmt.Sprintf("  info       %-45s %12.3f -> %.3f %s", r.Name, r.Base, r.New, r.Unit)
+	}
+	return fmt.Sprintf("  %-10s %-45s %12.3f -> %.3f %s (%+.1f%%)",
+		r.Verdict, r.Name, r.Base, r.New, r.Unit, r.Change*100)
+}
+
+// direction classifies a unit: +1 higher-is-better, -1 lower-is-better,
+// 0 informational (never gates).
+func direction(unit string) int {
+	switch unit {
+	case "steps/s", "req/s", "x", "fraction", "ops/s", "evals/s":
+		return +1
+	case "ms", "ns", "us", "s":
+		return -1
+	default: // C, mm, count, %, ...: quality/scale numbers, not perf gates
+		return 0
+	}
+}
+
+// compare scores every candidate entry against the baseline map. Entries
+// whose name does not contain match (when non-empty) are skipped; entries
+// with an informational unit or no baseline are reported but never fail.
+func compare(base map[string]obs.BenchEntry, cand []obs.BenchEntry, tolerance float64, match string) []result {
+	out := make([]result, 0, len(cand))
+	for _, c := range cand {
+		r := result{Name: c.Name, Unit: c.Unit, New: c.Value}
+		if match != "" && !strings.Contains(c.Name, match) {
+			r.Verdict = verdictSkipped
+			out = append(out, r)
+			continue
+		}
+		b, ok := base[c.Name]
+		if !ok {
+			r.Verdict = verdictNoBaseline
+			out = append(out, r)
+			continue
+		}
+		r.Base = b.Value
+		if b.Value != 0 {
+			r.Change = (c.Value - b.Value) / b.Value
+		}
+		dir := direction(c.Unit)
+		r.HigherIs = dir > 0
+		switch {
+		case dir == 0:
+			r.Verdict = verdictInfo
+		case dir > 0 && r.Change < -tolerance:
+			r.Verdict = verdictRegressed
+		case dir < 0 && r.Change > tolerance:
+			r.Verdict = verdictRegressed
+		case (dir > 0 && r.Change > 0) || (dir < 0 && r.Change < 0):
+			r.Verdict = verdictImproved
+		default:
+			r.Verdict = verdictOK
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func readEntries(path string) ([]obs.BenchEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var entries []obs.BenchEntry
+	if err := json.NewDecoder(f).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"testing"
+
+	"tap25d/internal/obs"
+)
+
+func entryMap(entries ...obs.BenchEntry) map[string]obs.BenchEntry {
+	m := map[string]obs.BenchEntry{}
+	for _, e := range entries {
+		m[e.Name] = e
+	}
+	return m
+}
+
+func verdictOf(t *testing.T, results []result, name string) string {
+	t.Helper()
+	for _, r := range results {
+		if r.Name == name {
+			return r.Verdict
+		}
+	}
+	t.Fatalf("no result for %q", name)
+	return ""
+}
+
+// TestCompareDirections checks that regressions are judged in the right
+// direction per unit: throughput dropping and latency growing both fail,
+// while the opposite movements pass as improvements.
+func TestCompareDirections(t *testing.T) {
+	base := entryMap(
+		obs.BenchEntry{Name: "a/throughput", Unit: "steps/s", Value: 100},
+		obs.BenchEntry{Name: "a/latency", Unit: "ms", Value: 100},
+		obs.BenchEntry{Name: "a/temp", Unit: "C", Value: 90},
+	)
+	cand := []obs.BenchEntry{
+		{Name: "a/throughput", Unit: "steps/s", Value: 50}, // -50%: regressed
+		{Name: "a/latency", Unit: "ms", Value: 150},        // +50%: regressed
+		{Name: "a/temp", Unit: "C", Value: 120},            // informational
+		{Name: "a/brand-new", Unit: "steps/s", Value: 1},   // no baseline
+	}
+	res := compare(base, cand, 0.2, "")
+	if v := verdictOf(t, res, "a/throughput"); v != verdictRegressed {
+		t.Errorf("throughput drop: verdict %s, want %s", v, verdictRegressed)
+	}
+	if v := verdictOf(t, res, "a/latency"); v != verdictRegressed {
+		t.Errorf("latency growth: verdict %s, want %s", v, verdictRegressed)
+	}
+	if v := verdictOf(t, res, "a/temp"); v != verdictInfo {
+		t.Errorf("informational unit: verdict %s, want %s", v, verdictInfo)
+	}
+	if v := verdictOf(t, res, "a/brand-new"); v != verdictNoBaseline {
+		t.Errorf("missing baseline: verdict %s, want %s", v, verdictNoBaseline)
+	}
+}
+
+// TestCompareTolerance checks the tolerance band: a drop within it passes, a
+// drop beyond it fails, and a gain is an improvement.
+func TestCompareTolerance(t *testing.T) {
+	base := entryMap(obs.BenchEntry{Name: "b/tp", Unit: "req/s", Value: 100})
+	cases := []struct {
+		value   float64
+		verdict string
+	}{
+		{95, verdictOK},        // -5% within 20% tolerance
+		{79, verdictRegressed}, // -21% beyond it
+		{130, verdictImproved},
+	}
+	for _, c := range cases {
+		res := compare(base, []obs.BenchEntry{{Name: "b/tp", Unit: "req/s", Value: c.value}}, 0.2, "")
+		if v := verdictOf(t, res, "b/tp"); v != c.verdict {
+			t.Errorf("value %v: verdict %s, want %s", c.value, v, c.verdict)
+		}
+	}
+}
+
+// TestCompareMatch checks that -match restricts gating to the named subset.
+func TestCompareMatch(t *testing.T) {
+	base := entryMap(
+		obs.BenchEntry{Name: "e1/tp", Unit: "steps/s", Value: 100},
+		obs.BenchEntry{Name: "svc/tp", Unit: "req/s", Value: 100},
+	)
+	cand := []obs.BenchEntry{
+		{Name: "e1/tp", Unit: "steps/s", Value: 10},
+		{Name: "svc/tp", Unit: "req/s", Value: 10},
+	}
+	res := compare(base, cand, 0.2, "e1/")
+	if v := verdictOf(t, res, "e1/tp"); v != verdictRegressed {
+		t.Errorf("matched entry: verdict %s, want %s", v, verdictRegressed)
+	}
+	if v := verdictOf(t, res, "svc/tp"); v != verdictSkipped {
+		t.Errorf("unmatched entry: verdict %s, want %s", v, verdictSkipped)
+	}
+}
+
+// TestCompareZeroBaseline guards the divide-by-zero path: a zero baseline
+// yields zero change and never spuriously regresses.
+func TestCompareZeroBaseline(t *testing.T) {
+	base := entryMap(obs.BenchEntry{Name: "z", Unit: "ms", Value: 0})
+	res := compare(base, []obs.BenchEntry{{Name: "z", Unit: "ms", Value: 5}}, 0.2, "")
+	if v := verdictOf(t, res, "z"); v != verdictOK {
+		t.Errorf("zero baseline: verdict %s, want %s", v, verdictOK)
+	}
+}

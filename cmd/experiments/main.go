@@ -28,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"sort"
@@ -36,6 +37,7 @@ import (
 	"syscall"
 
 	"tap25d"
+	"tap25d/internal/buildinfo"
 	"tap25d/internal/experiments"
 )
 
@@ -56,6 +58,7 @@ type cliFlags struct {
 	evalBudget           *int
 	noSur                *bool
 	benchOut             *string
+	version              *bool
 }
 
 const usageHeader = `Usage: experiments [options]
@@ -96,6 +99,7 @@ func newFlagSet(name string) (*flag.FlagSet, *cliFlags) {
 		evalBudget: fs.Int("eval-failure-budget", 0, "skip up to N consecutive transiently-failed SA steps per run (0: fail fast)"),
 		noSur:      fs.Bool("no-surrogate", false, "disable the analytical-surrogate prescreen that is on by default (every SA step pays an exact thermal solve; byte-identical to the pre-surrogate flow)"),
 		benchOut:   fs.String("bench-out", "", "run the surrogate-vs-exact E1 micro-benchmark and write its BENCH_*.json entries to this file (skips the experiment sweep)"),
+		version:    fs.Bool("version", false, "print the build version and exit"),
 	}
 	fs.Usage = func() {
 		fmt.Fprint(fs.Output(), usageHeader)
@@ -116,6 +120,11 @@ func main() {
 		strictRes, noRecover, evalBudget = f.strictRes, f.noRecover, f.evalBudget
 		noSur, benchOut                  = f.noSur, f.benchOut
 	)
+	if *f.version {
+		fmt.Println("experiments", buildinfo.Version())
+		return
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	cfg := experiments.Reduced()
 	if *full {
@@ -139,7 +148,7 @@ func main() {
 		return
 	}
 	if *resume && *ckptDir == "" {
-		fmt.Fprintln(os.Stderr, "experiments: -resume requires -checkpoint-dir")
+		log.Error("-resume requires -checkpoint-dir")
 		os.Exit(2)
 	}
 
@@ -160,7 +169,7 @@ func main() {
 	}
 	if *ckptDir != "" {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
+			log.Error("creating checkpoint dir", "error", err)
 			os.Exit(1)
 		}
 	}
@@ -173,18 +182,18 @@ func main() {
 	if *debugAddr != "" {
 		srv, err := tap25d.ServeDebug(*debugAddr, observer)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
+			log.Error("debug server failed", "error", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "experiments: debug server on http://%s (/metrics, /run, /debug/pprof/)\n", srv.Addr())
+		log.Info("debug server up", "url", "http://"+srv.Addr(), "endpoints", "/metrics /run /debug/pprof/")
 	}
 
 	var sink *tap25d.JSONLSink
 	if *journal != "" {
 		f, err := os.OpenFile(*journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
+			log.Error("opening journal", "error", err)
 			os.Exit(1)
 		}
 		defer f.Close()
@@ -192,9 +201,13 @@ func main() {
 	}
 	tracker := &bestTracker{best: map[int]tap25d.RunEvent{}}
 	orch.Progress = func(e tap25d.RunEvent) {
-		if e.Kind == tap25d.EventResumeFallback {
-			fmt.Fprintf(os.Stderr, "experiments: run %d: newest checkpoint rejected (%s); resuming from the previous generation at step %d\n",
-				e.Run, e.Error, e.Step)
+		switch e.Kind {
+		case tap25d.EventResumeFallback:
+			log.Warn("newest checkpoint rejected; resuming from the previous generation",
+				"run", e.Run, "step", e.Step, "error", e.Error)
+		case tap25d.EventAnomaly:
+			log.Warn("convergence anomaly", "run", e.Run, "step", e.Step,
+				"kind", e.Anomaly, "detail", e.Error)
 		}
 		tracker.observe(e)
 		if sink != nil {
@@ -215,11 +228,11 @@ func main() {
 		rep, err := experiments.RunOrchestrated(id, cfg, orch)
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				fmt.Fprintf(os.Stderr, "%s: interrupted: %v\n", id, err)
+				log.Warn("interrupted", "experiment", id, "error", err)
 				interrupted = true
 				break
 			}
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			log.Error("experiment failed", "experiment", id, "error", err)
 			failed = true
 			continue
 		}
@@ -228,7 +241,7 @@ func main() {
 	}
 	if sink != nil {
 		if err := sink.Err(); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments: journal write:", err)
+			log.Error("journal write failed", "error", err)
 			failed = true
 		}
 	}
@@ -237,7 +250,7 @@ func main() {
 		rep.WriteTable(os.Stderr)
 		if *obsReport != "" {
 			if err := rep.WriteFile(*obsReport); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments: observability report:", err)
+				log.Error("observability report failed", "error", err)
 				failed = true
 			} else {
 				fmt.Println("observability report written to", *obsReport)

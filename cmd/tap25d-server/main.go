@@ -22,6 +22,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -30,7 +31,9 @@ import (
 	"time"
 
 	"tap25d"
+	"tap25d/internal/buildinfo"
 	"tap25d/internal/experiments"
+	"tap25d/internal/obs"
 	"tap25d/internal/service"
 )
 
@@ -40,7 +43,8 @@ type cliFlags struct {
 	addr, dataDir              *string
 	workers, quota             *int
 	ckptEvr, progEvr, drainSec *int
-	benchOut                   *string
+	benchOut, sloConfig        *string
+	version                    *bool
 }
 
 const usageHeader = `Usage: tap25d-server -data DIR [options]
@@ -61,14 +65,16 @@ Options:
 func newFlagSet(name string) (*flag.FlagSet, *cliFlags) {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	f := &cliFlags{
-		addr:     fs.String("addr", ":8080", "HTTP listen address"),
-		dataDir:  fs.String("data", "tap25d-data", "state directory: job records under <data>/jobs, per-job checkpoints under <data>/ckpt"),
-		workers:  fs.Int("workers", 0, "placement worker pool size (0: half the CPUs, min 1)"),
-		quota:    fs.Int("quota", 0, "max active (queued+running) jobs per tenant; 0 = unlimited (exceeding returns HTTP 429)"),
-		ckptEvr:  fs.Int("checkpoint-every", 25, "checkpoint cadence in SA steps per run (smaller loses less work on a kill)"),
-		progEvr:  fs.Int("progress-every", 10, "SSE step-event cadence in SA steps (0 streams lifecycle events only)"),
-		drainSec: fs.Int("drain-timeout", 60, "seconds to wait for running jobs to checkpoint on shutdown"),
-		benchOut: fs.String("bench-out", "", "run the self-contained service load drive and write its BENCH_*.json entries to this file (skips serving)"),
+		addr:      fs.String("addr", ":8080", "HTTP listen address"),
+		dataDir:   fs.String("data", "tap25d-data", "state directory: job records under <data>/jobs, per-job checkpoints under <data>/ckpt"),
+		workers:   fs.Int("workers", 0, "placement worker pool size (0: half the CPUs, min 1)"),
+		quota:     fs.Int("quota", 0, "max active (queued+running) jobs per tenant; 0 = unlimited (exceeding returns HTTP 429)"),
+		ckptEvr:   fs.Int("checkpoint-every", 25, "checkpoint cadence in SA steps per run (smaller loses less work on a kill)"),
+		progEvr:   fs.Int("progress-every", 10, "SSE step-event cadence in SA steps (0 streams lifecycle events only)"),
+		drainSec:  fs.Int("drain-timeout", 60, "seconds to wait for running jobs to checkpoint on shutdown"),
+		benchOut:  fs.String("bench-out", "", "run the self-contained service load drive and write its BENCH_*.json entries to this file (skips serving)"),
+		sloConfig: fs.String("slo-config", "", "JSON file declaring the SLO objectives served on /v1/slo (default: built-in availability/latency/drift objectives)"),
+		version:   fs.Bool("version", false, "print the build version and exit"),
 	}
 	fs.Usage = func() {
 		fmt.Fprint(fs.Output(), usageHeader)
@@ -86,57 +92,71 @@ func main() {
 		ckptEvr, progEvr, drainSec = f.ckptEvr, f.progEvr, f.drainSec
 		benchOut                   = f.benchOut
 	)
+	if *f.version {
+		fmt.Println("tap25d-server", buildinfo.Version())
+		return
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("version", buildinfo.Version())
 
 	if *benchOut != "" {
 		if err := runBench(*benchOut, *workers); err != nil {
-			fmt.Fprintln(os.Stderr, "tap25d-server:", err)
+			log.Error("bench drive failed", "error", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	obs := tap25d.NewObserver()
+	var slo *obs.SLOConfig
+	if *f.sloConfig != "" {
+		var err error
+		if slo, err = obs.LoadSLOConfig(*f.sloConfig); err != nil {
+			log.Error("loading SLO config", "error", err)
+			os.Exit(1)
+		}
+	}
 	svc, err := service.New(service.Config{
 		DataDir:         *dataDir,
 		Workers:         *workers,
 		TenantQuota:     *quota,
 		CheckpointEvery: *ckptEvr,
 		ProgressEvery:   *progEvr,
-		Observer:        obs,
+		Observer:        tap25d.NewObserver(),
+		Logger:          log,
+		SLO:             slo,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tap25d-server:", err)
+		log.Error("opening service state", "error", err)
 		os.Exit(1)
 	}
 	svc.Start()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tap25d-server:", err)
+		log.Error("listen failed", "addr", *addr, "error", err)
 		os.Exit(1)
 	}
 	srv := &http.Server{Handler: service.Handler(svc)}
 	go func() {
 		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, "tap25d-server: serve:", err)
+			log.Error("serve failed", "error", err)
 			os.Exit(1)
 		}
 	}()
-	fmt.Printf("tap25d-server: serving on %s, state in %s\n", ln.Addr(), *dataDir)
+	log.Info("serving", "addr", ln.Addr().String(), "data", *dataDir)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("tap25d-server: draining (intake stopped, checkpointing running jobs)")
+	log.Info("draining: intake stopped, checkpointing running jobs")
 
 	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSec)*time.Second)
 	defer cancel()
 	srv.Shutdown(ctx)
 	if err := svc.Drain(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "tap25d-server:", err)
+		log.Error("drain failed", "error", err)
 		os.Exit(1)
 	}
-	fmt.Println("tap25d-server: drained cleanly")
+	log.Info("drained cleanly")
 }
 
 // runBench spins up an in-process server on a loopback port, drives it with

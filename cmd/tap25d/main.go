@@ -28,11 +28,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"tap25d"
+	"tap25d/internal/buildinfo"
+	"tap25d/internal/obs"
+	"tap25d/internal/placer"
 )
 
 // cliFlags collects every flag of the command. newFlagSet registers them on a
@@ -52,6 +57,8 @@ type cliFlags struct {
 	debugAddr, obsReport                  *string
 	strictRes, noRecover                  *bool
 	evalBudget                            *int
+	tracePath                             *string
+	version                               *bool
 }
 
 const usageHeader = `Usage: tap25d -system NAME | -json FILE [options]
@@ -96,6 +103,8 @@ func newFlagSet(name string) (*flag.FlagSet, *cliFlags) {
 		strictRes:  fs.Bool("strict-resume", false, "fail on a corrupt newest checkpoint instead of the default fallback to the previous generation"),
 		noRecover:  fs.Bool("no-recover", false, "disable the thermal solver's CG recovery ladder that is on by default (non-convergence fails immediately)"),
 		evalBudget: fs.Int("eval-failure-budget", 0, "skip up to N consecutive transiently-failed SA steps per run (0: fail fast)"),
+		tracePath:  fs.String("trace", "", "write a span trace of the flow to this JSONL file; a CRC-sealed manifest lands beside it (see docs/OBSERVABILITY.md)"),
+		version:    fs.Bool("version", false, "print the build version and exit"),
 	}
 	fs.Usage = func() {
 		fmt.Fprint(fs.Output(), usageHeader)
@@ -116,7 +125,13 @@ func main() {
 		journal, progEvery                    = f.journal, f.progEvery
 		debugAddr, obsReport                  = f.debugAddr, f.obsReport
 		strictRes, noRecover, evalBudget      = f.strictRes, f.noRecover, f.evalBudget
+		tracePath                             = f.tracePath
 	)
+	if *f.version {
+		fmt.Println("tap25d", buildinfo.Version())
+		return
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	sys, err := loadSystem(*systemName, *jsonPath)
 	if err != nil {
@@ -142,10 +157,10 @@ func main() {
 		DisableRecovery:   *noRecover,
 		EvalFailureBudget: *evalBudget,
 	}
-	// Observability: -debug-addr and -obs-report both need a live observer;
-	// the table on stderr comes for free once one exists.
+	// Observability: -debug-addr, -obs-report and -trace all need a live
+	// observer; the table on stderr comes for free once one exists.
 	var observer *tap25d.Observer
-	if *debugAddr != "" || *obsReport != "" {
+	if *debugAddr != "" || *obsReport != "" || *tracePath != "" {
 		observer = tap25d.NewObserver()
 		opt.Observer = observer
 	}
@@ -155,7 +170,25 @@ func main() {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "tap25d: debug server on http://%s (/metrics, /run, /debug/pprof/)\n", srv.Addr())
+		log.Info("debug server up", "url", "http://"+srv.Addr(), "endpoints", "/metrics /run /debug/pprof/")
+	}
+	// -trace: mint a trace ID for this invocation, open the durable sink, and
+	// thread the ID plus a root span through the flow's context so every span
+	// down to the CG solves lands in the file under one trace.
+	var traceSink *obs.TraceSink
+	var rootSpan *obs.Span
+	traceID := ""
+	if *tracePath != "" {
+		traceID = fmt.Sprintf("tr-cli-%x", time.Now().UnixNano())
+		traceSink, err = obs.NewTraceSink(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		observer.AttachTraceSink(traceID, traceSink)
+		tctx := obs.ContextWithTrace(ctx, traceID)
+		rootSpan = observer.StartSpanCtx(tctx, obs.PhaseJobExecute, sys.Name)
+		opt.Context = obs.ContextWithSpan(tctx, rootSpan)
+		log.Info("tracing flow", "trace", traceID, "file", *tracePath)
 	}
 	var sink *tap25d.JSONLSink
 	if *journal != "" {
@@ -171,8 +204,8 @@ func main() {
 	if *ckptDir != "" {
 		store = &tap25d.CheckpointStore{Dir: *ckptDir, Strict: *strictRes}
 		store.Events = func(e tap25d.RunEvent) {
-			fmt.Fprintf(os.Stderr, "tap25d: run %d: newest checkpoint rejected (%s); resuming from the previous generation at step %d\n",
-				e.Run, e.Error, e.Step)
+			log.Warn("newest checkpoint rejected; resuming from the previous generation",
+				"run", e.Run, "step", e.Step, "error", e.Error, "trace", traceID)
 			if sink != nil {
 				sink.Emit(e)
 			}
@@ -199,13 +232,28 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -mode %q", *mode))
 	}
+	if rootSpan != nil {
+		rootSpan.End()
+	}
+	if traceSink != nil {
+		observer.DetachTraceSink(traceID)
+		m := traceSink.Manifest(traceID, "")
+		if cerr := traceSink.Close(); cerr != nil {
+			log.Warn("trace file write trouble", "trace", traceID, "error", cerr)
+		}
+		if serr := placer.WriteSealedFile(*tracePath+".manifest.json", "tap25d-trace", m); serr != nil {
+			log.Warn("sealing trace manifest", "trace", traceID, "error", serr)
+		} else {
+			log.Info("trace written", "trace", traceID, "file", *tracePath, "spans", m.Spans)
+		}
+	}
 	interrupted := err != nil && res != nil &&
 		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 	if err != nil && !interrupted {
 		fatal(err)
 	}
 	if interrupted {
-		fmt.Fprintf(os.Stderr, "tap25d: interrupted: %v\n", err)
+		log.Warn("interrupted", "error", err, "trace", traceID)
 		fmt.Println("reporting best solution found before the interruption:")
 		if *ckptDir != "" {
 			fmt.Printf("checkpoints saved under %s; rerun with -resume to continue\n", *ckptDir)

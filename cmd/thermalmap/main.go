@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"tap25d"
+	"tap25d/internal/buildinfo"
 	"tap25d/internal/surrogate"
 )
 
@@ -39,8 +40,13 @@ func main() {
 		noRecover  = flag.Bool("no-recover", false, "disable the thermal solver's CG recovery ladder (non-convergence fails immediately)")
 		compareSur = flag.Int("compare-surrogate", 0, "fit the analytical thermal surrogate from N random perturbations of the placement and report its predicted-vs-exact error (0: off)")
 		seed       = flag.Int64("seed", 1, "random seed for -compare-surrogate perturbations")
+		version    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("thermalmap", buildinfo.Version())
+		return
+	}
 
 	sys, p, err := load(*systemName, *jsonPath, *placement)
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"tap25d/internal/metrics"
+	"tap25d/internal/obs"
 )
 
 // TestPackageComments enforces the godoc convention on every package of the
@@ -143,6 +144,30 @@ func TestCountersDocumented(t *testing.T) {
 	for key := range inDocs {
 		if !inCode[key] {
 			t.Errorf("docs/OPERATIONS.md documents counter %q, which does not exist in metrics.Counters", key)
+		}
+	}
+}
+
+// TestSLOGaugesDocumented keeps the SLO export surface and its reference in
+// lockstep: every tap25d_slo_* gauge family /metrics emits (the names are
+// enumerated by obs.SLOGaugeNames) must be documented in
+// docs/OBSERVABILITY.md, so adding a gauge without touching the runbook
+// fails the docs gate. tap25d_build_info rides on the same check — it is
+// version-stamped alongside the SLO gauges and operators discover both the
+// same way.
+func TestSLOGaugesDocumented(t *testing.T) {
+	names := obs.SLOGaugeNames()
+	if len(names) < 5 {
+		t.Fatalf("obs.SLOGaugeNames yields only %d names — enumeration regressed", len(names))
+	}
+	data, err := os.ReadFile(filepath.Join("docs", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, name := range append(names, "tap25d_build_info") {
+		if !strings.Contains(text, name) {
+			t.Errorf("gauge %q is exported on /metrics but not documented in docs/OBSERVABILITY.md", name)
 		}
 	}
 }

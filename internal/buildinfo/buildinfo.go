@@ -1,0 +1,30 @@
+// Package buildinfo exposes the binary's stamped version string. Release
+// builds inject it at link time:
+//
+//	go build -ldflags "-X tap25d/internal/buildinfo.version=v1.2.3" ./cmd/...
+//
+// Unstamped builds fall back to the module version recorded by the Go
+// toolchain (go install module@version), then to "dev". Every CLI surfaces
+// the value behind a -version flag, the service reports it on /v1/healthz,
+// and /metrics exports it as the tap25d_build_info gauge so dashboards can
+// correlate a regression with the deploy that introduced it.
+package buildinfo
+
+import "runtime/debug"
+
+// version is the -ldflags -X injection point.
+var version string
+
+// Version returns the stamped version, the toolchain-recorded module version,
+// or "dev".
+func Version() string {
+	if version != "" {
+		return version
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			return v
+		}
+	}
+	return "dev"
+}

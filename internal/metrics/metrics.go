@@ -93,6 +93,9 @@ type Counters struct {
 	// JobsDeduped counts submissions answered with an existing job because
 	// the (tenant, idempotency key) pair was already known.
 	JobsDeduped int64 `json:"jobs_deduped,omitempty"`
+	// JobsEventsDropped counts SSE events dropped on slow subscribers
+	// instead of blocking the placement worker.
+	JobsEventsDropped int64 `json:"jobs_events_dropped,omitempty"`
 }
 
 // Each calls f with every counter's stable snake_case JSON name and value, in
@@ -127,6 +130,7 @@ func (c Counters) Each(f func(name string, v int64)) {
 	f("jobs_resumed", c.JobsResumed)
 	f("jobs_quota_rejected", c.JobsQuotaRejected)
 	f("jobs_deduped", c.JobsDeduped)
+	f("jobs_events_dropped", c.JobsEventsDropped)
 }
 
 // Merge adds o into c.
@@ -158,6 +162,7 @@ func (c *Counters) Merge(o Counters) {
 	c.JobsResumed += o.JobsResumed
 	c.JobsQuotaRejected += o.JobsQuotaRejected
 	c.JobsDeduped += o.JobsDeduped
+	c.JobsEventsDropped += o.JobsEventsDropped
 }
 
 // IsZero reports whether no counter has been incremented.
@@ -185,11 +190,11 @@ func (c Counters) String() string {
 		c.SurrogatePrescreens, c.SurrogateRejects, c.SurrogateAudits, c.SurrogateRefits)
 	if c.JobsSubmitted != 0 || c.JobsCompleted != 0 || c.JobsFailed != 0 ||
 		c.JobsCanceled != 0 || c.JobsResumed != 0 ||
-		c.JobsQuotaRejected != 0 || c.JobsDeduped != 0 {
+		c.JobsQuotaRejected != 0 || c.JobsDeduped != 0 || c.JobsEventsDropped != 0 {
 		s += fmt.Sprintf(" jobs=%d/%d/%d/%d/%d (submit/done/fail/cancel/resume) "+
-			"job_rejects=%d/%d (quota/dedup)",
+			"job_rejects=%d/%d (quota/dedup) events_dropped=%d",
 			c.JobsSubmitted, c.JobsCompleted, c.JobsFailed, c.JobsCanceled, c.JobsResumed,
-			c.JobsQuotaRejected, c.JobsDeduped)
+			c.JobsQuotaRejected, c.JobsDeduped, c.JobsEventsDropped)
 	}
 	return s
 }

@@ -54,13 +54,14 @@ func TestStringStableOrder(t *testing.T) {
 		StepEvalSkipped: 4, CkptWriteRetries: 2, ResumeFallbacks: 1,
 		SurrogatePrescreens: 20, SurrogateRejects: 12, SurrogateAudits: 3, SurrogateRefits: 1,
 		JobsSubmitted: 8, JobsCompleted: 5, JobsFailed: 1, JobsCanceled: 2, JobsResumed: 3,
-		JobsQuotaRejected: 4, JobsDeduped: 6,
+		JobsQuotaRejected: 4, JobsDeduped: 6, JobsEventsDropped: 7,
 	}
 	want := "evals=11 cache=2/9 (hit/miss) solves=9 cg_iters=123 " +
 		"assembles=1/7/1 (full/delta/skip) routes=9 ckpts=3 resumes=1 " +
 		"recovery=2/1 (cold/ssor) skipped_steps=4 ckpt_retries=2 resume_fallbacks=1 " +
 		"surrogate=20/12/3/1 (prescreen/reject/audit/refit) " +
-		"jobs=8/5/1/2/3 (submit/done/fail/cancel/resume) job_rejects=4/6 (quota/dedup)"
+		"jobs=8/5/1/2/3 (submit/done/fail/cancel/resume) job_rejects=4/6 (quota/dedup) " +
+		"events_dropped=7"
 	if s := c.String(); s != want {
 		t.Fatalf("populated counters:\n got %q\nwant %q", s, want)
 	}

@@ -1,0 +1,148 @@
+package obs
+
+import "fmt"
+
+// SA convergence anomaly detection. The observer already keeps a per-run SA
+// time series and counter snapshots; this file watches them for two failure
+// signatures that historically meant a run was wasting its step budget:
+//
+//   - Stalled improvement: the run keeps accepting moves (the anneal is not
+//     simply converged and declining everything) but its best solution has
+//     not improved for a long window well before the schedule's end. A
+//     mis-tuned temperature schedule or a degenerate cost landscape looks
+//     exactly like this.
+//
+//   - CG iteration inflation: the recent iterations-per-thermal-solve ratio
+//     is a multiple of the run's own overall mean. Warm starts are being
+//     wasted, or the solver is drifting toward its recovery ladder — worth
+//     flagging long before solves actually fail.
+//
+// Checks run inside RecordSAStep's critical section at a fixed cadence and
+// touch only state already in cache, so the per-step cost is a counter
+// compare. Detected anomalies are buffered per run: the placer drains them
+// with TakeAnomalies and emits them as "anomaly" journal events, and the
+// extension counters anomaly_stalled_improvement /
+// anomaly_cg_iteration_inflation make them scrapeable.
+
+// Anomaly kinds.
+const (
+	AnomalyStalledImprovement = "stalled_improvement"
+	AnomalyCGInflation        = "cg_iteration_inflation"
+)
+
+// Anomaly is one detected convergence irregularity of an annealing run.
+type Anomaly struct {
+	Run  int `json:"run"`
+	Step int `json:"step"`
+	// Kind is AnomalyStalledImprovement or AnomalyCGInflation.
+	Kind string `json:"kind"`
+	// Detail is a human-readable account of the triggering measurements.
+	Detail string `json:"detail"`
+}
+
+const (
+	// anomalyCheckEvery is the detection cadence in SA steps.
+	anomalyCheckEvery = 64
+	// anomalyStallWindow is how many steps without a best-solution
+	// improvement count as stalled (also the re-arm cooldown).
+	anomalyStallWindow = 256
+	// anomalyStallMinAccept gates the stall check: below this acceptance
+	// rate the anneal is converging normally, not stalled.
+	anomalyStallMinAccept = 0.15
+	// anomalyStallMaxProgress disarms the stall check near the schedule end,
+	// where a flat best is the expected outcome.
+	anomalyStallMaxProgress = 0.9
+	// anomalyCGFactor flags a recent iterations-per-solve ratio above this
+	// multiple of the run's overall mean.
+	anomalyCGFactor = 2.0
+	// anomalyCGMinSolves is the minimum thermal solves in the recent window
+	// (and overall) before the inflation ratio is meaningful.
+	anomalyCGMinSolves = 16
+)
+
+// anomalyState is the per-run detector state, guarded by the observer mutex.
+type anomalyState struct {
+	pending []Anomaly
+
+	lastCheckStep int
+	// Stalled-improvement tracking.
+	bestT, bestW    float64
+	haveBest        bool
+	lastImproveStep int
+	stallEmitStep   int
+	// CG-inflation tracking: counter snapshot at the previous check.
+	lastCG, lastSolves int64
+	cgEmitStep         int
+}
+
+// checkAnomaliesLocked advances the detector by one SA step. Caller holds
+// o.mu (it runs inside RecordSAStep).
+func (o *Observer) checkAnomaliesLocked(rs *runState, run, steps int, p SAPoint) {
+	a := &rs.anom
+	if !a.haveBest || p.BestTempC != a.bestT || p.BestWirelengthMM != a.bestW {
+		a.bestT, a.bestW = p.BestTempC, p.BestWirelengthMM
+		a.haveBest = true
+		a.lastImproveStep = p.Step
+	}
+	if p.Step-a.lastCheckStep < anomalyCheckEvery {
+		return
+	}
+	a.lastCheckStep = p.Step
+
+	// Stalled improvement.
+	progress := 0.0
+	if steps > 0 {
+		progress = float64(p.Step) / float64(steps)
+	}
+	if p.Step-a.lastImproveStep >= anomalyStallWindow &&
+		p.AcceptRate >= anomalyStallMinAccept &&
+		progress < anomalyStallMaxProgress &&
+		p.Step-a.stallEmitStep >= anomalyStallWindow {
+		a.stallEmitStep = p.Step
+		a.pending = append(a.pending, Anomaly{
+			Run: run, Step: p.Step, Kind: AnomalyStalledImprovement,
+			Detail: fmt.Sprintf("no best improvement for %d steps at accept rate %.2f (%.0f%% through schedule)",
+				p.Step-a.lastImproveStep, p.AcceptRate, 100*progress),
+		})
+		o.addLocked("anomaly_"+AnomalyStalledImprovement, 1)
+	}
+
+	// CG iteration inflation. Counters lag RecordSAStep by one step (the
+	// placer refreshes them right after), which is noise at this cadence.
+	c := rs.status.Counters
+	dCG := c.CGIterations - a.lastCG
+	dSolves := c.ThermalSolves - a.lastSolves
+	a.lastCG, a.lastSolves = c.CGIterations, c.ThermalSolves
+	if dSolves >= anomalyCGMinSolves && c.ThermalSolves >= 2*anomalyCGMinSolves &&
+		p.Step-a.cgEmitStep >= anomalyStallWindow {
+		recent := float64(dCG) / float64(dSolves)
+		overall := float64(c.CGIterations) / float64(c.ThermalSolves)
+		if overall > 0 && recent > anomalyCGFactor*overall {
+			a.cgEmitStep = p.Step
+			a.pending = append(a.pending, Anomaly{
+				Run: run, Step: p.Step, Kind: AnomalyCGInflation,
+				Detail: fmt.Sprintf("recent CG iterations/solve %.1f vs run mean %.1f (%d solves in window)",
+					recent, overall, dSolves),
+			})
+			o.addLocked("anomaly_"+AnomalyCGInflation, 1)
+		}
+	}
+}
+
+// TakeAnomalies drains the run's pending anomalies, oldest first. The placer
+// polls it after each recorded step and turns the results into journal
+// events.
+func (o *Observer) TakeAnomalies(run int) []Anomaly {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	rs, ok := o.runs[run]
+	if !ok || len(rs.anom.pending) == 0 {
+		return nil
+	}
+	out := rs.anom.pending
+	rs.anom.pending = nil
+	return out
+}

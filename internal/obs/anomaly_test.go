@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"testing"
+
+	"tap25d/internal/metrics"
+)
+
+// TestAnomalyStalledImprovement feeds a run that keeps accepting moves while
+// its best solution stays flat: the detector must flag it once the stall
+// window elapses, then re-arm only after the cooldown.
+func TestAnomalyStalledImprovement(t *testing.T) {
+	o := New()
+	for step := 1; step <= 600; step++ {
+		o.RecordSAStep(0, 10000, SAPoint{
+			Step: step, AcceptRate: 0.5,
+			BestTempC: 80, BestWirelengthMM: 10,
+		})
+	}
+	// Checks fire every 64 steps; with the last improvement at step 1 the
+	// first stall lands at step 320 and the cooldown re-arms it at 576.
+	got := o.TakeAnomalies(0)
+	if len(got) != 2 {
+		t.Fatalf("anomalies %+v, want 2 stall reports (initial + one after cooldown)", got)
+	}
+	for _, a := range got {
+		if a.Kind != AnomalyStalledImprovement || a.Run != 0 || a.Detail == "" {
+			t.Fatalf("anomaly %+v, want %s on run 0 with detail", a, AnomalyStalledImprovement)
+		}
+	}
+	if got[0].Step != 320 || got[1].Step != 576 {
+		t.Fatalf("stall steps %d/%d, want 320/576", got[0].Step, got[1].Step)
+	}
+	if n := o.extraSnapshot()["anomaly_"+AnomalyStalledImprovement]; n != 2 {
+		t.Fatalf("anomaly counter = %d, want 2", n)
+	}
+	// Drained: a second take is empty.
+	if again := o.TakeAnomalies(0); again != nil {
+		t.Fatalf("second TakeAnomalies returned %+v", again)
+	}
+}
+
+// TestAnomalyStallSuppressed covers the disarm conditions: an improving best,
+// a near-frozen acceptance rate, and the schedule tail must all stay quiet.
+func TestAnomalyStallSuppressed(t *testing.T) {
+	cases := []struct {
+		name  string
+		point func(step int) SAPoint
+	}{
+		{"improving best", func(step int) SAPoint {
+			return SAPoint{Step: step, AcceptRate: 0.5, BestTempC: 100 - float64(step)/10}
+		}},
+		{"low accept rate", func(step int) SAPoint {
+			return SAPoint{Step: step, AcceptRate: 0.05, BestTempC: 80}
+		}},
+	}
+	for _, c := range cases {
+		o := New()
+		for step := 1; step <= 600; step++ {
+			o.RecordSAStep(0, 10000, c.point(step))
+		}
+		if got := o.TakeAnomalies(0); got != nil {
+			t.Errorf("%s: spurious anomalies %+v", c.name, got)
+		}
+	}
+	// Schedule tail: the same flat trace as the stall test, but every check
+	// past the stall window lands beyond 90% of the budget, where a flat best
+	// is the expected outcome.
+	o := New()
+	for step := 1; step <= 340; step++ {
+		o.RecordSAStep(0, 350, SAPoint{Step: step, AcceptRate: 0.5, BestTempC: 80})
+	}
+	if got := o.TakeAnomalies(0); got != nil {
+		t.Errorf("schedule tail: spurious anomalies %+v", got)
+	}
+}
+
+// TestAnomalyCGInflation drives the iterations-per-solve ratio: a baseline
+// window at 10 iters/solve followed by a window at 100 must trip the
+// detector, and the detail names the measured ratios.
+func TestAnomalyCGInflation(t *testing.T) {
+	o := New()
+	quiet := SAPoint{AcceptRate: 0.05, BestTempC: 80} // accept rate below the stall gate
+
+	o.SetRunCounters(1, metrics.Counters{ThermalSolves: 320, CGIterations: 3200})
+	p := quiet
+	p.Step = 64
+	o.RecordSAStep(1, 10000, p) // baseline check: ratio matches the mean, no anomaly
+
+	o.SetRunCounters(1, metrics.Counters{ThermalSolves: 352, CGIterations: 6400})
+	p.Step = 320
+	o.RecordSAStep(1, 10000, p) // recent window: 3200 iters over 32 solves
+
+	got := o.TakeAnomalies(1)
+	if len(got) != 1 || got[0].Kind != AnomalyCGInflation {
+		t.Fatalf("anomalies %+v, want one %s", got, AnomalyCGInflation)
+	}
+	if got[0].Run != 1 || got[0].Step != 320 || got[0].Detail == "" {
+		t.Fatalf("anomaly %+v, want run 1 at step 320 with detail", got[0])
+	}
+	if n := o.extraSnapshot()["anomaly_"+AnomalyCGInflation]; n != 1 {
+		t.Fatalf("anomaly counter = %d, want 1", n)
+	}
+}
+
+// TestAnomalyCGInflationNeedsVolume checks the minimum-solve gate: a huge
+// ratio over a tiny window is noise, not an anomaly.
+func TestAnomalyCGInflationNeedsVolume(t *testing.T) {
+	o := New()
+	quiet := SAPoint{AcceptRate: 0.05, BestTempC: 80}
+
+	o.SetRunCounters(1, metrics.Counters{ThermalSolves: 320, CGIterations: 3200})
+	p := quiet
+	p.Step = 64
+	o.RecordSAStep(1, 10000, p)
+
+	// Only 4 solves in the window — below anomalyCGMinSolves.
+	o.SetRunCounters(1, metrics.Counters{ThermalSolves: 324, CGIterations: 3200 + 4*100})
+	p.Step = 320
+	o.RecordSAStep(1, 10000, p)
+
+	if got := o.TakeAnomalies(1); got != nil {
+		t.Fatalf("low-volume window tripped the detector: %+v", got)
+	}
+}
+
+// TestTakeAnomaliesNilSafe covers the disabled and unknown-run paths.
+func TestTakeAnomaliesNilSafe(t *testing.T) {
+	var disabled *Observer
+	if got := disabled.TakeAnomalies(0); got != nil {
+		t.Fatalf("nil observer returned %+v", got)
+	}
+	if got := New().TakeAnomalies(7); got != nil {
+		t.Fatalf("unknown run returned %+v", got)
+	}
+}

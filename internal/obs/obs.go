@@ -59,6 +59,13 @@ const (
 	// a two-fidelity prescreen (microseconds; contrast with
 	// PhaseThermalSolve to see the fidelity gap).
 	PhaseSurrogateEval
+	// PhaseJobSubmit covers accepting one job into the service queue
+	// (validation, idempotency/quota checks, sealed persist).
+	PhaseJobSubmit
+	// PhaseJobExecute covers one whole job attempt on a service worker, from
+	// dispatch to terminal state or drain; every placement span of the
+	// attempt nests under it.
+	PhaseJobExecute
 	numPhases
 )
 
@@ -72,6 +79,8 @@ var phaseNames = [numPhases]string{
 	"route_solve",
 	"checkpoint_write",
 	"surrogate_eval",
+	"job_submit",
+	"job_execute",
 }
 
 func (p Phase) String() string {
@@ -91,6 +100,8 @@ type Observer struct {
 	spans    spanRing
 	cgSeq    atomic.Uint64
 	cgTraces cgRing
+	spanSeq  atomic.Uint64 // span IDs within traces (tracefile.go)
+	sinkN    atomic.Int32  // attached trace sinks, checked before taking mu
 
 	mu       sync.Mutex
 	runs     map[int]*runState
@@ -99,6 +110,8 @@ type Observer struct {
 	extraKey []string // registration order, for stable export
 	gauges   map[string]float64
 	named    map[string]*Histogram // named duration histograms (service)
+	sinks    map[string]*TraceSink // per-trace durable span sinks
+	slo      *SLOConfig            // declared objectives (slo.go)
 }
 
 // New returns an enabled Observer.
@@ -109,6 +122,7 @@ func New() *Observer {
 		extra:  make(map[string]*atomic.Int64),
 		gauges: make(map[string]float64),
 		named:  make(map[string]*Histogram),
+		sinks:  make(map[string]*TraceSink),
 	}
 }
 
@@ -158,13 +172,19 @@ func (o *Observer) Add(name string, delta int64) {
 		return
 	}
 	o.mu.Lock()
+	o.addLocked(name, delta)
+	o.mu.Unlock()
+}
+
+// addLocked is Add for callers already holding o.mu (the anomaly detector
+// runs inside RecordSAStep's critical section).
+func (o *Observer) addLocked(name string, delta int64) {
 	c, ok := o.extra[name]
 	if !ok {
 		c = new(atomic.Int64)
 		o.extra[name] = c
 		o.extraKey = append(o.extraKey, name)
 	}
-	o.mu.Unlock()
 	c.Add(delta)
 }
 
@@ -315,6 +335,7 @@ type runState struct {
 	series []SAPoint // ring
 	next   int       // next write slot
 	filled bool
+	anom   anomalyState // convergence-anomaly detector state (anomaly.go)
 }
 
 func (o *Observer) run(r int) *runState {
@@ -349,6 +370,7 @@ func (o *Observer) RecordSAStep(run, steps int, p SAPoint) {
 	rs.status.BestWirelengthMM = p.BestWirelengthMM
 	rs.status.AcceptRate = p.AcceptRate
 	rs.status.State = "running"
+	o.checkAnomaliesLocked(rs, run, steps, p)
 }
 
 // SetRunState marks a lifecycle transition of a run ("checkpoint", "resumed",

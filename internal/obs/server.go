@@ -8,16 +8,23 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sort"
+	"strconv"
 	"time"
+
+	"tap25d/internal/buildinfo"
 )
 
 // Handler builds the debug mux for o:
 //
-//	/metrics       Prometheus text exposition (histograms, counters, run gauges)
+//	/metrics       Prometheus text exposition (histograms, counters, run
+//	               gauges, SLO gauges, build info)
 //	/run           JSON view of the live annealer (run statuses, recent spans,
 //	               CG convergence stats, counters)
-//	/run/series    JSON SA time series, one object per run
+//	/run/series    JSON SA time series, one object per run (?run=N selects
+//	               one run; unknown runs 404, malformed values 400)
+//	/slo           JSON view of the evaluated SLO objectives
 //	/debug/pprof/  the standard net/http/pprof handlers
 //	/debug/vars    expvar
 //	/report        the full Report as JSON
@@ -41,10 +48,28 @@ func Handler(o *Observer) http.Handler {
 	})
 	mux.HandleFunc("/run/series", func(w http.ResponseWriter, r *http.Request) {
 		series := map[string][]SAPoint{}
+		if raw := r.URL.Query().Get("run"); raw != "" {
+			run, err := strconv.Atoi(raw)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad run %q: %v", raw, err), http.StatusBadRequest)
+				return
+			}
+			pts := o.SASeries(run)
+			if pts == nil {
+				http.Error(w, fmt.Sprintf("no such run %d", run), http.StatusNotFound)
+				return
+			}
+			series[fmt.Sprintf("run%d", run)] = pts
+			writeJSON(w, series)
+			return
+		}
 		for _, rs := range o.RunStatuses() {
 			series[fmt.Sprintf("run%d", rs.Run)] = o.SASeries(rs.Run)
 		}
 		writeJSON(w, series)
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"slos": o.SLOStatuses()})
 	})
 	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, o.Report())
@@ -68,6 +93,8 @@ func writeJSON(w http.ResponseWriter, v any) {
 // writePrometheus renders the text exposition format. Duration histograms
 // are exported in seconds with cumulative le buckets, as Prometheus expects.
 func writePrometheus(w http.ResponseWriter, o *Observer) {
+	fmt.Fprintf(w, "# TYPE tap25d_build_info gauge\ntap25d_build_info{version=%q,go=%q} 1\n",
+		buildinfo.Version(), runtime.Version())
 	if o == nil {
 		fmt.Fprintln(w, "# observer disabled")
 		return
@@ -120,6 +147,7 @@ func writePrometheus(w http.ResponseWriter, o *Observer) {
 	for _, name := range names {
 		fmt.Fprintf(w, "# TYPE tap25d_extra_total counter\ntap25d_extra_total{name=%q} %d\n", name, extra[name])
 	}
+	writeSLOPrometheus(w, o.SLOStatuses())
 	for _, rs := range o.RunStatuses() {
 		l := fmt.Sprintf(`run="%d"`, rs.Run)
 		fmt.Fprintf(w, "tap25d_run_step{%s} %d\n", l, rs.Step)

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// scrapeMetrics renders /metrics through the real handler without a listener.
+func scrapeMetrics(t *testing.T, o *Observer) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	Handler(o).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	return rec.Body.String()
+}
+
+// TestRunSeriesErrorPaths pins the ?run= filter's failure modes: a
+// non-numeric value is a client error, an unknown run is a 404, and a known
+// run still serves its series alone.
+func TestRunSeriesErrorPaths(t *testing.T) {
+	o := seededObserver()
+	h := Handler(o)
+	cases := []struct {
+		url  string
+		code int
+	}{
+		{"/run/series?run=abc", 400},
+		{"/run/series?run=99", 404},
+		{"/run/series?run=0", 200},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", c.url, nil))
+		if rec.Code != c.code {
+			t.Errorf("GET %s: status %d, want %d (%s)", c.url, rec.Code, c.code, rec.Body.String())
+		}
+	}
+}
+
+// TestSLOEndpoint checks /slo serves the evaluated objectives as JSON, and an
+// observer without a config serves an empty set rather than erroring.
+func TestSLOEndpoint(t *testing.T) {
+	o := seededObserver()
+	rec := httptest.NewRecorder()
+	Handler(o).ServeHTTP(rec, httptest.NewRequest("GET", "/slo", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/slo without config: status %d", rec.Code)
+	}
+
+	o.SetSLO(DefaultSLOConfig())
+	rec = httptest.NewRecorder()
+	Handler(o).ServeHTTP(rec, httptest.NewRequest("GET", "/slo", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/slo status %d", rec.Code)
+	}
+	var payload struct {
+		SLOs []SLOStatus `json:"slos"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatalf("/slo decode: %v\n%s", err, rec.Body.String())
+	}
+	if len(payload.SLOs) != len(DefaultSLOConfig().Objectives) {
+		t.Fatalf("/slo served %d objectives, want %d: %+v",
+			len(payload.SLOs), len(DefaultSLOConfig().Objectives), payload.SLOs)
+	}
+}
+
+// TestBuildInfoExported checks tap25d_build_info is present on /metrics even
+// for a nil observer, so scrapers can always identify the binary.
+func TestBuildInfoExported(t *testing.T) {
+	if body := scrapeMetrics(t, seededObserver()); !strings.Contains(body, "tap25d_build_info{version=") {
+		t.Errorf("/metrics missing tap25d_build_info:\n%s", body)
+	}
+	rec := httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "tap25d_build_info{version=") {
+		t.Errorf("nil-observer /metrics missing tap25d_build_info:\n%s", rec.Body.String())
+	}
+}
+
+// TestReportFreshObserver checks /report renders before any run finalizes.
+func TestReportFreshObserver(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Handler(New()).ServeHTTP(rec, httptest.NewRequest("GET", "/report", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/report on fresh observer: status %d", rec.Code)
+	}
+	var rep Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("/report decode: %v", err)
+	}
+}

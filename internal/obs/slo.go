@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SLO objective kinds.
+const (
+	// SLOAvailability is a good/bad ratio objective over two counters (e.g.
+	// jobs completed vs failed): healthy while good/(good+bad) >= target.
+	SLOAvailability = "availability"
+	// SLOLatency is a quantile objective over a named duration histogram
+	// (e.g. p99 job latency under a millisecond bound).
+	SLOLatency = "latency"
+	// SLODrift is a bound on a gauge (e.g. surrogate quality-vs-exact drift
+	// RMS under the audit bound).
+	SLODrift = "drift"
+)
+
+// SLOObjective declares one service-level objective. Which fields apply
+// depends on Kind; Validate enforces the pairing.
+type SLOObjective struct {
+	// Name labels the objective on /metrics (objective="...") and /v1/slo.
+	Name string `json:"name"`
+	// Kind is one of the SLO* constants.
+	Kind string `json:"kind"`
+
+	// Availability: the ratio GoodCounter/(GoodCounter+BadCounter) must stay
+	// at or above TargetRatio. Counter names are the snake_case names of
+	// metrics.Counters fields or Observer.Add extension counters.
+	GoodCounter string  `json:"good_counter,omitempty"`
+	BadCounter  string  `json:"bad_counter,omitempty"`
+	TargetRatio float64 `json:"target_ratio,omitempty"`
+
+	// Latency: the Quantile of the named duration histogram (ObserveNamed)
+	// must stay at or below MaxMillis.
+	Histogram string  `json:"histogram,omitempty"`
+	Quantile  float64 `json:"quantile,omitempty"`
+	MaxMillis float64 `json:"max_ms,omitempty"`
+
+	// Drift: the named gauge (SetGauge) must stay at or below MaxValue.
+	Gauge    string  `json:"gauge,omitempty"`
+	MaxValue float64 `json:"max,omitempty"`
+}
+
+// Validate rejects malformed objectives.
+func (obj *SLOObjective) Validate() error {
+	if obj.Name == "" {
+		return fmt.Errorf("obs: SLO objective needs a name")
+	}
+	switch obj.Kind {
+	case SLOAvailability:
+		if obj.GoodCounter == "" || obj.BadCounter == "" {
+			return fmt.Errorf("obs: SLO %q: availability needs good_counter and bad_counter", obj.Name)
+		}
+		if obj.TargetRatio <= 0 || obj.TargetRatio > 1 {
+			return fmt.Errorf("obs: SLO %q: target_ratio must be in (0, 1]", obj.Name)
+		}
+	case SLOLatency:
+		if obj.Histogram == "" {
+			return fmt.Errorf("obs: SLO %q: latency needs histogram", obj.Name)
+		}
+		if obj.Quantile <= 0 || obj.Quantile > 1 {
+			return fmt.Errorf("obs: SLO %q: quantile must be in (0, 1]", obj.Name)
+		}
+		if obj.MaxMillis <= 0 {
+			return fmt.Errorf("obs: SLO %q: max_ms must be positive", obj.Name)
+		}
+	case SLODrift:
+		if obj.Gauge == "" {
+			return fmt.Errorf("obs: SLO %q: drift needs gauge", obj.Name)
+		}
+		if obj.MaxValue <= 0 {
+			return fmt.Errorf("obs: SLO %q: max must be positive", obj.Name)
+		}
+	default:
+		return fmt.Errorf("obs: SLO %q: unknown kind %q (want %s, %s or %s)",
+			obj.Name, obj.Kind, SLOAvailability, SLOLatency, SLODrift)
+	}
+	return nil
+}
+
+// SLOConfig declares the objectives an Observer evaluates.
+type SLOConfig struct {
+	Objectives []SLOObjective `json:"objectives"`
+}
+
+// Validate checks every objective and rejects duplicate names.
+func (c *SLOConfig) Validate() error {
+	seen := map[string]bool{}
+	for i := range c.Objectives {
+		if err := c.Objectives[i].Validate(); err != nil {
+			return err
+		}
+		if seen[c.Objectives[i].Name] {
+			return fmt.Errorf("obs: duplicate SLO objective name %q", c.Objectives[i].Name)
+		}
+		seen[c.Objectives[i].Name] = true
+	}
+	return nil
+}
+
+// DefaultSLOConfig is the service's built-in objective set: 99% of terminal
+// jobs complete, p99 job latency under a minute, and surrogate drift RMS
+// within the 2 C audit bound.
+func DefaultSLOConfig() *SLOConfig {
+	return &SLOConfig{Objectives: []SLOObjective{
+		{
+			Name: "job_availability", Kind: SLOAvailability,
+			GoodCounter: "jobs_completed", BadCounter: "jobs_failed",
+			TargetRatio: 0.99,
+		},
+		{
+			Name: "job_latency_p99", Kind: SLOLatency,
+			Histogram: "job_latency", Quantile: 0.99, MaxMillis: 60000,
+		},
+		{
+			Name: "surrogate_drift", Kind: SLODrift,
+			Gauge: "surrogate_drift_rms_c", MaxValue: 2,
+		},
+	}}
+}
+
+// LoadSLOConfig reads and validates a JSON objective file (the server's
+// -slo-config flag).
+func LoadSLOConfig(path string) (*SLOConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg SLOConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("obs: parsing SLO config %s: %w", path, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
+// SetSLO installs (or replaces) the evaluated objective set. A nil config
+// clears it.
+func (o *Observer) SetSLO(cfg *SLOConfig) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.slo = cfg
+	o.mu.Unlock()
+}
+
+// SLOStatus is the evaluated state of one objective, served on /v1/slo and
+// exported as the tap25d_slo_* gauge family on /metrics.
+type SLOStatus struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Target and Current are in the objective's own unit: a ratio for
+	// availability, milliseconds for latency, the gauge's unit for drift.
+	Target  float64 `json:"target"`
+	Current float64 `json:"current"`
+	// BudgetRemaining is the unconsumed fraction of the error budget,
+	// clamped to [0, 1]: 1 = untouched, 0 = exhausted (or overrun).
+	BudgetRemaining float64 `json:"budget_remaining"`
+	// BurnRate is the error-budget consumption rate normalized so that 1.0
+	// burns exactly the budget: for availability it is the observed bad
+	// fraction over the allowed bad fraction, for latency/drift the observed
+	// value over its bound. Above 1 the objective is being violated.
+	BurnRate float64 `json:"burn_rate"`
+	Healthy  bool    `json:"healthy"`
+}
+
+// SLOStatuses evaluates every declared objective against the observer's
+// current counters, histograms and gauges. nil when disabled or no config is
+// installed.
+func (o *Observer) SLOStatuses() []SLOStatus {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	cfg := o.slo
+	o.mu.Unlock()
+	if cfg == nil || len(cfg.Objectives) == 0 {
+		return nil
+	}
+	counters := map[string]int64{}
+	o.countersTotal().Each(func(name string, v int64) { counters[name] = v })
+	for name, v := range o.extraSnapshot() {
+		counters[name] = v
+	}
+	gauges := o.gaugeSnapshot()
+
+	out := make([]SLOStatus, 0, len(cfg.Objectives))
+	for _, obj := range cfg.Objectives {
+		st := SLOStatus{Name: obj.Name, Kind: obj.Kind}
+		switch obj.Kind {
+		case SLOAvailability:
+			good := counters[obj.GoodCounter]
+			bad := counters[obj.BadCounter]
+			total := good + bad
+			st.Target = obj.TargetRatio
+			st.Current = 1
+			if total > 0 {
+				st.Current = float64(good) / float64(total)
+			}
+			st.Healthy = st.Current >= st.Target
+			allowedBad := (1 - obj.TargetRatio) * float64(total)
+			switch {
+			case total == 0:
+				st.BurnRate, st.BudgetRemaining = 0, 1
+			case allowedBad <= 0:
+				// target_ratio == 1: any bad event exhausts the budget.
+				if bad > 0 {
+					st.BurnRate, st.BudgetRemaining = float64(bad), 0
+				} else {
+					st.BurnRate, st.BudgetRemaining = 0, 1
+				}
+			default:
+				st.BurnRate = float64(bad) / allowedBad
+				st.BudgetRemaining = clamp01(1 - st.BurnRate)
+			}
+		case SLOLatency:
+			st.Target = obj.MaxMillis
+			if h := o.NamedHistogram(obj.Histogram); h != nil {
+				snap := h.Snapshot()
+				if snap.Count > 0 {
+					st.Current = float64(snap.Quantile(obj.Quantile)) / 1e6 // ns → ms
+				}
+			}
+			st.Healthy = st.Current <= st.Target
+			st.BurnRate = st.Current / st.Target
+			st.BudgetRemaining = clamp01(1 - st.BurnRate)
+		case SLODrift:
+			st.Target = obj.MaxValue
+			st.Current = gauges[obj.Gauge]
+			st.Healthy = st.Current <= st.Target
+			st.BurnRate = st.Current / st.Target
+			st.BudgetRemaining = clamp01(1 - st.BurnRate)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// SLOGaugeNames lists every tap25d_slo_* gauge family /metrics exports, one
+// sample per objective each. The docs lint requires each to be documented in
+// docs/OBSERVABILITY.md.
+func SLOGaugeNames() []string {
+	return []string{
+		"tap25d_slo_target",
+		"tap25d_slo_current",
+		"tap25d_slo_budget_remaining",
+		"tap25d_slo_burn_rate",
+		"tap25d_slo_healthy",
+	}
+}
+
+// writeSLOPrometheus renders the evaluated objectives as the tap25d_slo_*
+// gauge families.
+func writeSLOPrometheus(w io.Writer, slos []SLOStatus) {
+	if len(slos) == 0 {
+		return
+	}
+	emit := func(name string, value func(SLOStatus) float64) {
+		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		for _, s := range slos {
+			fmt.Fprintf(w, "%s{objective=%q} %g\n", name, s.Name, value(s))
+		}
+	}
+	emit("tap25d_slo_target", func(s SLOStatus) float64 { return s.Target })
+	emit("tap25d_slo_current", func(s SLOStatus) float64 { return s.Current })
+	emit("tap25d_slo_budget_remaining", func(s SLOStatus) float64 { return s.BudgetRemaining })
+	emit("tap25d_slo_burn_rate", func(s SLOStatus) float64 { return s.BurnRate })
+	emit("tap25d_slo_healthy", func(s SLOStatus) float64 {
+		if s.Healthy {
+			return 1
+		}
+		return 0
+	})
+}

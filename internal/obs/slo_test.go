@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tap25d/internal/metrics"
+)
+
+// TestSLOStatusesAvailability exercises the good/bad ratio objective: healthy
+// above target, burning budget proportionally to bad events, and current=1
+// with an untouched budget before any event.
+func TestSLOStatusesAvailability(t *testing.T) {
+	o := New()
+	o.SetSLO(&SLOConfig{Objectives: []SLOObjective{{
+		Name: "jobs", Kind: SLOAvailability,
+		GoodCounter: "jobs_completed", BadCounter: "jobs_failed", TargetRatio: 0.9,
+	}}})
+
+	st := o.SLOStatuses()
+	if len(st) != 1 || st[0].Current != 1 || !st[0].Healthy || st[0].BudgetRemaining != 1 {
+		t.Fatalf("empty observer: %+v, want current=1 healthy with full budget", st)
+	}
+
+	o.AbsorbCounters(metrics.Counters{JobsCompleted: 95, JobsFailed: 5})
+	st = o.SLOStatuses()
+	if st[0].Current != 0.95 || !st[0].Healthy {
+		t.Fatalf("95/5: %+v, want current 0.95 healthy", st[0])
+	}
+	// Allowed bad at 0.9 over 100 events is 10; 5 bad burns half the budget.
+	if !approx(st[0].BurnRate, 0.5) || !approx(st[0].BudgetRemaining, 0.5) {
+		t.Fatalf("95/5: burn %v budget %v, want 0.5/0.5", st[0].BurnRate, st[0].BudgetRemaining)
+	}
+
+	o.AbsorbCounters(metrics.Counters{JobsFailed: 20})
+	st = o.SLOStatuses()
+	if st[0].Healthy || st[0].BudgetRemaining != 0 || st[0].BurnRate <= 1 {
+		t.Fatalf("95/25: %+v, want unhealthy with exhausted budget", st[0])
+	}
+}
+
+// TestSLOStatusesLatencyAndDrift exercises the histogram-quantile and gauge
+// objectives, including unit conversion (histograms store nanoseconds, the
+// objective is in milliseconds).
+func TestSLOStatusesLatencyAndDrift(t *testing.T) {
+	o := New()
+	o.SetSLO(&SLOConfig{Objectives: []SLOObjective{
+		{Name: "lat", Kind: SLOLatency, Histogram: "job_latency", Quantile: 0.99, MaxMillis: 100},
+		{Name: "drift", Kind: SLODrift, Gauge: "surrogate_drift_rms_c", MaxValue: 2},
+	}})
+
+	for i := 0; i < 100; i++ {
+		o.ObserveNamed("job_latency", 10*time.Millisecond)
+	}
+	o.SetGauge("surrogate_drift_rms_c", 0.5)
+	byName := map[string]SLOStatus{}
+	for _, st := range o.SLOStatuses() {
+		byName[st.Name] = st
+	}
+	lat := byName["lat"]
+	if !lat.Healthy || lat.Current <= 0 || lat.Current > 100 {
+		t.Fatalf("fast latency: %+v, want healthy p99 well under 100ms", lat)
+	}
+	drift := byName["drift"]
+	if !drift.Healthy || drift.Current != 0.5 || !approx(drift.BurnRate, 0.25) {
+		t.Fatalf("drift 0.5/2: %+v, want healthy burn 0.25", drift)
+	}
+
+	// A p99 objective needs >1% of samples slow before it trips.
+	for i := 0; i < 10; i++ {
+		o.ObserveNamed("job_latency", 10*time.Second)
+	}
+	o.SetGauge("surrogate_drift_rms_c", 3)
+	byName = map[string]SLOStatus{}
+	for _, st := range o.SLOStatuses() {
+		byName[st.Name] = st
+	}
+	if byName["lat"].Healthy {
+		t.Fatalf("10s outliers left p99 healthy: %+v", byName["lat"])
+	}
+	if byName["drift"].Healthy || byName["drift"].BudgetRemaining != 0 {
+		t.Fatalf("drift 3 > bound 2 still healthy: %+v", byName["drift"])
+	}
+}
+
+// TestSLOConfigValidate rejects the malformed shapes a hand-written
+// -slo-config file could take.
+func TestSLOConfigValidate(t *testing.T) {
+	bad := []SLOObjective{
+		{Kind: SLOAvailability, GoodCounter: "a", BadCounter: "b", TargetRatio: 0.9}, // no name
+		{Name: "x", Kind: "unknown"}, // bad kind
+		{Name: "x", Kind: SLOAvailability, GoodCounter: "a", TargetRatio: 0.9}, // missing bad counter
+		{Name: "x", Kind: SLOAvailability, GoodCounter: "a", BadCounter: "b"},  // zero ratio
+		{Name: "x", Kind: SLOAvailability, GoodCounter: "a", BadCounter: "b", TargetRatio: 1.5},
+		{Name: "x", Kind: SLOLatency, Histogram: "h", Quantile: 0.99}, // no bound
+		{Name: "x", Kind: SLOLatency, Histogram: "h", MaxMillis: 10},  // no quantile
+		{Name: "x", Kind: SLODrift, MaxValue: 1},                      // no gauge
+	}
+	for i, obj := range bad {
+		if err := (&SLOConfig{Objectives: []SLOObjective{obj}}).Validate(); err == nil {
+			t.Errorf("case %d: %+v validated", i, obj)
+		}
+	}
+	dup := &SLOConfig{Objectives: []SLOObjective{
+		{Name: "same", Kind: SLODrift, Gauge: "g", MaxValue: 1},
+		{Name: "same", Kind: SLODrift, Gauge: "g2", MaxValue: 1},
+	}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate objective names validated")
+	}
+	if err := DefaultSLOConfig().Validate(); err != nil {
+		t.Errorf("DefaultSLOConfig invalid: %v", err)
+	}
+}
+
+// TestLoadSLOConfig round-trips a config file and rejects bad JSON.
+func TestLoadSLOConfig(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "slo.json")
+	os.WriteFile(good, []byte(`{"objectives":[
+		{"name":"avail","kind":"availability","good_counter":"jobs_completed","bad_counter":"jobs_failed","target_ratio":0.95}
+	]}`), 0o644)
+	cfg, err := LoadSLOConfig(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Objectives) != 1 || cfg.Objectives[0].TargetRatio != 0.95 {
+		t.Fatalf("loaded %+v", cfg)
+	}
+	badPath := filepath.Join(dir, "bad.json")
+	os.WriteFile(badPath, []byte(`{"objectives":[{"name":"x","kind":"nope"}]}`), 0o644)
+	if _, err := LoadSLOConfig(badPath); err == nil {
+		t.Fatal("invalid config loaded")
+	}
+	if _, err := LoadSLOConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+// TestSLOPrometheusExport checks that every gauge family in SLOGaugeNames
+// appears on /metrics with one labeled sample per objective, and that nothing
+// is emitted when no config is installed.
+func TestSLOPrometheusExport(t *testing.T) {
+	o := New()
+	if body := scrapeMetrics(t, o); strings.Contains(body, "tap25d_slo_") {
+		t.Fatal("SLO gauges exported without a config")
+	}
+	o.SetSLO(DefaultSLOConfig())
+	o.AbsorbCounters(metrics.Counters{JobsCompleted: 10})
+	body := scrapeMetrics(t, o)
+	for _, name := range SLOGaugeNames() {
+		if !strings.Contains(body, name+`{objective="job_availability"}`) {
+			t.Errorf("/metrics missing %s sample:\n%s", name, body)
+		}
+	}
+	if !strings.Contains(body, `tap25d_slo_healthy{objective="job_availability"} 1`) {
+		t.Errorf("healthy objective not exported as 1:\n%s", body)
+	}
+}
+
+// approx absorbs float64 accumulation error in ratio math.
+func approx(got, want float64) bool {
+	d := got - want
+	return d < 1e-9 && d > -1e-9
+}

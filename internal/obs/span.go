@@ -20,7 +20,14 @@ type Span struct {
 	parent *Span
 	phase  Phase
 	label  string
-	start  time.Time
+	// trace, id and track carry the span's run/job trace identity (see
+	// tracefile.go). They stay zero — and End skips the trace-sink dispatch
+	// entirely — unless a trace ID was attached to the span's context, so
+	// untraced flows pay nothing beyond two extra struct fields.
+	trace string
+	id    uint64
+	track uint64
+	start time.Time
 }
 
 // StartSpan opens a root span for phase. label is optional free-form detail
@@ -32,12 +39,26 @@ func (o *Observer) StartSpan(phase Phase, label string) *Span {
 	return &Span{o: o, phase: phase, label: label, start: time.Now()}
 }
 
-// Child opens a sub-span of s. A nil s yields nil.
+// Child opens a sub-span of s, inheriting its trace identity. A nil s yields
+// nil.
 func (s *Span) Child(phase Phase, label string) *Span {
 	if s == nil {
 		return nil
 	}
-	return &Span{o: s.o, parent: s, phase: phase, label: label, start: time.Now()}
+	c := &Span{o: s.o, parent: s, phase: phase, label: label, start: time.Now()}
+	if s.trace != "" {
+		c.trace, c.track = s.trace, s.track
+		c.id = s.o.spanSeq.Add(1)
+	}
+	return c
+}
+
+// Trace returns the span's trace ID ("" for untraced spans; nil-safe).
+func (s *Span) Trace() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace
 }
 
 // SetLabel replaces the span's label before End records it — for callers that
@@ -60,14 +81,26 @@ func (s *Span) End() {
 	if d < 0 {
 		d = 0
 	}
-	s.o.phases[s.phase].Observe(uint64(d))
-	s.o.spans.push(SpanRecord{
+	rec := SpanRecord{
 		Phase:      s.phase.String(),
 		Label:      s.label,
 		Parent:     s.parentPath(),
 		StartUnix:  s.start.UnixNano(),
 		DurationNS: int64(d),
-	})
+	}
+	if s.trace != "" {
+		rec.Trace = s.trace
+		rec.SpanID = s.id
+		rec.Track = s.track
+		if s.parent != nil {
+			rec.ParentID = s.parent.id
+		}
+	}
+	s.o.phases[s.phase].Observe(uint64(d))
+	s.o.spans.push(rec)
+	if s.trace != "" {
+		s.o.traceAppend(s.trace, rec)
+	}
 }
 
 // parentPath renders the ancestor chain root-first ("sa_step" or
@@ -98,6 +131,15 @@ type SpanRecord struct {
 	// StartUnix is the span's start in Unix nanoseconds.
 	StartUnix  int64 `json:"start_unix_ns"`
 	DurationNS int64 `json:"duration_ns"`
+	// Trace, SpanID, ParentID and Track identify the span inside a run/job
+	// trace (see tracefile.go): Trace is the run-level trace ID minted at job
+	// submission or CLI start, SpanID/ParentID link the span DAG, and Track
+	// groups the spans of one root (one annealing run) onto one timeline row
+	// in the Perfetto export. All are zero for spans outside any trace.
+	Trace    string `json:"trace,omitempty"`
+	SpanID   uint64 `json:"span_id,omitempty"`
+	ParentID uint64 `json:"parent_id,omitempty"`
+	Track    uint64 `json:"track,omitempty"`
 }
 
 // spanRingCap bounds the recent-span ring: enough to show the last few SA
@@ -160,9 +202,30 @@ func SpanFromContext(ctx context.Context) *Span {
 	return s
 }
 
+type traceCtxKey struct{}
+
+// ContextWithTrace attaches a run/job trace ID to ctx. Every span opened
+// downstream via StartSpanCtx inherits it (directly or through its parent)
+// and, when a TraceSink is attached for that ID, is durably appended to the
+// trace file on End.
+func ContextWithTrace(ctx context.Context, trace string) context.Context {
+	if trace == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, trace)
+}
+
+// TraceFromContext returns the trace ID attached by ContextWithTrace, or "".
+func TraceFromContext(ctx context.Context) string {
+	t, _ := ctx.Value(traceCtxKey{}).(string)
+	return t
+}
+
 // StartSpanCtx opens a span whose parent is the context's span when one is
 // attached, and a root span otherwise. Instrumented leaf packages (thermal,
-// route) use this so their spans nest under whatever step invoked them.
+// route) use this so their spans nest under whatever step invoked them. A
+// root span picks up the context's trace ID (ContextWithTrace) and starts a
+// new track; children inherit trace and track from their parent.
 func (o *Observer) StartSpanCtx(ctx context.Context, phase Phase, label string) *Span {
 	if o == nil {
 		return nil
@@ -170,5 +233,11 @@ func (o *Observer) StartSpanCtx(ctx context.Context, phase Phase, label string) 
 	if parent := SpanFromContext(ctx); parent != nil && parent.o == o {
 		return parent.Child(phase, label)
 	}
-	return o.StartSpan(phase, label)
+	s := o.StartSpan(phase, label)
+	if trace := TraceFromContext(ctx); trace != "" {
+		s.trace = trace
+		s.id = o.spanSeq.Add(1)
+		s.track = s.id
+	}
+	return s
 }

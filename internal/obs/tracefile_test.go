@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTraceSinkAppendManifestVerify covers the durable-trace happy path: spans
+// appended to a sink land as JSON lines, the manifest's totals describe the
+// file exactly, and Verify detects any later mutation.
+func TestTraceSinkAppendManifestVerify(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "job.trace.jsonl")
+	sink, err := NewTraceSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Append(SpanRecord{Phase: "sa_step", Trace: "tr-1", SpanID: 1, Track: 1, DurationNS: 100})
+	sink.Append(SpanRecord{Phase: "thermal_solve", Trace: "tr-1", SpanID: 2, ParentID: 1, Track: 1, DurationNS: 40})
+	m := sink.Manifest("tr-1", "job-a")
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Spans != 2 || m.TraceID != "tr-1" || m.JobID != "job-a" || m.WriteError != "" {
+		t.Fatalf("manifest %+v, want 2 clean spans of tr-1/job-a", m)
+	}
+	if err := m.Verify(path); err != nil {
+		t.Fatalf("Verify on intact file: %v", err)
+	}
+	// Any append after sealing must be detectable.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("{\"phase\":\"rogue\"}\n")
+	f.Close()
+	if err := m.Verify(path); err == nil {
+		t.Fatal("Verify accepted a file modified after sealing")
+	}
+
+	recs, err := ReadTraceRecords(mustOpen(t, path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0].Phase != "sa_step" || recs[1].ParentID != 1 {
+		t.Fatalf("read back %d records %+v", len(recs), recs)
+	}
+}
+
+// TestTraceSinkReopenReseeds covers a job resuming after a server restart:
+// re-opening an existing trace file must continue its CRC/span/byte totals so
+// the final manifest seals the whole file, not just the new tail.
+func TestTraceSinkReopenReseeds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "resume.trace.jsonl")
+	sink, err := NewTraceSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Append(SpanRecord{Phase: "sa_step", Trace: "tr-r", SpanID: 1})
+	sink.Append(SpanRecord{Phase: "sa_step", Trace: "tr-r", SpanID: 2})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sink2, err := NewTraceSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink2.Append(SpanRecord{Phase: "sa_step", Trace: "tr-r", SpanID: 3})
+	m := sink2.Manifest("tr-r", "")
+	if err := sink2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Spans != 3 {
+		t.Fatalf("manifest spans = %d after reopen, want 3 (reseed lost the first attempt)", m.Spans)
+	}
+	if err := m.Verify(path); err != nil {
+		t.Fatalf("Verify after reopen: %v", err)
+	}
+}
+
+// TestReadTraceRecordsTornTail checks crash tolerance: a partial trailing
+// line (no trailing newline, cut mid-JSON) is dropped silently, while a
+// corrupt line in the middle of the file is a real error.
+func TestReadTraceRecordsTornTail(t *testing.T) {
+	good := `{"phase":"sa_step","trace":"t","span_id":1}` + "\n" +
+		`{"phase":"thermal_solve","trace":"t","span_id":2}` + "\n"
+	recs, err := ReadTraceRecords(strings.NewReader(good + `{"phase":"sa_st`))
+	if err != nil {
+		t.Fatalf("torn tail: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("torn tail: %d records, want 2", len(recs))
+	}
+	if _, err := ReadTraceRecords(strings.NewReader(`{"bad` + "\n" + good)); err == nil {
+		t.Fatal("corrupt mid-file line accepted")
+	}
+}
+
+// TestTracedSpanPropagation checks the tentpole wiring end to end inside obs:
+// a trace ID on the context flows root → child → grandchild, every End lands
+// in the attached sink, and the records link up via span/parent IDs under one
+// trace and one track.
+func TestTracedSpanPropagation(t *testing.T) {
+	o := New()
+	path := filepath.Join(t.TempDir(), "prop.trace.jsonl")
+	sink, err := NewTraceSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.AttachTraceSink("tr-x", sink)
+
+	ctx := ContextWithTrace(context.Background(), "tr-x")
+	root := o.StartSpanCtx(ctx, PhaseSAStep, "")
+	ctx = ContextWithSpan(ctx, root)
+	child := o.StartSpanCtx(ctx, PhaseThermalSolve, "delta")
+	grand := child.Child(PhaseThermalAssemble, "")
+	grand.End()
+	child.End()
+	root.End()
+	if got := o.DetachTraceSink("tr-x"); got != sink {
+		t.Fatal("DetachTraceSink did not return the attached sink")
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadTraceRecords(mustOpen(t, path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d records, want 3", len(recs))
+	}
+	// End order is grandchild, child, root.
+	g, c, r := recs[0], recs[1], recs[2]
+	if g.Trace != "tr-x" || c.Trace != "tr-x" || r.Trace != "tr-x" {
+		t.Fatalf("trace IDs %q/%q/%q, want all tr-x", g.Trace, c.Trace, r.Trace)
+	}
+	if g.ParentID != c.SpanID || c.ParentID != r.SpanID {
+		t.Fatalf("parent linkage broken: %+v", recs)
+	}
+	if g.Track != r.Track || c.Track != r.Track || r.Track != r.SpanID {
+		t.Fatalf("track grouping broken: %+v", recs)
+	}
+}
+
+// TestUntracedSpansSkipSink checks the disabled-cost contract: spans without
+// a context trace ID carry no trace identity and never touch an attached
+// sink, even when one exists for some other trace.
+func TestUntracedSpansSkipSink(t *testing.T) {
+	o := New()
+	path := filepath.Join(t.TempDir(), "other.trace.jsonl")
+	sink, err := NewTraceSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.AttachTraceSink("tr-other", sink)
+	s := o.StartSpanCtx(context.Background(), PhaseSAStep, "")
+	s.Child(PhaseThermalSolve, "").End()
+	s.End()
+	o.DetachTraceSink("tr-other")
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m := sink.Manifest("tr-other", ""); m.Spans != 0 {
+		t.Fatalf("untraced spans leaked into the sink: %d records", m.Spans)
+	}
+	for _, rec := range o.RecentSpans() {
+		if rec.Trace != "" || rec.SpanID != 0 {
+			t.Fatalf("untraced span got trace identity: %+v", rec)
+		}
+	}
+}
+
+// TestObserveTracedSpan covers the submit-path helper: the record lands in
+// the sink with a minted span ID even though no Span object ever existed.
+func TestObserveTracedSpan(t *testing.T) {
+	o := New()
+	path := filepath.Join(t.TempDir(), "submit.trace.jsonl")
+	sink, err := NewTraceSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.AttachTraceSink("tr-s", sink)
+	o.ObserveTracedSpan("tr-s", PhaseJobSubmit, "job-1", time.Now(), 5*time.Millisecond)
+	o.DetachTraceSink("tr-s")
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadTraceRecords(mustOpen(t, path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Phase != "job_submit" || recs[0].SpanID == 0 {
+		t.Fatalf("records %+v, want one job_submit with a span ID", recs)
+	}
+	if h := o.PhaseHistogram(PhaseJobSubmit).Snapshot(); h.Count != 1 {
+		t.Fatalf("job_submit histogram count %d, want 1", h.Count)
+	}
+}
+
+// TestPerfettoGolden pins the Chrome trace-event export schema against a
+// golden file (UPDATE_GOLDEN=1 regenerates after a deliberate change). The
+// records use fixed timestamps so the output is byte-stable.
+func TestPerfettoGolden(t *testing.T) {
+	recs := []SpanRecord{
+		{Phase: "job_submit", Label: "job-1", StartUnix: 1_000_000_000, DurationNS: 2_000_000, Trace: "tr-g", SpanID: 1, Track: 1},
+		{Phase: "job_execute", Label: "job-1", StartUnix: 1_010_000_000, DurationNS: 500_000_000, Trace: "tr-g", SpanID: 2, Track: 2},
+		{Phase: "sa_step", Parent: "job_execute", StartUnix: 1_020_000_000, DurationNS: 30_000_000, Trace: "tr-g", SpanID: 3, ParentID: 2, Track: 2},
+		{Phase: "thermal_solve", Label: "delta", Parent: "job_execute/sa_step", StartUnix: 1_021_000_000, DurationNS: 20_000_000, Trace: "tr-g", SpanID: 4, ParentID: 3, Track: 2},
+		{Phase: "checkpoint_write", StartUnix: 1_060_000_000, DurationNS: 1_000_000},
+	}
+	var buf bytes.Buffer
+	if err := WritePerfettoTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	const golden = "testdata/perfetto.golden"
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Perfetto export drifted from %s (UPDATE_GOLDEN=1 to regenerate):\n%s", golden, buf.Bytes())
+	}
+}
+
+func mustOpen(t *testing.T, path string) *os.File {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}

@@ -36,6 +36,10 @@ const (
 	// snapshot was corrupt or missing and the resume fell back to the
 	// previous generation; Error carries why the newest was rejected.
 	EventResumeFallback = "resume_fallback"
+	// EventAnomaly is emitted when the observer's convergence anomaly
+	// detector flags the run (stalled improvement, CG iteration inflation);
+	// Anomaly carries the kind and Error the triggering measurements.
+	EventAnomaly = "anomaly"
 )
 
 // Event is one structured progress record of an annealing run. Events are
@@ -67,8 +71,11 @@ type Event struct {
 	// AcceptRate is accepted moves over completed steps.
 	AcceptRate float64 `json:"accept_rate"`
 	// Error carries the failure behind a step_skipped or resume_fallback
-	// event.
+	// event, or the triggering measurements of an anomaly event.
 	Error string `json:"error,omitempty"`
+	// Anomaly is the convergence-anomaly kind on anomaly events
+	// (obs.AnomalyStalledImprovement, obs.AnomalyCGInflation).
+	Anomaly string `json:"anomaly,omitempty"`
 	// Counters snapshots the evaluator's metrics (thermal solves, CG
 	// iterations, cache hits, ...) when the evaluator exposes them.
 	Counters *metrics.Counters `json:"counters,omitempty"`

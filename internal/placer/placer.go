@@ -543,7 +543,7 @@ func PlaceContext(ctx context.Context, sys *chiplet.System, ev Evaluator, opt Op
 	rng := rand.New(src)
 
 	// Initial placement: Compact-2.5D unless provided.
-	isp := opt.Obs.StartSpan(obs.PhaseInitialPlacement, "")
+	isp := opt.Obs.StartSpanCtx(ctx, obs.PhaseInitialPlacement, "")
 	var init chiplet.Placement
 	if opt.Initial != nil {
 		init = opt.Initial.Clone()
@@ -698,7 +698,7 @@ func (st *saState) anneal(ctx context.Context) (*Result, error) {
 		// top — otherwise it would draw a different perturbation.
 		st.drawsAtTop, st.kAtTop = st.src.draws, st.k
 		if err := ctx.Err(); err != nil {
-			return st.interrupt(err)
+			return st.interrupt(ctx, err)
 		}
 		step := st.step
 		if step > 0 && step%stepsPerLevel == 0 && st.k > opt.KEnd {
@@ -707,7 +707,7 @@ func (st *saState) anneal(ctx context.Context) (*Result, error) {
 				st.k = opt.KEnd
 			}
 		}
-		sp := opt.Obs.StartSpan(obs.PhaseSAStep, "")
+		sp := opt.Obs.StartSpanCtx(ctx, obs.PhaseSAStep, "")
 		nb, op, ok := neighbor(st.sys, st.grid, st.cur, st.rng, opt)
 		if !ok {
 			sp.End()
@@ -817,7 +817,7 @@ func (st *saState) anneal(ctx context.Context) (*Result, error) {
 		}
 		if opt.CheckpointEvery > 0 && opt.Checkpoint != nil &&
 			(step+1)%opt.CheckpointEvery == 0 && step+1 < opt.Steps {
-			if err := st.checkpoint(step+1, st.src.draws, st.k); err != nil {
+			if err := st.checkpoint(ctx, step+1, st.src.draws, st.k); err != nil {
 				return nil, fmt.Errorf("placer: checkpoint at step %d: %w", step+1, err)
 			}
 		}
@@ -835,7 +835,7 @@ func (st *saState) anneal(ctx context.Context) (*Result, error) {
 // original inline error path exactly.
 func (st *saState) stepEvalFailed(ctx context.Context, step int, err error) (res *Result, ferr error, skip bool) {
 	if ctx.Err() != nil {
-		res, ferr = st.interrupt(ctx.Err())
+		res, ferr = st.interrupt(ctx, ctx.Err())
 		return res, ferr, false
 	}
 	if st.opt.EvalFailureBudget > 0 && st.evalFails < st.opt.EvalFailureBudget {
@@ -874,6 +874,9 @@ func (st *saState) recordObsStep(step int, alpha, nbT, nbW, nbCost float64, acce
 	if mp, ok := st.ev.(MetricsProvider); ok {
 		o.SetRunCounters(st.opt.RunIndex, mp.Metrics())
 	}
+	for _, a := range o.TakeAnomalies(st.opt.RunIndex) {
+		st.emit(Event{Kind: EventAnomaly, Step: st.res.Steps, Anomaly: a.Kind, Error: a.Detail})
+	}
 }
 
 // finish seals the Result from the run state.
@@ -901,9 +904,9 @@ func (st *saState) finish(interrupted bool) {
 // snapshots — the whole point is not losing the in-flight run), emits an
 // EventInterrupted, and returns the Result together with the cancellation
 // cause so callers can distinguish interruption from failure.
-func (st *saState) interrupt(cause error) (*Result, error) {
+func (st *saState) interrupt(ctx context.Context, cause error) (*Result, error) {
 	if st.opt.Checkpoint != nil {
-		if err := st.checkpoint(st.step, st.drawsAtTop, st.kAtTop); err != nil {
+		if err := st.checkpoint(ctx, st.step, st.drawsAtTop, st.kAtTop); err != nil {
 			return nil, errors.Join(fmt.Errorf("placer: checkpoint on interrupt at step %d: %w", st.step, err), cause)
 		}
 	}
@@ -952,8 +955,8 @@ func (st *saState) emit(e Event) {
 
 // checkpoint snapshots the run with nextStep as the resume point and hands it
 // to the sink.
-func (st *saState) checkpoint(nextStep int, draws uint64, k float64) error {
-	sp := st.opt.Obs.StartSpan(obs.PhaseCheckpointWrite, "")
+func (st *saState) checkpoint(ctx context.Context, nextStep int, draws uint64, k float64) error {
+	sp := st.opt.Obs.StartSpanCtx(ctx, obs.PhaseCheckpointWrite, "")
 	defer sp.End()
 	cp := &Checkpoint{
 		Version:             CheckpointVersion,

@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 
+	"tap25d/internal/buildinfo"
 	"tap25d/internal/obs"
 )
 
@@ -41,7 +44,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 //	GET    /v1/jobs/{id}        one job
 //	DELETE /v1/jobs/{id}        cancel (queued → canceled; running → interrupt)
 //	GET    /v1/jobs/{id}/events Server-Sent Events stream of the job's RunEvents
-//	GET    /v1/healthz          {"status":"ok"} — "draining" with 503 during drain
+//	GET    /v1/jobs/{id}/trace  the job's span trace — raw JSONL, or Chrome/Perfetto
+//	                            trace-event JSON with ?format=perfetto
+//	GET    /v1/slo              current SLO statuses (targets, burn rates, health)
+//	GET    /v1/healthz          {"status":"ok","version":...} — "draining" with 503 during drain
 //	GET    /metrics             Prometheus text exposition (via the shared Observer)
 //
 // Error bodies follow the apiError envelope; docs/SERVICE.md is the full
@@ -62,12 +68,18 @@ func Handler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/slo", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"slos": s.obs.SLOStatuses()})
+	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		status := "ok"
+		code := http.StatusOK
 		if s.Draining() {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-			return
+			status = "draining"
+			code = http.StatusServiceUnavailable
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, code, map[string]string{"status": status, "version": buildinfo.Version()})
 	})
 	if s.obs != nil {
 		mux.Handle("GET /metrics", obs.Handler(s.obs))
@@ -111,6 +123,47 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "internal", err.Error())
 	default:
 		writeJSON(w, http.StatusOK, job)
+	}
+}
+
+// handleTrace serves a job's span trace file. The default response is the raw
+// JSON Lines file (one obs.SpanRecord per line, exactly as written);
+// ?format=perfetto converts it to Chrome trace-event JSON that Perfetto and
+// chrome://tracing open directly. Traces stream live: a running job's trace
+// can be fetched mid-run (a torn trailing line is tolerated by the converter).
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.Get(id); err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	if s.tracesDir == "" {
+		writeError(w, http.StatusNotFound, "no_trace", "tracing is disabled (service has no observer)")
+		return
+	}
+	f, err := os.Open(s.tracePath(id))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no_trace", "job has no trace file")
+		return
+	}
+	defer f.Close()
+	switch r.URL.Query().Get("format") {
+	case "":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		io.Copy(w, f)
+	case "perfetto":
+		recs, err := obs.ReadTraceRecords(f)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "bad_trace", err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		obs.WritePerfettoTrace(w, recs)
+	default:
+		writeError(w, http.StatusBadRequest, "bad_format",
+			"unknown trace format (want empty for raw JSONL or \"perfetto\")")
 	}
 }
 

@@ -22,6 +22,11 @@ const subBuffer = 64
 // and then end the stream, so subscribing to a finished job terminates
 // cleanly instead of hanging.
 type hub struct {
+	// onDrop, when non-nil, is called (outside the lock) with the number of
+	// events a Publish dropped on slow subscribers, so the service can count
+	// them on the jobs_events_dropped counter.
+	onDrop func(n int)
+
 	mu     sync.Mutex
 	topics map[string]*topic
 }
@@ -35,7 +40,9 @@ type topic struct {
 
 type subscriber struct{ dropped int64 }
 
-func newHub() *hub { return &hub{topics: map[string]*topic{}} }
+func newHub(onDrop func(n int)) *hub {
+	return &hub{onDrop: onDrop, topics: map[string]*topic{}}
+}
 
 func (h *hub) topic(id string) *topic {
 	t, ok := h.topics[id]
@@ -50,22 +57,29 @@ func (h *hub) topic(id string) *topic {
 // subscriber without blocking.
 func (h *hub) Publish(id string, e tap25d.RunEvent) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	t := h.topic(id)
 	if t.closed {
+		h.mu.Unlock()
 		return
 	}
 	t.ring = append(t.ring, e)
 	if len(t.ring) > ringSize {
 		t.ring = t.ring[1:]
 	}
+	drops := 0
 	for ch, s := range t.subs {
 		select {
 		case ch <- e:
 		default:
 			s.dropped++
 			t.dropped++
+			drops++
 		}
+	}
+	onDrop := h.onDrop
+	h.mu.Unlock()
+	if drops > 0 && onDrop != nil {
+		onDrop(drops)
 	}
 }
 

@@ -7,7 +7,7 @@ import (
 )
 
 func TestHubReplayThenLive(t *testing.T) {
-	h := newHub()
+	h := newHub(nil)
 	h.Publish("j", tap25d.RunEvent{Kind: "step", Step: 1})
 	h.Publish("j", tap25d.RunEvent{Kind: "step", Step: 2})
 
@@ -24,7 +24,7 @@ func TestHubReplayThenLive(t *testing.T) {
 }
 
 func TestHubCloseEndsStream(t *testing.T) {
-	h := newHub()
+	h := newHub(nil)
 	ch, cancel := h.Subscribe("j")
 	defer cancel()
 	h.Publish("j", tap25d.RunEvent{Kind: "final"})
@@ -47,7 +47,7 @@ func TestHubCloseEndsStream(t *testing.T) {
 }
 
 func TestHubRingBounded(t *testing.T) {
-	h := newHub()
+	h := newHub(nil)
 	for i := 0; i < ringSize+50; i++ {
 		h.Publish("j", tap25d.RunEvent{Kind: "step", Step: i})
 	}
@@ -68,7 +68,7 @@ func TestHubRingBounded(t *testing.T) {
 }
 
 func TestHubSlowSubscriberDropsNotBlocks(t *testing.T) {
-	h := newHub()
+	h := newHub(nil)
 	_, cancel := h.Subscribe("j") // never read
 	defer cancel()
 	done := make(chan struct{})

@@ -129,6 +129,10 @@ type Job struct {
 	ID    string  `json:"id"`
 	Spec  JobSpec `json:"spec"`
 	State string  `json:"state"`
+	// TraceID correlates every telemetry span of the job — from the HTTP
+	// submit through the worker's SA steps down to the CG solves — and names
+	// the records of the job's durable trace file (GET /v1/jobs/{id}/trace).
+	TraceID string `json:"trace_id,omitempty"`
 	// Seq is the submission sequence number; within one priority the queue is
 	// FIFO by Seq.
 	Seq int64 `json:"seq"`
@@ -183,4 +187,14 @@ func newJobID() string {
 		return fmt.Sprintf("job-t%x", time.Now().UnixNano())
 	}
 	return "job-" + hex.EncodeToString(b[:])
+}
+
+// newTraceID mints the run/trace identifier propagated through every span of
+// a job's execution.
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("tr-t%x", time.Now().UnixNano())
+	}
+	return "tr-" + hex.EncodeToString(b[:])
 }

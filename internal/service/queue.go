@@ -142,6 +142,7 @@ func (q *queue) Submit(spec JobSpec, now time.Time) (*Job, bool, error) {
 		ID:          newJobID(),
 		Spec:        spec,
 		State:       StateQueued,
+		TraceID:     newTraceID(),
 		Seq:         q.nextSeq,
 		SubmittedAt: now.UTC(),
 	}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -12,6 +14,7 @@ import (
 
 	"tap25d"
 	"tap25d/internal/metrics"
+	"tap25d/internal/obs"
 )
 
 // Config parameterizes a Service. The zero value of every optional field is
@@ -34,9 +37,17 @@ type Config struct {
 	// (default 10; 0 keeps lifecycle events only).
 	ProgressEvery int
 	// Observer, when non-nil, aggregates the whole service's observability:
-	// counters, queue-depth gauges, job-latency histograms; serve it with
-	// tap25d.ServeDebug to expose /metrics. nil disables observability.
+	// counters, queue-depth gauges, job-latency histograms, per-job trace
+	// files; serve it with tap25d.ServeDebug to expose /metrics. nil
+	// disables observability (jobs then carry no trace files).
 	Observer *tap25d.Observer
+	// Logger receives structured job-lifecycle logs carrying
+	// job_id/tenant/trace correlation fields. nil discards them.
+	Logger *slog.Logger
+	// SLO declares the objectives evaluated on /v1/slo and exported as
+	// tap25d_slo_* gauges. nil installs obs.DefaultSLOConfig() when an
+	// Observer is present.
+	SLO *obs.SLOConfig
 }
 
 func (c Config) workers() int {
@@ -71,10 +82,18 @@ type Service struct {
 	queue *queue
 	hub   *hub
 	obs   *tap25d.Observer
+	log   *slog.Logger
+
+	// tracesDir holds the per-job span trace files (<id>.trace.jsonl plus a
+	// sealed manifest); "" when the service runs without an Observer.
+	tracesDir string
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+
+	traceMu sync.Mutex
+	traces  map[string]*obs.TraceSink // job ID → its open trace sink
 
 	mu       sync.Mutex
 	counters metrics.Counters
@@ -99,12 +118,33 @@ func New(cfg Config) (*Service, error) {
 	s := &Service{
 		cfg:      cfg,
 		queue:    q,
-		hub:      newHub(),
 		obs:      cfg.Observer,
+		log:      cfg.Logger,
 		ctx:      ctx,
 		cancel:   cancel,
+		traces:   map[string]*obs.TraceSink{},
 		cancels:  map[string]context.CancelFunc{},
 		canceled: map[string]bool{},
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	// Slow-subscriber drops are counted, not silently swallowed: the hub
+	// reports them and the service rolls them into jobs_events_dropped.
+	s.hub = newHub(func(n int) {
+		s.count(func(c *metrics.Counters) { c.JobsEventsDropped += int64(n) })
+	})
+	if s.obs != nil {
+		s.tracesDir = filepath.Join(cfg.DataDir, "traces")
+		if err := os.MkdirAll(s.tracesDir, 0o755); err != nil {
+			cancel()
+			return nil, err
+		}
+		slo := cfg.SLO
+		if slo == nil {
+			slo = obs.DefaultSLOConfig()
+		}
+		s.obs.SetSLO(slo)
 	}
 	s.obs.SetGauge("service_requeued_on_boot", float64(requeued))
 	s.publishGauges()
@@ -190,16 +230,26 @@ func (s *Service) ckptDir(id string) string {
 }
 
 // Submit enqueues a job (or returns the existing one under the spec's
-// idempotency key).
+// idempotency key). A newly created job gets its trace file opened here, so
+// even the submission itself appears as a span under the job's trace ID.
 func (s *Service) Submit(spec JobSpec) (*Job, bool, error) {
-	j, created, err := s.queue.Submit(spec, time.Now())
+	start := time.Now()
+	j, created, err := s.queue.Submit(spec, start)
 	switch {
 	case errors.Is(err, ErrQuotaExhausted):
 		s.count(func(c *metrics.Counters) { c.JobsQuotaRejected++ })
+		s.log.Warn("job rejected: tenant quota exhausted", "tenant", spec.tenant())
 	case err == nil && created:
 		s.count(func(c *metrics.Counters) { c.JobsSubmitted++ })
+		s.attachTrace(j)
+		s.obs.ObserveTracedSpan(j.TraceID, obs.PhaseJobSubmit, j.ID, start, time.Since(start))
+		s.log.Info("job submitted",
+			"job_id", j.ID, "tenant", j.Spec.tenant(), "trace", j.TraceID,
+			"priority", j.Spec.Priority)
 	case err == nil && !created:
 		s.count(func(c *metrics.Counters) { c.JobsDeduped++ })
+		s.log.Info("job submit deduplicated",
+			"job_id", j.ID, "tenant", j.Spec.tenant(), "trace", j.TraceID)
 	}
 	s.publishGauges()
 	return j, created, err
@@ -266,8 +316,21 @@ func (s *Service) runJob(job *Job) {
 	s.publishGauges()
 	start := time.Now()
 	s.obs.ObserveNamed("job_queue_wait", start.Sub(job.SubmittedAt))
+	s.log.Info("job started",
+		"job_id", job.ID, "tenant", job.Spec.tenant(), "trace", job.TraceID,
+		"attempt", job.Attempts)
 
-	res, resumed, runErr := s.execute(jobCtx, job)
+	// Re-attach the trace sink (a restarted process re-queues running jobs,
+	// so the sink opened at submission is gone) and thread the trace ID plus
+	// a root span through the context: every span the placer, thermal solver
+	// and router open below inherits the job's trace.
+	s.attachTrace(job)
+	execCtx := obs.ContextWithTrace(jobCtx, job.TraceID)
+	root := s.obs.StartSpanCtx(execCtx, obs.PhaseJobExecute, job.ID)
+	execCtx = obs.ContextWithSpan(execCtx, root)
+
+	res, resumed, runErr := s.execute(execCtx, job)
+	root.End()
 
 	s.mu.Lock()
 	delete(s.cancels, job.ID)
@@ -309,6 +372,9 @@ func (s *Service) runJob(job *Job) {
 	if resumed {
 		s.count(func(c *metrics.Counters) { c.JobsResumed++ })
 	}
+	if res != nil && res.Surrogate != nil {
+		s.obs.SetGauge("surrogate_drift_rms_c", res.Surrogate.DriftRMSC)
+	}
 	if final != nil && final.Terminal() {
 		switch final.State {
 		case StateDone:
@@ -319,8 +385,21 @@ func (s *Service) runJob(job *Job) {
 			s.count(func(c *metrics.Counters) { c.JobsCanceled++ })
 		}
 		s.obs.ObserveNamed("job_latency", now.Sub(job.SubmittedAt))
+		s.sealTrace(final)
 		os.RemoveAll(s.ckptDir(job.ID)) // spent snapshots
 		s.hub.Close(job.ID)
+		if final.State == StateFailed {
+			s.log.Error("job failed",
+				"job_id", job.ID, "tenant", job.Spec.tenant(), "trace", job.TraceID,
+				"error", final.Error)
+		} else {
+			s.log.Info("job finished",
+				"job_id", job.ID, "tenant", job.Spec.tenant(), "trace", job.TraceID,
+				"state", final.State, "latency", now.Sub(job.SubmittedAt))
+		}
+	} else if final != nil && final.State == StateQueued {
+		s.log.Info("job interrupted, re-queued",
+			"job_id", job.ID, "tenant", job.Spec.tenant(), "trace", job.TraceID)
 	}
 	s.publishGauges()
 }

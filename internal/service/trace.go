@@ -1,0 +1,77 @@
+package service
+
+import (
+	"path/filepath"
+
+	"tap25d/internal/obs"
+	"tap25d/internal/placer"
+)
+
+// traceFormat tags the sealed per-job trace manifests.
+const traceFormat = "tap25d-trace"
+
+// tracePath is the job's durable span trace file (JSON Lines of
+// obs.SpanRecord, newest-last). Trace files live beside — not inside — the
+// checkpoint directories, which are deleted once a job reaches a terminal
+// state; the trace must outlive the job so GET /v1/jobs/{id}/trace can serve
+// finished jobs.
+func (s *Service) tracePath(id string) string {
+	return filepath.Join(s.tracesDir, id+".trace.jsonl")
+}
+
+// traceManifestPath is the sealed summary written next to a completed trace.
+func (s *Service) traceManifestPath(id string) string {
+	return filepath.Join(s.tracesDir, id+".trace.manifest.json")
+}
+
+// attachTrace opens (or re-opens, after a restart) the job's trace sink and
+// routes the job's trace ID into it. Idempotent: a job resubmitted under an
+// idempotency key or dispatched while its sink is already open keeps the
+// existing sink. Telemetry failures are counted and logged, never fatal.
+func (s *Service) attachTrace(j *Job) {
+	if s.obs == nil || j == nil || j.TraceID == "" {
+		return
+	}
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	if _, ok := s.traces[j.ID]; ok {
+		return
+	}
+	sink, err := obs.NewTraceSink(s.tracePath(j.ID))
+	if err != nil {
+		s.log.Warn("trace sink open failed", "job_id", j.ID, "trace", j.TraceID, "error", err)
+		s.obs.Add("service_trace_errors", 1)
+		return
+	}
+	s.traces[j.ID] = sink
+	s.obs.AttachTraceSink(j.TraceID, sink)
+}
+
+// sealTrace finalizes a terminal job's trace: the sink is detached so no
+// further spans route to it, closed, and its totals sealed into a
+// CRC-guarded manifest beside the file.
+func (s *Service) sealTrace(j *Job) {
+	if s.obs == nil || j == nil || j.TraceID == "" {
+		return
+	}
+	s.traceMu.Lock()
+	sink := s.traces[j.ID]
+	delete(s.traces, j.ID)
+	s.traceMu.Unlock()
+	if sink == nil {
+		return
+	}
+	s.obs.DetachTraceSink(j.TraceID)
+	m := sink.Manifest(j.TraceID, j.ID)
+	if err := sink.Close(); err != nil {
+		s.log.Warn("trace sink close failed", "job_id", j.ID, "trace", j.TraceID, "error", err)
+		s.obs.Add("service_trace_errors", 1)
+	}
+	if err := placer.WriteSealedFile(s.traceManifestPath(j.ID), traceFormat, m); err != nil {
+		s.log.Warn("trace manifest seal failed", "job_id", j.ID, "trace", j.TraceID, "error", err)
+		s.obs.Add("service_trace_errors", 1)
+		return
+	}
+	s.log.Info("trace sealed",
+		"job_id", j.ID, "trace", j.TraceID, "spans", m.Spans, "bytes", m.Bytes)
+}

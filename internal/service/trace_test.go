@@ -1,0 +1,235 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tap25d"
+	"tap25d/internal/obs"
+	"tap25d/internal/placer"
+)
+
+// TestJobTraceEndToEnd is the tentpole acceptance test: a submitted job
+// yields a durable trace whose every span carries the job's trace ID — from
+// the HTTP submit through worker execution down to the thermal solves — the
+// sealed manifest verifies the file, and both export formats serve it back.
+func TestJobTraceEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, dir, Config{})
+	job, resp := postJob(t, ts, testSpec(21))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	if job.TraceID == "" {
+		t.Fatal("submitted job has no trace_id")
+	}
+	job = waitState(t, ts, job.ID, "done")
+	if job.TraceID == "" {
+		t.Fatal("finished job lost its trace_id")
+	}
+
+	// Raw JSONL export: every record shares the job's trace ID and the
+	// pipeline layers all appear.
+	httpResp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: HTTP %d", httpResp.StatusCode)
+	}
+	if ct := httpResp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("trace Content-Type %q", ct)
+	}
+	recs, err := obs.ReadTraceRecords(httpResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("trace is empty")
+	}
+	phases := map[string]int{}
+	for _, rec := range recs {
+		if rec.Trace != job.TraceID {
+			t.Fatalf("record %+v carries trace %q, want %q", rec, rec.Trace, job.TraceID)
+		}
+		if rec.SpanID == 0 {
+			t.Fatalf("record %+v has no span ID", rec)
+		}
+		phases[rec.Phase]++
+	}
+	for _, phase := range []string{"job_submit", "job_execute", "sa_step", "thermal_solve"} {
+		if phases[phase] == 0 {
+			t.Errorf("trace has no %s spans; got %v", phase, phases)
+		}
+	}
+
+	// The sealed manifest beside the trace verifies the file byte-for-byte.
+	var m obs.TraceManifest
+	manifestPath := filepath.Join(dir, "traces", job.ID+".trace.manifest.json")
+	if err := placer.ReadSealedFile(manifestPath, "tap25d-trace", &m); err != nil {
+		t.Fatalf("reading sealed manifest: %v", err)
+	}
+	if m.TraceID != job.TraceID || m.JobID != job.ID || int(m.Spans) != len(recs) {
+		t.Fatalf("manifest %+v, want trace %s job %s with %d spans", m, job.TraceID, job.ID, len(recs))
+	}
+	if err := m.Verify(filepath.Join(dir, "traces", job.ID+".trace.jsonl")); err != nil {
+		t.Fatalf("manifest verify: %v", err)
+	}
+
+	// Perfetto export round-trips as Chrome trace-event JSON.
+	httpResp2, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/trace?format=perfetto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp2.Body.Close()
+	if httpResp2.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace?format=perfetto: HTTP %d", httpResp2.StatusCode)
+	}
+	var perfetto struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(httpResp2.Body).Decode(&perfetto); err != nil {
+		t.Fatalf("perfetto decode: %v", err)
+	}
+	if perfetto.DisplayTimeUnit != "ms" || len(perfetto.TraceEvents) != len(recs) {
+		t.Fatalf("perfetto export: unit %q, %d events, want ms and %d events",
+			perfetto.DisplayTimeUnit, len(perfetto.TraceEvents), len(recs))
+	}
+}
+
+// TestTraceEndpointErrors covers the endpoint's failure modes.
+func TestTraceEndpointErrors(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), Config{})
+	job, _ := postJob(t, ts, testSpec(22))
+	waitState(t, ts, job.ID, "done")
+
+	for _, c := range []struct {
+		url  string
+		code int
+	}{
+		{"/v1/jobs/job-nope/trace", http.StatusNotFound},
+		{"/v1/jobs/" + job.ID + "/trace?format=zipkin", http.StatusBadRequest},
+		{"/v1/jobs/" + job.ID + "/trace", http.StatusOK},
+	} {
+		resp, err := http.Get(ts.URL + c.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.code {
+			t.Errorf("GET %s: HTTP %d, want %d", c.url, resp.StatusCode, c.code)
+		}
+	}
+}
+
+// TestSLOAndHealthzEndpoints checks the operational surface riding along with
+// the trace work: /v1/slo serves the evaluated objectives and /v1/healthz
+// reports the build version.
+func TestSLOAndHealthzEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), Config{})
+
+	resp, err := http.Get(ts.URL + "/v1/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/slo: HTTP %d", resp.StatusCode)
+	}
+	var slos struct {
+		SLOs []obs.SLOStatus `json:"slos"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&slos); err != nil {
+		t.Fatal(err)
+	}
+	if len(slos.SLOs) == 0 {
+		t.Fatal("/v1/slo served no objectives; the default config should be installed")
+	}
+
+	resp2, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var hz map[string]string
+	if err := json.NewDecoder(resp2.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz["status"] != "ok" || hz["version"] == "" {
+		t.Fatalf("/v1/healthz %v, want status ok with a version", hz)
+	}
+}
+
+// TestHubDropsCounted checks the slow-subscriber contract: events dropped by
+// Publish are surfaced through the hub's drop callback.
+func TestHubDropsCounted(t *testing.T) {
+	var counted int
+	h := newHub(func(n int) { counted += n })
+	ch, cancel := h.Subscribe("job-x")
+	defer cancel()
+	// Fill the subscriber's buffer without draining, then overflow it.
+	for i := 0; i < subBuffer+5; i++ {
+		h.Publish("job-x", tap25d.RunEvent{Kind: "step", Step: i})
+	}
+	if counted != 5 {
+		t.Fatalf("onDrop counted %d events, want 5", counted)
+	}
+	if h.Dropped("job-x") != 5 {
+		t.Fatalf("hub dropped = %d, want 5", h.Dropped("job-x"))
+	}
+	// The subscriber still got the buffered prefix.
+	select {
+	case <-ch:
+	default:
+		t.Fatal("subscriber channel empty")
+	}
+}
+
+// TestDisabledObsNoTraces checks the zero-cost contract at the service layer:
+// with no observer installed, jobs run to completion without minting trace
+// files, and the trace endpoint reports not-found rather than erroring.
+func TestDisabledObsNoTraces(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Observer: nil}
+	cfg.DataDir = dir
+	cfg.Workers = 1
+	cfg.CheckpointEvery = 5
+	cfg.ProgressEvery = 5
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	defer func() {
+		ctx, cancel := testContext(t, 30*time.Second)
+		defer cancel()
+		svc.Drain(ctx)
+	}()
+	ts := httptest.NewServer(Handler(svc))
+	defer ts.Close()
+
+	job, _ := postJob(t, ts, testSpec(23))
+	waitState(t, ts, job.ID, "done")
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(string(body), "no_trace") {
+		t.Fatalf("disabled-obs trace: HTTP %d %s, want 404 no_trace", resp.StatusCode, body)
+	}
+}

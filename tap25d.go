@@ -177,6 +177,7 @@ const (
 	EventInterrupted    = placer.EventInterrupted
 	EventStepSkipped    = placer.EventStepSkipped
 	EventResumeFallback = placer.EventResumeFallback
+	EventAnomaly        = placer.EventAnomaly
 )
 
 // NewJSONLSink wraps w (typically the run journal file) as an event sink;
