@@ -7,8 +7,8 @@
 // (steps/s, req/s, x, fraction) must not drop, latency-like units (ms, ns, s)
 // must not grow, and purely informational units (C, mm, count, %) are
 // reported but never gate. Entries present on only one side are reported and
-// skipped: a new benchmark cannot regress, and a retired one cannot be
-// checked.
+// never gate: a brand-new name prints as "added" on first publication, a
+// retired one as "removed" — neither can regress, but both are visible.
 //
 // Usage:
 //
@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"tap25d/internal/buildinfo"
@@ -91,12 +92,13 @@ func main() {
 
 // verdicts of one entry's comparison.
 const (
-	verdictOK         = "ok"
-	verdictRegressed  = "REGRESSED"
-	verdictImproved   = "improved"
-	verdictInfo       = "info"
-	verdictNoBaseline = "new"
-	verdictSkipped    = "skipped"
+	verdictOK        = "ok"
+	verdictRegressed = "REGRESSED"
+	verdictImproved  = "improved"
+	verdictInfo      = "info"
+	verdictAdded     = "added"
+	verdictRemoved   = "removed"
+	verdictSkipped   = "skipped"
 )
 
 // result is one entry's comparison outcome.
@@ -112,8 +114,10 @@ type result struct {
 
 func (r result) String() string {
 	switch r.Verdict {
-	case verdictNoBaseline:
-		return fmt.Sprintf("  new        %-45s %12.3f %s (no baseline)", r.Name, r.New, r.Unit)
+	case verdictAdded:
+		return fmt.Sprintf("  added      %-45s %12.3f %s (no baseline, informational)", r.Name, r.New, r.Unit)
+	case verdictRemoved:
+		return fmt.Sprintf("  removed    %-45s %12.3f %s (not in candidate)", r.Name, r.Base, r.Unit)
 	case verdictSkipped:
 		return fmt.Sprintf("  skipped    %-45s (outside -match)", r.Name)
 	case verdictInfo:
@@ -127,7 +131,7 @@ func (r result) String() string {
 // 0 informational (never gates).
 func direction(unit string) int {
 	switch unit {
-	case "steps/s", "req/s", "x", "fraction", "ops/s", "evals/s":
+	case "steps/s", "req/s", "jobs/s", "x", "fraction", "ops/s", "evals/s":
 		return +1
 	case "ms", "ns", "us", "s":
 		return -1
@@ -138,10 +142,15 @@ func direction(unit string) int {
 
 // compare scores every candidate entry against the baseline map. Entries
 // whose name does not contain match (when non-empty) are skipped; entries
-// with an informational unit or no baseline are reported but never fail.
+// with an informational unit or no baseline are reported but never fail. A
+// brand-new candidate name is reported as "added" so a fresh scorecard entry
+// is visible on first publication, and a baseline name absent from the
+// candidate is reported as "removed" rather than silently dropped.
 func compare(base map[string]obs.BenchEntry, cand []obs.BenchEntry, tolerance float64, match string) []result {
 	out := make([]result, 0, len(cand))
+	seen := make(map[string]bool, len(cand))
 	for _, c := range cand {
+		seen[c.Name] = true
 		r := result{Name: c.Name, Unit: c.Unit, New: c.Value}
 		if match != "" && !strings.Contains(c.Name, match) {
 			r.Verdict = verdictSkipped
@@ -150,7 +159,7 @@ func compare(base map[string]obs.BenchEntry, cand []obs.BenchEntry, tolerance fl
 		}
 		b, ok := base[c.Name]
 		if !ok {
-			r.Verdict = verdictNoBaseline
+			r.Verdict = verdictAdded
 			out = append(out, r)
 			continue
 		}
@@ -174,7 +183,15 @@ func compare(base map[string]obs.BenchEntry, cand []obs.BenchEntry, tolerance fl
 		}
 		out = append(out, r)
 	}
-	return out
+	retired := make([]result, 0)
+	for name, b := range base {
+		if seen[name] || (match != "" && !strings.Contains(name, match)) {
+			continue
+		}
+		retired = append(retired, result{Name: name, Unit: b.Unit, Base: b.Value, Verdict: verdictRemoved})
+	}
+	sort.Slice(retired, func(i, j int) bool { return retired[i].Name < retired[j].Name })
+	return append(out, retired...)
 }
 
 func readEntries(path string) ([]obs.BenchEntry, error) {

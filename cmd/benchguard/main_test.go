@@ -50,8 +50,41 @@ func TestCompareDirections(t *testing.T) {
 	if v := verdictOf(t, res, "a/temp"); v != verdictInfo {
 		t.Errorf("informational unit: verdict %s, want %s", v, verdictInfo)
 	}
-	if v := verdictOf(t, res, "a/brand-new"); v != verdictNoBaseline {
-		t.Errorf("missing baseline: verdict %s, want %s", v, verdictNoBaseline)
+	if v := verdictOf(t, res, "a/brand-new"); v != verdictAdded {
+		t.Errorf("missing baseline: verdict %s, want %s", v, verdictAdded)
+	}
+}
+
+// TestCompareAddedAndRemoved checks that names present on only one side are
+// reported — a brand-new benchmark as informational "added", a retired one as
+// "removed" — and that neither ever gates.
+func TestCompareAddedAndRemoved(t *testing.T) {
+	base := entryMap(
+		obs.BenchEntry{Name: "svc/old", Unit: "req/s", Value: 100},
+		obs.BenchEntry{Name: "svc/kept", Unit: "req/s", Value: 100},
+	)
+	cand := []obs.BenchEntry{
+		{Name: "svc/kept", Unit: "req/s", Value: 100},
+		{Name: "svc/fleet_speedup_x", Unit: "x", Value: 1.8},
+	}
+	res := compare(base, cand, 0.2, "")
+	if v := verdictOf(t, res, "svc/fleet_speedup_x"); v != verdictAdded {
+		t.Errorf("new name: verdict %s, want %s", v, verdictAdded)
+	}
+	if v := verdictOf(t, res, "svc/old"); v != verdictRemoved {
+		t.Errorf("retired name: verdict %s, want %s", v, verdictRemoved)
+	}
+	for _, r := range res {
+		if r.Verdict == verdictRegressed {
+			t.Errorf("one-sided entry %s gated as regressed", r.Name)
+		}
+	}
+	// A retired name outside -match stays quiet.
+	res = compare(base, cand, 0.2, "kept")
+	for _, r := range res {
+		if r.Name == "svc/old" {
+			t.Errorf("retired name outside -match reported with verdict %s", r.Verdict)
+		}
 	}
 }
 

@@ -41,8 +41,10 @@ import (
 // fresh FlagSet so tests can golden-check the -h output without running main.
 type cliFlags struct {
 	addr, dataDir              *string
-	workers, quota             *int
+	workers, quota, maxDepth   *int
 	ckptEvr, progEvr, drainSec *int
+	leaseTTL, retryBackoff     *time.Duration
+	retryBudget                *int
 	benchOut, sloConfig        *string
 	version                    *bool
 }
@@ -55,8 +57,14 @@ with GET /v1/jobs/{id}, stream live progress from /v1/jobs/{id}/events
 /metrics. Jobs persist in the -data directory and survive restarts: a job
 killed mid-anneal resumes bit-identically from its last checkpoint. SIGTERM
 drains gracefully. The surrogate prescreen follows each job's spec (on unless
-the job sets no_surrogate). See docs/SERVICE.md for the API reference and
-runbook.
+the job sets no_surrogate).
+
+The -data directory is shared: any number of tap25d-worker processes may
+attach to it and drain the same queue under crash-safe job leases — a worker
+killed mid-job (even kill -9) has its lease scavenged and its job resumed by
+a peer from the last checkpoint, bit-identically. Run -workers -1 to serve
+the API only and leave execution to external workers. See docs/SERVICE.md
+for the API reference and the multi-worker runbook.
 
 Options:
 `
@@ -65,16 +73,20 @@ Options:
 func newFlagSet(name string) (*flag.FlagSet, *cliFlags) {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	f := &cliFlags{
-		addr:      fs.String("addr", ":8080", "HTTP listen address"),
-		dataDir:   fs.String("data", "tap25d-data", "state directory: job records under <data>/jobs, per-job checkpoints under <data>/ckpt"),
-		workers:   fs.Int("workers", 0, "placement worker pool size (0: half the CPUs, min 1)"),
-		quota:     fs.Int("quota", 0, "max active (queued+running) jobs per tenant; 0 = unlimited (exceeding returns HTTP 429)"),
-		ckptEvr:   fs.Int("checkpoint-every", 25, "checkpoint cadence in SA steps per run (smaller loses less work on a kill)"),
-		progEvr:   fs.Int("progress-every", 10, "SSE step-event cadence in SA steps (0 streams lifecycle events only)"),
-		drainSec:  fs.Int("drain-timeout", 60, "seconds to wait for running jobs to checkpoint on shutdown"),
-		benchOut:  fs.String("bench-out", "", "run the self-contained service load drive and write its BENCH_*.json entries to this file (skips serving)"),
-		sloConfig: fs.String("slo-config", "", "JSON file declaring the SLO objectives served on /v1/slo (default: built-in availability/latency/drift objectives)"),
-		version:   fs.Bool("version", false, "print the build version and exit"),
+		addr:         fs.String("addr", ":8080", "HTTP listen address"),
+		dataDir:      fs.String("data", "tap25d-data", "state directory: job records under <data>/jobs, leases under <data>/leases, per-job checkpoints under <data>/ckpt; shared with tap25d-worker processes"),
+		workers:      fs.Int("workers", 0, "in-process placement worker pool size (0: half the CPUs, min 1; -1: none — external tap25d-worker processes execute jobs)"),
+		quota:        fs.Int("quota", 0, "max active (queued+running) jobs per tenant; 0 = unlimited (exceeding returns HTTP 429 with Retry-After)"),
+		maxDepth:     fs.Int("max-queue-depth", 0, "shed submissions beyond this many active jobs with HTTP 503 and a backlog-derived Retry-After; 0 = unlimited"),
+		leaseTTL:     fs.Duration("lease-ttl", 10*time.Second, "job-lease heartbeat deadline; a worker silent this long is presumed dead and its job is reclaimed"),
+		retryBudget:  fs.Int("retry-budget", 3, "crash reclamations a job survives before failing terminally"),
+		retryBackoff: fs.Duration("retry-backoff", time.Second, "re-dispatch delay after a job's first reclamation, doubling per reclamation"),
+		ckptEvr:      fs.Int("checkpoint-every", 25, "checkpoint cadence in SA steps per run (smaller loses less work on a kill)"),
+		progEvr:      fs.Int("progress-every", 10, "SSE step-event cadence in SA steps (0 streams lifecycle events only)"),
+		drainSec:     fs.Int("drain-timeout", 60, "seconds to wait for running jobs to checkpoint on shutdown"),
+		benchOut:     fs.String("bench-out", "", "run the self-contained service load drive and write its BENCH_*.json entries to this file (skips serving)"),
+		sloConfig:    fs.String("slo-config", "", "JSON file declaring the SLO objectives served on /v1/slo (default: built-in availability/latency/drift objectives)"),
+		version:      fs.Bool("version", false, "print the build version and exit"),
 	}
 	fs.Usage = func() {
 		fmt.Fprint(fs.Output(), usageHeader)
@@ -118,6 +130,10 @@ func main() {
 		DataDir:         *dataDir,
 		Workers:         *workers,
 		TenantQuota:     *quota,
+		MaxQueueDepth:   *f.maxDepth,
+		LeaseTTL:        *f.leaseTTL,
+		RetryBudget:     *f.retryBudget,
+		RetryBackoff:    *f.retryBackoff,
 		CheckpointEvery: *ckptEvr,
 		ProgressEvery:   *progEvr,
 		Observer:        tap25d.NewObserver(),
@@ -196,6 +212,22 @@ func runBench(path string, workers int) error {
 	if err := svc.Drain(ctx); err != nil {
 		return err
 	}
+
+	// The fleet drive: the same batch drained by one, then two, lease
+	// workers attached to a serve-only server, reduced-fidelity jobs.
+	fleet, err := service.RunFleetBench(8, func(fsvc *service.Service) (string, func(), error) {
+		fln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", nil, err
+		}
+		fsrv := &http.Server{Handler: service.Handler(fsvc)}
+		go fsrv.Serve(fln)
+		return "http://" + fln.Addr().String(), func() { fsrv.Close() }, nil
+	})
+	if err != nil {
+		return err
+	}
+	entries = append(entries, fleet...)
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -1,0 +1,141 @@
+// Command tap25d-worker drains placement jobs from a tap25d-server data
+// directory. Run any number of these — on the same data directory — beside
+// (or instead of) the server's in-process pool: each claims queued jobs
+// through the crash-safe lease protocol, heartbeats while executing, and
+// writes checkpoints and results only while holding the current fencing
+// epoch. A worker killed mid-job (even kill -9) has its lease scavenged by a
+// peer and its job resumed bit-identically from the last checkpoint.
+//
+// On SIGINT/SIGTERM the worker drains gracefully: its running job
+// checkpoints, returns to the queue with its lease released, and the process
+// exits 0. docs/SERVICE.md has the multi-worker runbook.
+//
+// Usage:
+//
+//	tap25d-worker -data /var/lib/tap25d [-id NAME] [-lease-ttl 10s]
+//	              [-retry-budget 3] [-retry-backoff 1s]
+//	              [-checkpoint-every N] [-progress-every N] [-debug-addr :0]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tap25d"
+	"tap25d/internal/buildinfo"
+	"tap25d/internal/service"
+)
+
+// cliFlags collects every flag of the command. newFlagSet registers them on a
+// fresh FlagSet so tests can golden-check the -h output without running main.
+type cliFlags struct {
+	dataDir, id            *string
+	leaseTTL, retryBackoff *time.Duration
+	retryBudget            *int
+	ckptEvr, progEvr       *int
+	drainSec               *int
+	debugAddr              *string
+	version                *bool
+}
+
+const usageHeader = `Usage: tap25d-worker -data DIR [options]
+
+Drains placement jobs from a tap25d-server data directory. Any number of
+workers share one directory: each claims jobs under crash-safe leases with
+fencing epochs, so a worker killed mid-job (even kill -9) has its job
+reclaimed by a peer and resumed bit-identically from its last checkpoint,
+while the stale worker's writes are rejected. SIGTERM drains gracefully: the
+running job checkpoints and re-queues without a retry penalty. See
+docs/SERVICE.md for the multi-worker runbook.
+
+Options:
+`
+
+// newFlagSet registers the command's flags and usage text on a fresh FlagSet.
+func newFlagSet(name string) (*flag.FlagSet, *cliFlags) {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	f := &cliFlags{
+		dataDir:      fs.String("data", "tap25d-data", "shared state directory of the tap25d-server to drain"),
+		id:           fs.String("id", "", "worker name recorded in leases and job records (default worker-<hostname>-<pid>)"),
+		leaseTTL:     fs.Duration("lease-ttl", 10*time.Second, "job-lease heartbeat deadline; a worker silent this long is presumed dead and its job is reclaimed"),
+		retryBudget:  fs.Int("retry-budget", 3, "crash reclamations a job survives before failing terminally"),
+		retryBackoff: fs.Duration("retry-backoff", time.Second, "re-dispatch delay after a job's first reclamation, doubling per reclamation"),
+		ckptEvr:      fs.Int("checkpoint-every", 25, "checkpoint cadence in SA steps per run (smaller loses less work on a kill)"),
+		progEvr:      fs.Int("progress-every", 10, "step-event cadence in SA steps (0 records lifecycle events only)"),
+		drainSec:     fs.Int("drain-timeout", 60, "seconds to wait for the running job to checkpoint on shutdown"),
+		debugAddr:    fs.String("debug-addr", "", "serve /metrics and /debug pages on this address (empty: no debug server)"),
+		version:      fs.Bool("version", false, "print the build version and exit"),
+	}
+	fs.Usage = func() {
+		fmt.Fprint(fs.Output(), usageHeader)
+		fs.PrintDefaults()
+	}
+	return fs, f
+}
+
+func main() {
+	fs, f := newFlagSet("tap25d-worker")
+	fs.Parse(os.Args[1:])
+	if *f.version {
+		fmt.Println("tap25d-worker", buildinfo.Version())
+		return
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("version", buildinfo.Version())
+
+	observer := tap25d.NewObserver()
+	w, err := service.NewWorker(service.WorkerConfig{
+		DataDir:         *f.dataDir,
+		ID:              *f.id,
+		LeaseTTL:        *f.leaseTTL,
+		RetryBudget:     *f.retryBudget,
+		RetryBackoff:    *f.retryBackoff,
+		CheckpointEvery: *f.ckptEvr,
+		ProgressEvery:   *f.progEvr,
+		Observer:        observer,
+		Logger:          log,
+	})
+	if err != nil {
+		log.Error("opening worker state", "error", err)
+		os.Exit(1)
+	}
+	if *f.debugAddr != "" {
+		dbg, err := tap25d.ServeDebug(*f.debugAddr, observer)
+		if err != nil {
+			log.Error("debug server failed", "error", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		log.Info("debug server up", "addr", dbg.Addr())
+	}
+
+	// SIGINT/SIGTERM cancels the worker context; the running job checkpoints,
+	// re-queues, and releases its lease before Run returns.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Info("draining queue", "data", *f.dataDir)
+
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Error("worker failed", "error", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Info("draining: checkpointing running job")
+		select {
+		case <-done:
+		case <-time.After(time.Duration(*f.drainSec) * time.Second):
+			log.Error("drain timed out")
+			os.Exit(1)
+		}
+	}
+	log.Info("drained cleanly", "counters", w.Counters().String())
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestUsageGolden pins the -h output: the usage header plus every flag with
+// its default. Regenerate with UPDATE_GOLDEN=1 go test ./cmd/tap25d-worker/
+// after a deliberate flag change.
+func TestUsageGolden(t *testing.T) {
+	fs, _ := newFlagSet("tap25d-worker")
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.Usage()
+	const golden = "testdata/usage.golden"
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes(); !bytes.Equal(got, want) {
+		t.Fatalf("-h output drifted from %s (UPDATE_GOLDEN=1 to regenerate):\n%s", golden, got)
+	}
+}
+
+// TestUsageDocumentsBehavior pins the operability claims of the -h text.
+func TestUsageDocumentsBehavior(t *testing.T) {
+	fs, _ := newFlagSet("tap25d-worker")
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.Usage()
+	out := buf.String()
+	for _, want := range []string{
+		"docs/SERVICE.md",
+		"SIGTERM",
+		"kill -9",
+		"bit-identically",
+		"fencing",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-h output does not document %q", want)
+		}
+	}
+}

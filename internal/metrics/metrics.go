@@ -96,6 +96,24 @@ type Counters struct {
 	// JobsEventsDropped counts SSE events dropped on slow subscribers
 	// instead of blocking the placement worker.
 	JobsEventsDropped int64 `json:"jobs_events_dropped,omitempty"`
+	// JobsLeasesAcquired and JobsLeasesReleased count job-lease lifecycle
+	// edges of the multi-process worker protocol: a worker acquires a lease
+	// when it claims a job and releases it when the attempt finalizes.
+	JobsLeasesAcquired int64 `json:"jobs_leases_acquired,omitempty"`
+	JobsLeasesReleased int64 `json:"jobs_leases_released,omitempty"`
+	// JobsLeasesLost counts attempts abandoned because the worker's lease
+	// expired or its fencing epoch was superseded mid-run (the job was
+	// reclaimed out from under it; the stale worker's writes were rejected).
+	JobsLeasesLost int64 `json:"jobs_leases_lost,omitempty"`
+	// JobsReclaims counts expired or orphaned running jobs a scavenger took
+	// back with an incremented fencing epoch.
+	JobsReclaims int64 `json:"jobs_reclaims,omitempty"`
+	// JobsRetries counts reclaimed jobs re-queued under their retry budget
+	// (a reclaim that exhausts the budget lands in jobs_failed instead).
+	JobsRetries int64 `json:"jobs_retries,omitempty"`
+	// JobsShed counts submissions refused with 503 by the admission
+	// load-shedding threshold (queue depth over Config.MaxQueueDepth).
+	JobsShed int64 `json:"jobs_shed,omitempty"`
 }
 
 // Each calls f with every counter's stable snake_case JSON name and value, in
@@ -131,6 +149,12 @@ func (c Counters) Each(f func(name string, v int64)) {
 	f("jobs_quota_rejected", c.JobsQuotaRejected)
 	f("jobs_deduped", c.JobsDeduped)
 	f("jobs_events_dropped", c.JobsEventsDropped)
+	f("jobs_leases_acquired", c.JobsLeasesAcquired)
+	f("jobs_leases_released", c.JobsLeasesReleased)
+	f("jobs_leases_lost", c.JobsLeasesLost)
+	f("jobs_reclaims", c.JobsReclaims)
+	f("jobs_retries", c.JobsRetries)
+	f("jobs_shed", c.JobsShed)
 }
 
 // Merge adds o into c.
@@ -163,6 +187,12 @@ func (c *Counters) Merge(o Counters) {
 	c.JobsQuotaRejected += o.JobsQuotaRejected
 	c.JobsDeduped += o.JobsDeduped
 	c.JobsEventsDropped += o.JobsEventsDropped
+	c.JobsLeasesAcquired += o.JobsLeasesAcquired
+	c.JobsLeasesReleased += o.JobsLeasesReleased
+	c.JobsLeasesLost += o.JobsLeasesLost
+	c.JobsReclaims += o.JobsReclaims
+	c.JobsRetries += o.JobsRetries
+	c.JobsShed += o.JobsShed
 }
 
 // IsZero reports whether no counter has been incremented.
@@ -195,6 +225,13 @@ func (c Counters) String() string {
 			"job_rejects=%d/%d (quota/dedup) events_dropped=%d",
 			c.JobsSubmitted, c.JobsCompleted, c.JobsFailed, c.JobsCanceled, c.JobsResumed,
 			c.JobsQuotaRejected, c.JobsDeduped, c.JobsEventsDropped)
+	}
+	if c.JobsLeasesAcquired != 0 || c.JobsLeasesReleased != 0 || c.JobsLeasesLost != 0 ||
+		c.JobsReclaims != 0 || c.JobsRetries != 0 || c.JobsShed != 0 {
+		s += fmt.Sprintf(" leases=%d/%d/%d (acquire/release/lost) "+
+			"reclaims=%d retries=%d shed=%d",
+			c.JobsLeasesAcquired, c.JobsLeasesReleased, c.JobsLeasesLost,
+			c.JobsReclaims, c.JobsRetries, c.JobsShed)
 	}
 	return s
 }

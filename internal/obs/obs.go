@@ -66,6 +66,10 @@ const (
 	// dispatch to terminal state or drain; every placement span of the
 	// attempt nests under it.
 	PhaseJobExecute
+	// PhaseJobReclaim covers one fenced reclamation of an expired or
+	// orphaned job lease by a scavenger: epoch bump, retry-budget decision,
+	// record persist.
+	PhaseJobReclaim
 	numPhases
 )
 
@@ -81,6 +85,7 @@ var phaseNames = [numPhases]string{
 	"surrogate_eval",
 	"job_submit",
 	"job_execute",
+	"job_reclaim",
 }
 
 func (p Phase) String() string {

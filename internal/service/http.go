@@ -7,10 +7,23 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
+	"time"
 
 	"tap25d/internal/buildinfo"
 	"tap25d/internal/obs"
 )
+
+// drainRetryAfterSecs is the flat Retry-After hint on draining rejections: a
+// drain means a restart or a handoff, not a backlog, so the hint is a typical
+// redeploy window rather than a queue-depth estimate.
+const drainRetryAfterSecs = 10
+
+// ssePingInterval is the keepalive cadence of the SSE event streams: idle
+// streams carry a ": ping" comment frame this often, so NATs, LBs and proxies
+// with idle timeouts don't sever subscribers of long-quiet jobs. A package
+// var so tests can shrink it.
+var ssePingInterval = 15 * time.Second
 
 // apiError is the uniform error body of the HTTP API:
 //
@@ -98,8 +111,17 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	job, created, err := s.Submit(spec)
 	switch {
 	case errors.Is(err, ErrQuotaExhausted):
+		// The tenant must wait for its own jobs to finish; the backlog-derived
+		// hint is the honest earliest time that could have happened.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterHint()))
 		writeError(w, http.StatusTooManyRequests, "quota_exhausted", err.Error())
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterHint()))
+		writeError(w, http.StatusServiceUnavailable, "overloaded", err.Error())
 	case errors.Is(err, ErrDraining):
+		// This process is going away; point clients at its replacement's
+		// typical restart window rather than the backlog.
+		w.Header().Set("Retry-After", strconv.Itoa(drainRetryAfterSecs))
 		writeError(w, http.StatusServiceUnavailable, "draining", err.Error())
 	case err != nil:
 		writeError(w, http.StatusBadRequest, "bad_spec", err.Error())
@@ -207,10 +229,21 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return true
 	}
 
+	// Keepalive: SSE comment frames (": ping") at a steady cadence while the
+	// stream is idle. Comments are invisible to EventSource clients but keep
+	// the TCP path warm through idle-timeout middleboxes.
+	ping := time.NewTicker(ssePingInterval)
+	defer ping.Stop()
+
 	for {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-ping.C:
+			if _, err := fmt.Fprint(w, ": ping\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
 		case e, ok := <-ch:
 			if !ok {
 				// Stream closed: the job reached a terminal state (or had

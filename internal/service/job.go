@@ -1,7 +1,7 @@
 // Package service implements placement-as-a-service: a persistent job queue
-// with tenant quotas and priorities, a pool of workers that execute placement
-// jobs through the tap25d facade, per-job checkpoint directories so in-flight
-// jobs survive a server restart, an HTTP/JSON API to submit and track jobs,
+// with tenant quotas and priorities, workers that execute placement jobs
+// through the tap25d facade, per-job checkpoint directories so in-flight
+// jobs survive a process death, an HTTP/JSON API to submit and track jobs,
 // and a per-job Server-Sent-Events stream that fans out the placer's RunEvent
 // journal to any number of watchers.
 //
@@ -10,8 +10,18 @@
 // written atomically, and every running job checkpoints its annealing state
 // into its own placer.FileStore directory. A killed server therefore loses
 // nothing: on restart, queued jobs are still queued, running jobs are
-// re-queued and resume bit-compatibly from their last checkpoint, and
+// reclaimed and resume bit-compatibly from their last checkpoint, and
 // terminal jobs keep their results.
+//
+// The queue is shared by processes, not just goroutines: any number of
+// worker processes (cmd/tap25d-worker, or the server's own in-process pool)
+// attach to one data directory and claim jobs through the file-based lease
+// protocol in lease.go. A claim atomically creates a CRC-sealed lease file
+// carrying a fencing epoch; checkpoints and record writes re-verify the
+// lease, so a worker whose lease was reclaimed (crash, wedge, partition)
+// cannot corrupt the job a peer has taken over. Scavengers (every worker and
+// the server run one) detect expired leases and re-queue the job with an
+// incremented epoch under a per-job retry budget with exponential backoff.
 package service
 
 import (
@@ -140,6 +150,19 @@ type Job struct {
 	// or crash; a resumed job continues its annealing state, so attempts > 1
 	// does not mean work was repeated.
 	Attempts int `json:"attempts"`
+	// Epoch is the job's fencing token: it increases on every claim and every
+	// reclaim, and a worker holding a lease under an older epoch is stale —
+	// its checkpoint and record writes are rejected (see lease.go).
+	Epoch int64 `json:"epoch,omitempty"`
+	// WorkerID names the worker currently (or last) running the job.
+	WorkerID string `json:"worker_id,omitempty"`
+	// Retries counts scavenger reclamations of this job (expired lease after
+	// a worker crash or wedge). A graceful drain requeue is not a retry.
+	// Beyond the retry budget the job fails terminally.
+	Retries int `json:"retries,omitempty"`
+	// NotBefore gates re-dispatch of a reclaimed job: workers do not claim it
+	// until this instant (exponential backoff in the reclaim count).
+	NotBefore *time.Time `json:"not_before,omitempty"`
 	// Resumed reports that at least one annealing run of the latest attempt
 	// continued from a checkpoint rather than starting fresh.
 	Resumed bool `json:"resumed,omitempty"`
@@ -175,7 +198,17 @@ func (j *Job) clone() *Job {
 		t := *j.FinishedAt
 		c.FinishedAt = &t
 	}
+	if j.NotBefore != nil {
+		t := *j.NotBefore
+		c.NotBefore = &t
+	}
 	return &c
+}
+
+// claimable reports whether a worker may claim the job now: queued, and past
+// any reclaim backoff gate.
+func (j *Job) claimable(now time.Time) bool {
+	return j.State == StateQueued && (j.NotBefore == nil || !now.Before(*j.NotBefore))
 }
 
 // newJobID mints a collision-resistant job identifier.

@@ -2,10 +2,12 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -27,6 +29,17 @@ type LoadConfig struct {
 	Spec JobSpec
 	// Timeout bounds the whole drive (default 5 minutes).
 	Timeout time.Duration
+	// Fleet attaches this many lease workers to DataDir for the duration of
+	// the drive — the multi-worker-fleet drive: point them at the data
+	// directory of a server running with zero local workers and the fleet
+	// does all the execution. 0 leaves execution to the server's own pool.
+	Fleet int
+	// DataDir is the server's shared state directory (required when
+	// Fleet > 0).
+	DataDir string
+	// CheckpointEvery tunes the fleet workers' checkpoint cadence (Fleet > 0
+	// only; default 25).
+	CheckpointEvery int
 }
 
 func (c LoadConfig) jobs() int {
@@ -68,6 +81,8 @@ func (c LoadConfig) spec() JobSpec {
 //	tap25d/service/job_latency_p50_ms        median submit→terminal latency
 //	tap25d/service/job_latency_p99_ms        99th-percentile job latency
 //	tap25d/service/jobs_completed            jobs that reached done
+//	tap25d/service/drain_jobs_per_sec        jobs drained per second of wall
+//	                                         clock, first submit → last done
 //
 // It fails if any job finishes in a state other than done.
 func RunLoad(cfg LoadConfig) ([]obs.BenchEntry, error) {
@@ -75,6 +90,35 @@ func RunLoad(cfg LoadConfig) ([]obs.BenchEntry, error) {
 	n := cfg.jobs()
 	spec := cfg.spec()
 	deadline := time.Now().Add(cfg.timeout())
+
+	if cfg.Fleet > 0 {
+		if cfg.DataDir == "" {
+			return nil, fmt.Errorf("loadgen: Fleet > 0 needs DataDir")
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		var fleet sync.WaitGroup
+		defer func() {
+			cancel()
+			fleet.Wait()
+		}()
+		for i := 0; i < cfg.Fleet; i++ {
+			w, err := NewWorker(WorkerConfig{
+				DataDir:         cfg.DataDir,
+				ID:              fmt.Sprintf("load-fleet-%d", i),
+				Poll:            25 * time.Millisecond,
+				CheckpointEvery: cfg.CheckpointEvery,
+			})
+			if err != nil {
+				cancel()
+				return nil, err
+			}
+			fleet.Add(1)
+			go func() {
+				defer fleet.Done()
+				w.Run(ctx)
+			}()
+		}
+	}
 
 	type outcome struct {
 		latency time.Duration
@@ -121,6 +165,7 @@ func RunLoad(cfg LoadConfig) ([]obs.BenchEntry, error) {
 	}
 	close(work)
 	wg.Wait()
+	drainWindow := time.Since(submitStart)
 
 	latencies := make([]time.Duration, 0, n)
 	completed := 0
@@ -147,6 +192,86 @@ func RunLoad(cfg LoadConfig) ([]obs.BenchEntry, error) {
 		{Name: "tap25d/service/job_latency_p99_ms", Unit: "ms",
 			Value: float64(percentile(latencies, 99)) / float64(time.Millisecond)},
 		{Name: "tap25d/service/jobs_completed", Unit: "count", Value: float64(completed)},
+		{Name: "tap25d/service/drain_jobs_per_sec", Unit: "jobs/s",
+			Value: float64(completed) / drainWindow.Seconds()},
+	}, nil
+}
+
+// fleetSpec is the reduced-fidelity job the fleet bench drains: small
+// thermal grid, few steps — tens of milliseconds of CPU per job, so the
+// drive measures queue drain, not the annealer. Fleet jobs are CPU-bound,
+// which means the 2-worker/1-worker speedup tracks the host's core count:
+// ~2x on multi-core hosts, and ~1.0x on a single core (measured: fsync on a
+// modern virtio disk is ~0.2-0.5ms, far too cheap for I/O overlap to buy a
+// second worker anything there).
+func fleetSpec() JobSpec {
+	return JobSpec{System: "multigpu", ThermalGrid: 16, Steps: 20, Runs: 1, CompactSteps: 400}
+}
+
+// RunFleetBench measures the multi-process worker fleet: the same job batch
+// is drained through a serve-only server (zero local workers) by a fleet of
+// one, then two, lease workers attached to its data directory, and the
+// drain throughputs are published together with their ratio:
+//
+//	tap25d/service/fleet_drain_1w_jobs_per_sec   one-worker drain rate
+//	tap25d/service/fleet_drain_2w_jobs_per_sec   two-worker drain rate
+//	tap25d/service/fleet_speedup_x               2w / 1w
+//
+// The speedup is compute parallelism, so it tracks the host's cores:
+// expect ~1.5-2x on 2+ cores and ~1.0x on a single core (see fleetSpec).
+func RunFleetBench(jobs int, serve func(svc *Service) (baseURL string, stop func(), err error)) ([]obs.BenchEntry, error) {
+	if jobs <= 0 {
+		jobs = 8
+	}
+	rates := make([]float64, 0, 2)
+	for _, fleet := range []int{1, 2} {
+		dir, err := os.MkdirTemp("", "tap25d-fleet-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		svc, err := New(Config{DataDir: dir, Workers: -1})
+		if err != nil {
+			return nil, err
+		}
+		svc.Start()
+		base, stop, err := serve(svc)
+		if err != nil {
+			return nil, err
+		}
+		entries, err := RunLoad(LoadConfig{
+			BaseURL:         base,
+			Jobs:            jobs,
+			Spec:            fleetSpec(),
+			Fleet:           fleet,
+			DataDir:         dir,
+			CheckpointEvery: 10,
+		})
+		stop()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err2 := svc.Drain(ctx)
+		cancel()
+		if err != nil {
+			return nil, fmt.Errorf("fleet=%d drive: %w", fleet, err)
+		}
+		if err2 != nil {
+			return nil, fmt.Errorf("fleet=%d drain: %w", fleet, err2)
+		}
+		rate := 0.0
+		for _, e := range entries {
+			if e.Name == "tap25d/service/drain_jobs_per_sec" {
+				rate = e.Value
+			}
+		}
+		if rate <= 0 {
+			return nil, fmt.Errorf("fleet=%d drive reported no drain rate", fleet)
+		}
+		rates = append(rates, rate)
+	}
+	return []obs.BenchEntry{
+		{Name: "tap25d/service/fleet_drain_1w_jobs_per_sec", Unit: "jobs/s", Value: rates[0]},
+		{Name: "tap25d/service/fleet_drain_2w_jobs_per_sec", Unit: "jobs/s", Value: rates[1]},
+		{Name: "tap25d/service/fleet_speedup_x", Unit: "x", Value: rates[1] / rates[0]},
 	}, nil
 }
 

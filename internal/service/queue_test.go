@@ -1,26 +1,65 @@
 package service
 
 import (
-	"context"
 	"errors"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
+
+	"tap25d/internal/metrics"
 )
 
 func testSpec(seed int64) JobSpec {
 	return JobSpec{System: "multigpu", ThermalGrid: 16, Steps: 20, Runs: 1, CompactSteps: 400, Seed: seed}
 }
 
+// claimJob drives the worker-side claim protocol by hand: pick the best
+// claimable job, take its lease at the next epoch, mark it running.
+func claimJob(t *testing.T, q *queue, leaseDir, workerID string, at time.Time) (*Job, *lease) {
+	t.Helper()
+	cands := q.claimable(time.Now())
+	if len(cands) == 0 {
+		t.Fatal("no claimable jobs")
+	}
+	cand := cands[0]
+	l, err := acquireLease(leaseDir, cand.ID, workerID, cand.Epoch+1, 10*time.Second, at)
+	if err != nil {
+		t.Fatalf("acquire lease: %v", err)
+	}
+	j, err := q.markRunning(cand.ID, workerID, l.Epoch, time.Now())
+	if err != nil {
+		t.Fatalf("markRunning: %v", err)
+	}
+	return j, l
+}
+
+func testScavenger(q *queue, leaseDir string) *scavenger {
+	return &scavenger{
+		queue:    q,
+		leaseDir: leaseDir,
+		workerID: "scav-test",
+		ttl:      10 * time.Second,
+		budget:   3,
+		backoff:  50 * time.Millisecond,
+		backoffM: time.Second,
+		log:      slog.New(slog.NewTextHandler(io.Discard, nil)),
+		count:    func(func(c *metrics.Counters)) {},
+	}
+}
+
+// TestQueuePersistAndReload covers the multi-process restart story: a job
+// running under a lease stays running across a queue reload (it may be live
+// in another process — recovery belongs to the scavenger, not load-time
+// fiat), and a scavenger sweep reclaims it once the lease has expired.
 func TestQueuePersistAndReload(t *testing.T) {
 	dir := t.TempDir()
-	q, requeued, err := newQueue(dir, 0)
+	leases := t.TempDir()
+	q, err := newQueue(dir, 0)
 	if err != nil {
 		t.Fatal(err)
-	}
-	if requeued != 0 {
-		t.Fatalf("fresh queue requeued %d jobs", requeued)
 	}
 	a, created, err := q.Submit(testSpec(1), time.Now())
 	if err != nil || !created {
@@ -30,35 +69,50 @@ func TestQueuePersistAndReload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Dispatch a so it is "running" when the process dies.
-	got := q.Next(context.Background())
+	// Dispatch a — with a lease acquired in the past, so it is already
+	// expired when the "surviving" process sweeps below.
+	got, _ := claimJob(t, q, leases, "w-dead", time.Now().Add(-time.Minute))
 	if got.ID != a.ID {
-		t.Fatalf("Next returned %s, want FIFO head %s", got.ID, a.ID)
+		t.Fatalf("claimed %s, want FIFO head %s", got.ID, a.ID)
 	}
 
-	// "Restart": a new queue over the same directory.
-	q2, requeued, err := newQueue(dir, 0)
+	// "Restart": a new queue over the same directory. The running job is NOT
+	// auto-requeued — its lease decides.
+	q2, err := newQueue(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if requeued != 1 {
-		t.Fatalf("requeued %d running orphans, want 1", requeued)
-	}
 	ja, err := q2.Get(a.ID)
-	if err != nil || ja.State != StateQueued {
-		t.Fatalf("orphaned running job: %+v err=%v", ja, err)
-	}
-	if ja.Attempts != 1 {
-		t.Fatalf("orphan kept attempts=%d, want 1", ja.Attempts)
+	if err != nil || ja.State != StateRunning {
+		t.Fatalf("running job after reload: %+v err=%v", ja, err)
 	}
 	jb, err := q2.Get(b.ID)
 	if err != nil || jb.State != StateQueued {
 		t.Fatalf("queued job after reload: %+v err=%v", jb, err)
 	}
+
+	// The scavenger finds the expired lease and reclaims under epoch 2.
+	if n := testScavenger(q2, leases).sweep(time.Now()); n != 1 {
+		t.Fatalf("sweep reclaimed %d jobs, want 1", n)
+	}
+	ja, err = q2.Get(a.ID)
+	if err != nil || ja.State != StateQueued {
+		t.Fatalf("reclaimed job: %+v err=%v", ja, err)
+	}
+	if ja.Epoch != 2 || ja.Retries != 1 || ja.Attempts != 1 {
+		t.Fatalf("reclaimed job epoch=%d retries=%d attempts=%d, want 2/1/1",
+			ja.Epoch, ja.Retries, ja.Attempts)
+	}
+	if ja.NotBefore == nil {
+		t.Fatal("reclaimed job has no backoff gate")
+	}
+	if _, err := readLease(leases, a.ID); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("lease not removed after reclaim: %v", err)
+	}
 }
 
 func TestQueuePriorityThenFIFO(t *testing.T) {
-	q, _, err := newQueue(t.TempDir(), 0)
+	q, err := newQueue(t.TempDir(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +122,11 @@ func TestQueuePriorityThenFIFO(t *testing.T) {
 	high, _, _ := q.Submit(s, time.Now())
 	low2, _, _ := q.Submit(testSpec(3), time.Now())
 
-	order := []string{q.Next(context.Background()).ID, q.Next(context.Background()).ID, q.Next(context.Background()).ID}
+	cands := q.claimable(time.Now())
+	if len(cands) != 3 {
+		t.Fatalf("claimable returned %d jobs, want 3", len(cands))
+	}
+	order := []string{cands[0].ID, cands[1].ID, cands[2].ID}
 	want := []string{high.ID, low1.ID, low2.ID}
 	for i := range want {
 		if order[i] != want[i] {
@@ -77,20 +135,64 @@ func TestQueuePriorityThenFIFO(t *testing.T) {
 	}
 }
 
-func TestQueueNextHonorsContext(t *testing.T) {
-	q, _, err := newQueue(t.TempDir(), 0)
+// TestQueueBackoffGate covers the reclaim re-dispatch gate: a queued job
+// whose NotBefore is in the future is invisible to claimable, nextGate
+// reports when it opens, and it becomes claimable afterwards.
+func TestQueueBackoffGate(t *testing.T) {
+	q, err := newQueue(t.TempDir(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
-	defer cancel()
-	if j := q.Next(ctx); j != nil {
-		t.Fatalf("Next on empty queue returned %+v", j)
+	j, _, err := q.Submit(testSpec(1), time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := time.Now().Add(time.Hour).UTC()
+	if _, err := q.update(j.ID, func(rec *Job) { rec.NotBefore = &gate }); err != nil {
+		t.Fatal(err)
+	}
+	if cands := q.claimable(time.Now()); len(cands) != 0 {
+		t.Fatalf("gated job is claimable: %+v", cands[0])
+	}
+	at, ok := q.nextGate(time.Now())
+	if !ok || !at.Equal(gate) {
+		t.Fatalf("nextGate = %v ok=%v, want %v", at, ok, gate)
+	}
+	if cands := q.claimable(gate.Add(time.Second)); len(cands) != 1 {
+		t.Fatalf("job not claimable past its gate")
+	}
+}
+
+// TestQueueMarkRunningRejectsStaleEpoch covers the fencing-token monotonic
+// guarantee at the record level: a claimer whose lease epoch is not past the
+// record's (a reclaim intervened since its snapshot) must not win.
+func TestQueueMarkRunningRejectsStaleEpoch(t *testing.T) {
+	q, err := newQueue(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := q.Submit(testSpec(1), time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A reclaim has already advanced the record to epoch 3.
+	if _, err := q.update(j.ID, func(rec *Job) { rec.Epoch = 3 }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.markRunning(j.ID, "w-stale", 3, time.Now()); !errors.Is(err, errNotClaimable) {
+		t.Fatalf("stale-epoch markRunning: err=%v, want errNotClaimable", err)
+	}
+	if _, err := q.markRunning(j.ID, "w-fresh", 4, time.Now()); err != nil {
+		t.Fatalf("fresh-epoch markRunning: %v", err)
+	}
+	got, _ := q.Get(j.ID)
+	if got.State != StateRunning || got.Epoch != 4 || got.WorkerID != "w-fresh" {
+		t.Fatalf("record after claim: %+v", got)
 	}
 }
 
 func TestQueueIdempotentSubmit(t *testing.T) {
-	q, _, err := newQueue(t.TempDir(), 0)
+	q, err := newQueue(t.TempDir(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +218,7 @@ func TestQueueIdempotentSubmit(t *testing.T) {
 }
 
 func TestQueueQuota(t *testing.T) {
-	q, _, err := newQueue(t.TempDir(), 2)
+	q, err := newQueue(t.TempDir(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +248,7 @@ func TestQueueQuota(t *testing.T) {
 }
 
 func TestQueueDrainStopsIntake(t *testing.T) {
-	q, _, err := newQueue(t.TempDir(), 0)
+	q, err := newQueue(t.TempDir(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +260,7 @@ func TestQueueDrainStopsIntake(t *testing.T) {
 
 func TestQueueQuarantinesCorruptRecords(t *testing.T) {
 	dir := t.TempDir()
-	q, _, err := newQueue(dir, 0)
+	q, err := newQueue(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +272,7 @@ func TestQueueQuarantinesCorruptRecords(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("{torn"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	q2, _, err := newQueue(dir, 0)
+	q2, err := newQueue(dir, 0)
 	if err != nil {
 		t.Fatalf("reload with corrupt record: %v", err)
 	}

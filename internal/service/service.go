@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -17,19 +19,41 @@ import (
 	"tap25d/internal/obs"
 )
 
+// ErrOverloaded rejects a submission while the queue is beyond its configured
+// depth limit (load shedding). HTTP 503 with a Retry-After hint.
+var ErrOverloaded = errors.New("service: queue depth limit reached")
+
 // Config parameterizes a Service. The zero value of every optional field is
 // a sensible default; DataDir is required.
 type Config struct {
 	// DataDir is the service's state root: job records under <DataDir>/jobs,
-	// per-job checkpoints under <DataDir>/ckpt/<job id>. Created if missing.
+	// leases under <DataDir>/leases, per-job checkpoints under
+	// <DataDir>/ckpt/<job id>. Created if missing. Any number of
+	// cmd/tap25d-worker processes may attach to the same directory.
 	DataDir string
-	// Workers is the placement worker pool size (default: GOMAXPROCS/2,
-	// minimum 1 — each placement job is itself internally parallel).
+	// Workers is the in-process placement worker pool size (default:
+	// GOMAXPROCS/2, minimum 1 — each placement job is itself internally
+	// parallel). Negative runs zero local workers: the server only serves the
+	// API and scavenges, and external tap25d-worker processes do the work.
 	Workers int
 	// TenantQuota caps each tenant's active (queued+running) jobs; exceeding
 	// it rejects the submission with ErrQuotaExhausted (HTTP 429). 0 means
 	// unlimited.
 	TenantQuota int
+	// MaxQueueDepth sheds load: submissions beyond this many active
+	// (queued+running) jobs are rejected with ErrOverloaded (HTTP 503 plus a
+	// Retry-After hint) regardless of tenant. 0 means unlimited.
+	MaxQueueDepth int
+	// LeaseTTL is the job-lease heartbeat deadline (default 10s): a worker
+	// that fails to renew for this long is presumed dead and its job is
+	// reclaimed by a peer.
+	LeaseTTL time.Duration
+	// RetryBudget is the number of crash reclamations a job survives before
+	// failing terminally (default 3; negative means none).
+	RetryBudget int
+	// RetryBackoff is the re-dispatch delay after a job's first reclamation,
+	// doubling per reclamation (default 1s, capped at one minute).
+	RetryBackoff time.Duration
 	// CheckpointEvery is the per-run checkpoint cadence in SA steps
 	// (default 25). Smaller loses less work on a kill; larger does less I/O.
 	CheckpointEvery int
@@ -51,6 +75,9 @@ type Config struct {
 }
 
 func (c Config) workers() int {
+	if c.Workers < 0 {
+		return 0
+	}
 	if c.Workers > 0 {
 		return c.Workers
 	}
@@ -60,29 +87,32 @@ func (c Config) workers() int {
 	return 1
 }
 
-func (c Config) checkpointEvery() int {
-	if c.CheckpointEvery > 0 {
-		return c.CheckpointEvery
+func (c Config) workerConfig() WorkerConfig {
+	return WorkerConfig{
+		DataDir:         c.DataDir,
+		LeaseTTL:        c.LeaseTTL,
+		RetryBudget:     c.RetryBudget,
+		RetryBackoff:    c.RetryBackoff,
+		CheckpointEvery: c.CheckpointEvery,
+		ProgressEvery:   c.ProgressEvery,
+		Observer:        c.Observer,
+		Logger:          c.Logger,
 	}
-	return 25
 }
 
-func (c Config) progressEvery() int {
-	if c.ProgressEvery > 0 {
-		return c.ProgressEvery
-	}
-	return 10
-}
-
-// Service is the placement-as-a-service engine: one persistent queue, one
-// event hub, and a pool of workers draining the queue through tap25d.Place.
-// Construct with New, start the workers with Start, and stop with Drain.
+// Service is the placement-as-a-service engine: one persistent queue over the
+// shared data directory, one event hub, and a pool of in-process lease
+// workers draining the queue through tap25d.Place — alongside any
+// cmd/tap25d-worker processes attached to the same directory. Construct with
+// New, start with Start, stop with Drain.
 type Service struct {
-	cfg   Config
-	queue *queue
-	hub   *hub
-	obs   *tap25d.Observer
-	log   *slog.Logger
+	cfg      Config
+	queue    *queue
+	hub      *hub
+	obs      *tap25d.Observer
+	log      *slog.Logger
+	leaseDir string
+	sc       *scavenger
 
 	// tracesDir holds the per-job span trace files (<id>.trace.jsonl plus a
 	// sealed manifest); "" when the service runs without an Observer.
@@ -95,22 +125,24 @@ type Service struct {
 	traceMu sync.Mutex
 	traces  map[string]*obs.TraceSink // job ID → its open trace sink
 
-	mu       sync.Mutex
-	counters metrics.Counters
-	cancels  map[string]context.CancelFunc // running job → its cancel
-	canceled map[string]bool               // running job → user asked to cancel
-	busy     int
+	mu          sync.Mutex
+	counters    metrics.Counters
+	cancels     map[string]context.CancelFunc // locally-running job → its cancel
+	busy        int
+	avgExecSecs float64           // EWMA of job execution time, for Retry-After
+	openJobs    map[string]string // non-terminal jobs → last seen state (sync loop)
 }
 
-// New opens the service state under cfg.DataDir. Jobs that were running when
-// the previous process died are re-queued (they will resume from their
-// checkpoints); the count of such jobs is logged via the observer gauge
-// "service_requeued_on_boot".
+// New opens the service state under cfg.DataDir. A boot sweep reclaims any
+// job whose lease expired while no process was watching (the previous
+// process crashed); the count is published as the observer gauge
+// "service_requeued_on_boot". Jobs under live leases — other worker
+// processes are still running them — are left alone.
 func New(cfg Config) (*Service, error) {
 	if cfg.DataDir == "" {
 		return nil, fmt.Errorf("service: Config.DataDir is required")
 	}
-	q, requeued, err := newQueue(filepath.Join(cfg.DataDir, "jobs"), cfg.TenantQuota)
+	q, err := newQueue(filepath.Join(cfg.DataDir, "jobs"), cfg.TenantQuota)
 	if err != nil {
 		return nil, err
 	}
@@ -120,11 +152,12 @@ func New(cfg Config) (*Service, error) {
 		queue:    q,
 		obs:      cfg.Observer,
 		log:      cfg.Logger,
+		leaseDir: filepath.Join(cfg.DataDir, "leases"),
 		ctx:      ctx,
 		cancel:   cancel,
 		traces:   map[string]*obs.TraceSink{},
 		cancels:  map[string]context.CancelFunc{},
-		canceled: map[string]bool{},
+		openJobs: map[string]string{},
 	}
 	if s.log == nil {
 		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -146,37 +179,120 @@ func New(cfg Config) (*Service, error) {
 		}
 		s.obs.SetSLO(slo)
 	}
-	s.obs.SetGauge("service_requeued_on_boot", float64(requeued))
+	wcfg := cfg.workerConfig()
+	s.sc = &scavenger{
+		queue:    q,
+		leaseDir: s.leaseDir,
+		workerID: wcfg.id() + "-scavenger",
+		ttl:      wcfg.leaseTTL(),
+		budget:   wcfg.retryBudget(),
+		backoff:  wcfg.retryBackoff(),
+		backoffM: wcfg.retryBackoffMax(),
+		obs:      s.obs,
+		log:      s.log,
+		count:    s.count,
+		publish:  s.hub.Publish,
+		onFinal:  s.onExternalFinal,
+	}
+	s.obs.SetGauge("service_requeued_on_boot", float64(s.sc.sweep(time.Now())))
 	s.publishGauges()
 	return s, nil
 }
 
-// Start launches the worker pool. It returns immediately; jobs execute in
-// the background until Drain.
+// Start launches the in-process worker pool (if any) and the sync loop that
+// watches the shared directory for transitions made by external worker
+// processes. It returns immediately; jobs execute in the background until
+// Drain.
 func (s *Service) Start() {
+	base := s.cfg.workerConfig()
 	for i := 0; i < s.cfg.workers(); i++ {
+		wcfg := base
+		wcfg.ID = fmt.Sprintf("%s-w%d", base.id(), i)
+		w := newWorkerWith(wcfg, s.queue, workerHooks{
+			execContext: s.execContext,
+			progress:    s.hub.Publish,
+			onClaim:     s.onClaim,
+			onDone:      s.onDone,
+			onFinal:     s.onFinal,
+			count:       s.count,
+		})
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			for {
-				job := s.queue.Next(s.ctx)
-				if job == nil {
-					return
-				}
-				s.runJob(job)
-			}
+			w.Run(s.ctx)
 		}()
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.syncLoop()
+	}()
+}
+
+// syncLoop is the server's periodic reconciliation with the shared directory:
+// it scavenges expired leases (so recovery works even with zero local
+// workers), refreshes the gauges, and detects jobs driven terminal by
+// external worker processes — closing their SSE streams and sealing their
+// trace manifests, which only this process can do for subscribers attached
+// here.
+func (s *Service) syncLoop() {
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case now := <-tick.C:
+			s.sc.maybeSweep(now, s.cfg.workerConfig().scavengeEvery())
+			s.queue.rescan()
+			s.reconcile()
+			s.publishGauges()
+		}
 	}
 }
 
+// reconcile diffs the queue against the known non-terminal set and finalizes
+// the process-local side (hub, trace manifest) of jobs that reached a
+// terminal state in another process.
+func (s *Service) reconcile() {
+	jobs := s.queue.List()
+	s.mu.Lock()
+	var external []*Job
+	for _, j := range jobs {
+		if j.Terminal() {
+			if _, wasOpen := s.openJobs[j.ID]; wasOpen {
+				delete(s.openJobs, j.ID)
+				if _, local := s.cancels[j.ID]; !local {
+					external = append(external, j)
+				}
+			}
+			continue
+		}
+		s.openJobs[j.ID] = j.State
+	}
+	s.mu.Unlock()
+	for _, j := range external {
+		s.onExternalFinal(j)
+	}
+}
+
+// onExternalFinal closes the process-local resources of a job finalized
+// elsewhere (an external worker, or a scavenger's terminal reclaim). The
+// synthetic "job" event tells subscribers attached to this process how the
+// job ended — the placer's own terminal events fired in the other process.
+func (s *Service) onExternalFinal(j *Job) {
+	s.hub.Publish(j.ID, tap25d.RunEvent{Kind: "job", Error: j.Error})
+	s.onFinal(j)
+}
+
 // Drain gracefully stops the service: intake stops (submissions fail with
-// ErrDraining), every running job is interrupted — the placer checkpoints
-// and returns its best-so-far — and the interrupted jobs go back to the
-// queue in StateQueued so the next boot resumes them. Drain blocks until all
-// workers have exited or ctx expires.
+// ErrDraining), every locally-running job is interrupted — the placer
+// checkpoints and returns its best-so-far — and the interrupted jobs go back
+// to the queue in StateQueued with their leases released, so any process can
+// resume them. Drain blocks until all workers have exited or ctx expires.
 func (s *Service) Drain(ctx context.Context) error {
 	s.queue.StartDrain()
-	s.cancel() // stops Next and cancels every in-flight job's context
+	s.cancel() // stops the workers and cancels every in-flight job's context
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -190,9 +306,9 @@ func (s *Service) Drain(ctx context.Context) error {
 	}
 }
 
-// count applies f to the service counters and mirrors the single-increment
-// delta into the observer, so the Prometheus endpoint and the service's own
-// totals stay in lockstep.
+// count applies f to the service counters and mirrors the delta into the
+// observer, so the Prometheus endpoint and the service's own totals stay in
+// lockstep.
 func (s *Service) count(f func(c *metrics.Counters)) {
 	var delta metrics.Counters
 	f(&delta)
@@ -209,6 +325,22 @@ func (s *Service) Counters() metrics.Counters {
 	return s.counters
 }
 
+// activeLeases counts the lease files in the shared directory — the fleet's
+// current concurrency, local and external workers alike.
+func (s *Service) activeLeases() int {
+	entries, err := os.ReadDir(s.leaseDir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".lease.json") {
+			n++
+		}
+	}
+	return n
+}
+
 // publishGauges refreshes the queue-depth and utilization gauges.
 func (s *Service) publishGauges() {
 	if s.obs == nil {
@@ -222,18 +354,116 @@ func (s *Service) publishGauges() {
 	s.obs.SetGauge("service_jobs_running", float64(running))
 	s.obs.SetGauge("service_workers_busy", float64(busy))
 	s.obs.SetGauge("service_workers", float64(s.cfg.workers()))
+	s.obs.SetGauge("service_leases_active", float64(s.activeLeases()))
 }
 
-// ckptDir is the job's private checkpoint directory.
-func (s *Service) ckptDir(id string) string {
-	return filepath.Join(s.cfg.DataDir, "ckpt", id)
+// retryAfterHint estimates, in whole seconds, when the backlog will have
+// moved enough for a rejected submission to stand a chance: active jobs
+// divided by the fleet's execution slots, times the average job execution
+// time (EWMA, default 2s), clamped to [1, 600]. It is deliberately a hint —
+// coarse, cheap, and monotone in the backlog.
+func (s *Service) retryAfterHint() int {
+	queued, running := s.queue.Depth()
+	slots := s.cfg.workers()
+	if n := s.activeLeases(); n > slots {
+		slots = n
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	s.mu.Lock()
+	avg := s.avgExecSecs
+	s.mu.Unlock()
+	if avg <= 0 {
+		avg = 2
+	}
+	secs := int(math.Ceil(float64(queued+running+1) / float64(slots) * avg))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 600 {
+		secs = 600
+	}
+	return secs
+}
+
+// Worker-pool hooks: the lease Worker engine (worker.go) calls back into the
+// service for everything process-local.
+
+// execContext re-attaches the job's trace sink (the submitting process may
+// have died; the sink must live where the job runs) and threads the trace ID
+// plus a root span through the context, so every span the placer, thermal
+// solver and router open below inherits the job's trace.
+func (s *Service) execContext(ctx context.Context, job *Job) (context.Context, func()) {
+	s.attachTrace(job)
+	execCtx := obs.ContextWithTrace(ctx, job.TraceID)
+	root := s.obs.StartSpanCtx(execCtx, obs.PhaseJobExecute, job.ID)
+	execCtx = obs.ContextWithSpan(execCtx, root)
+	return execCtx, root.End
+}
+
+func (s *Service) onClaim(job *Job, cancel context.CancelFunc) {
+	s.mu.Lock()
+	s.cancels[job.ID] = cancel
+	s.busy++
+	s.openJobs[job.ID] = StateRunning
+	s.mu.Unlock()
+	s.hub.Reopen(job.ID)
+	s.publishGauges()
+}
+
+func (s *Service) onDone(job *Job) {
+	s.mu.Lock()
+	delete(s.cancels, job.ID)
+	s.busy--
+	s.mu.Unlock()
+	s.publishGauges()
+}
+
+// onFinal runs once per terminal job (locally finalized, reclaimed to
+// terminal, or detected by the sync loop): seal the trace manifest and feed
+// the execution-time EWMA behind Retry-After.
+func (s *Service) onFinal(final *Job) {
+	s.sealTrace(final)
+	if final.StartedAt != nil && final.FinishedAt != nil {
+		exec := final.FinishedAt.Sub(*final.StartedAt).Seconds()
+		if exec > 0 {
+			s.mu.Lock()
+			if s.avgExecSecs <= 0 {
+				s.avgExecSecs = exec
+			} else {
+				s.avgExecSecs = 0.7*s.avgExecSecs + 0.3*exec
+			}
+			s.mu.Unlock()
+		}
+	}
+	s.mu.Lock()
+	delete(s.openJobs, final.ID)
+	s.mu.Unlock()
+	s.hub.Close(final.ID)
+	s.publishGauges()
 }
 
 // Submit enqueues a job (or returns the existing one under the spec's
-// idempotency key). A newly created job gets its trace file opened here, so
-// even the submission itself appears as a span under the job's trace ID.
+// idempotency key). Beyond Config.MaxQueueDepth active jobs, new submissions
+// are shed with ErrOverloaded — but idempotent resubmissions of existing jobs
+// still succeed, so retry loops keep their answer. A newly created job gets
+// its trace file opened here, so even the submission itself appears as a
+// span under the job's trace ID.
 func (s *Service) Submit(spec JobSpec) (*Job, bool, error) {
 	start := time.Now()
+	if s.cfg.MaxQueueDepth > 0 {
+		if _, exists := s.queue.findIdem(&spec); !exists {
+			if queued, running := s.queue.Depth(); queued+running >= s.cfg.MaxQueueDepth {
+				s.count(func(c *metrics.Counters) { c.JobsShed++ })
+				s.log.Warn("job shed: queue depth limit",
+					"tenant", spec.tenant(), "active", queued+running,
+					"limit", s.cfg.MaxQueueDepth)
+				return nil, false, fmt.Errorf("%w: %d active jobs (limit %d)",
+					ErrOverloaded, queued+running, s.cfg.MaxQueueDepth)
+			}
+		}
+	}
 	j, created, err := s.queue.Submit(spec, start)
 	switch {
 	case errors.Is(err, ErrQuotaExhausted):
@@ -241,6 +471,9 @@ func (s *Service) Submit(spec JobSpec) (*Job, bool, error) {
 		s.log.Warn("job rejected: tenant quota exhausted", "tenant", spec.tenant())
 	case err == nil && created:
 		s.count(func(c *metrics.Counters) { c.JobsSubmitted++ })
+		s.mu.Lock()
+		s.openJobs[j.ID] = j.State
+		s.mu.Unlock()
 		s.attachTrace(j)
 		s.obs.ObserveTracedSpan(j.TraceID, obs.PhaseJobSubmit, j.ID, start, time.Since(start))
 		s.log.Info("job submitted",
@@ -274,187 +507,45 @@ func (s *Service) Subscribe(id string) (<-chan tap25d.RunEvent, func(), error) {
 	return ch, cancel, nil
 }
 
-// Cancel cancels a job: a queued job transitions to canceled immediately; a
-// running job's context is canceled and the worker finalizes it as canceled
-// (keeping the best-so-far result if one exists). Canceling a terminal job
-// returns ErrTerminal.
+// Cancel cancels a job. The request is made durable first (a marker file
+// beside the job record), so it reaches workers in other processes: a queued
+// job transitions to canceled immediately; a running job's worker — local or
+// external — observes the marker at its next heartbeat, cuts the placement,
+// and finalizes the record as canceled (keeping the best-so-far result if
+// one exists). Canceling a terminal job returns ErrTerminal.
 func (s *Service) Cancel(id string) (*Job, error) {
+	j, err := s.queue.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if j.Terminal() {
+		return j, ErrTerminal
+	}
+	if err := s.queue.markCancel(id); err != nil {
+		return nil, fmt.Errorf("service: persisting cancel request: %w", err)
+	}
 	j, done, err := s.queue.CancelQueued(id, time.Now())
 	if err != nil {
 		return nil, err
 	}
 	if done {
+		s.queue.clearCancel(id)
 		s.count(func(c *metrics.Counters) { c.JobsCanceled++ })
-		s.hub.Close(id)
-		s.publishGauges()
+		s.onFinal(j)
 		return j, nil
 	}
 	if j.Terminal() {
+		// Lost the race: the job finished between the check and the cancel.
+		s.queue.clearCancel(id)
 		return j, ErrTerminal
 	}
-	// Running: flag the job as user-canceled and cut its context. The worker
-	// observes the flag when Place returns and finalizes the record.
+	// Running. Cut the local context if the job runs in this process; an
+	// external worker sees the durable marker at its next heartbeat.
 	s.mu.Lock()
-	s.canceled[id] = true
 	cancel := s.cancels[id]
 	s.mu.Unlock()
 	if cancel != nil {
 		cancel()
 	}
 	return j, nil
-}
-
-// runJob executes one job to a terminal state (or back to queued on drain).
-func (s *Service) runJob(job *Job) {
-	jobCtx, cancelJob := context.WithCancel(s.ctx)
-	defer cancelJob()
-	s.mu.Lock()
-	s.cancels[job.ID] = cancelJob
-	s.busy++
-	s.mu.Unlock()
-	s.hub.Reopen(job.ID)
-	s.publishGauges()
-	start := time.Now()
-	s.obs.ObserveNamed("job_queue_wait", start.Sub(job.SubmittedAt))
-	s.log.Info("job started",
-		"job_id", job.ID, "tenant", job.Spec.tenant(), "trace", job.TraceID,
-		"attempt", job.Attempts)
-
-	// Re-attach the trace sink (a restarted process re-queues running jobs,
-	// so the sink opened at submission is gone) and thread the trace ID plus
-	// a root span through the context: every span the placer, thermal solver
-	// and router open below inherits the job's trace.
-	s.attachTrace(job)
-	execCtx := obs.ContextWithTrace(jobCtx, job.TraceID)
-	root := s.obs.StartSpanCtx(execCtx, obs.PhaseJobExecute, job.ID)
-	execCtx = obs.ContextWithSpan(execCtx, root)
-
-	res, resumed, runErr := s.execute(execCtx, job)
-	root.End()
-
-	s.mu.Lock()
-	delete(s.cancels, job.ID)
-	userCanceled := s.canceled[job.ID]
-	delete(s.canceled, job.ID)
-	s.busy--
-	s.mu.Unlock()
-
-	now := time.Now()
-	finished := now.UTC()
-	interrupted := runErr != nil && errors.Is(runErr, context.Canceled)
-	final, err := s.queue.update(job.ID, func(j *Job) {
-		j.Resumed = resumed
-		switch {
-		case interrupted && !userCanceled:
-			// Drain: hand the job back to the queue; its checkpoints carry
-			// the annealing state forward into the next process.
-			j.State = StateQueued
-			j.StartedAt = nil
-		case interrupted && userCanceled:
-			j.State = StateCanceled
-			j.FinishedAt = &finished
-			j.Result = jobResult(res)
-		case runErr != nil:
-			j.State = StateFailed
-			j.FinishedAt = &finished
-			j.Error = runErr.Error()
-		default:
-			j.State = StateDone
-			j.FinishedAt = &finished
-			j.Result = jobResult(res)
-		}
-	})
-	if err != nil {
-		// The record refused to persist (disk trouble). The job's events
-		// still tell the story; nothing else we can do from a worker.
-		s.obs.Add("service_persist_errors", 1)
-	}
-	if resumed {
-		s.count(func(c *metrics.Counters) { c.JobsResumed++ })
-	}
-	if res != nil && res.Surrogate != nil {
-		s.obs.SetGauge("surrogate_drift_rms_c", res.Surrogate.DriftRMSC)
-	}
-	if final != nil && final.Terminal() {
-		switch final.State {
-		case StateDone:
-			s.count(func(c *metrics.Counters) { c.JobsCompleted++ })
-		case StateFailed:
-			s.count(func(c *metrics.Counters) { c.JobsFailed++ })
-		case StateCanceled:
-			s.count(func(c *metrics.Counters) { c.JobsCanceled++ })
-		}
-		s.obs.ObserveNamed("job_latency", now.Sub(job.SubmittedAt))
-		s.sealTrace(final)
-		os.RemoveAll(s.ckptDir(job.ID)) // spent snapshots
-		s.hub.Close(job.ID)
-		if final.State == StateFailed {
-			s.log.Error("job failed",
-				"job_id", job.ID, "tenant", job.Spec.tenant(), "trace", job.TraceID,
-				"error", final.Error)
-		} else {
-			s.log.Info("job finished",
-				"job_id", job.ID, "tenant", job.Spec.tenant(), "trace", job.TraceID,
-				"state", final.State, "latency", now.Sub(job.SubmittedAt))
-		}
-	} else if final != nil && final.State == StateQueued {
-		s.log.Info("job interrupted, re-queued",
-			"job_id", job.ID, "tenant", job.Spec.tenant(), "trace", job.TraceID)
-	}
-	s.publishGauges()
-}
-
-// execute runs the placement flow of one job attempt. It reports the result,
-// whether any run resumed from a checkpoint, and the flow error.
-func (s *Service) execute(ctx context.Context, job *Job) (*tap25d.Result, bool, error) {
-	sys, err := job.Spec.LoadSystem()
-	if err != nil {
-		return nil, false, err
-	}
-	store := &tap25d.CheckpointStore{Dir: s.ckptDir(job.ID), Obs: s.obs}
-	var resumedMu sync.Mutex
-	resumed := false
-	progress := func(e tap25d.RunEvent) {
-		if e.Kind == tap25d.EventResume {
-			resumedMu.Lock()
-			resumed = true
-			resumedMu.Unlock()
-		}
-		s.hub.Publish(job.ID, e)
-	}
-	res, err := tap25d.Place(sys, tap25d.Options{
-		ThermalGrid:     job.Spec.ThermalGrid,
-		Steps:           job.Spec.Steps,
-		Runs:            job.Spec.Runs,
-		CompactSteps:    job.Spec.CompactSteps,
-		Seed:            job.Spec.Seed,
-		GasStation:      job.Spec.GasStation,
-		Surrogate:       !job.Spec.NoSurrogate,
-		Context:         ctx,
-		Progress:        progress,
-		ProgressEvery:   s.cfg.progressEvery(),
-		CheckpointEvery: s.cfg.checkpointEvery(),
-		Checkpoint:      store.Checkpoint,
-		Restore:         store.Restore,
-		Observer:        s.obs,
-	})
-	resumedMu.Lock()
-	defer resumedMu.Unlock()
-	return res, resumed, err
-}
-
-// jobResult projects a tap25d.Result onto the persisted record (nil-safe).
-func jobResult(res *tap25d.Result) *JobResult {
-	if res == nil {
-		return nil
-	}
-	return &JobResult{
-		Placement:           res.Placement,
-		PeakC:               res.PeakC,
-		WirelengthMM:        res.WirelengthMM,
-		Feasible:            res.Feasible,
-		InitialPeakC:        res.InitialPeakC,
-		InitialWirelengthMM: res.InitialWirelength,
-		Metrics:             res.Metrics,
-	}
 }

@@ -8,7 +8,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -481,4 +483,207 @@ func testContext(t *testing.T, d time.Duration) (ctx context.Context, cancel fun
 		}
 	}
 	return context.WithTimeout(context.Background(), d)
+}
+
+// TestRetryAfterHeaders pins the backpressure contract: every admission
+// rejection — tenant quota (429), queue-depth shedding (503 overloaded) and
+// drain (503 draining) — carries a positive integer Retry-After header, so
+// clients can back off without guessing.
+func TestRetryAfterHeaders(t *testing.T) {
+	retryAfter := func(t *testing.T, resp *http.Response) int {
+		t.Helper()
+		h := resp.Header.Get("Retry-After")
+		if h == "" {
+			t.Fatalf("HTTP %d response has no Retry-After header", resp.StatusCode)
+		}
+		secs, err := strconv.Atoi(h)
+		if err != nil || secs < 1 {
+			t.Fatalf("Retry-After %q, want a positive integer of seconds", h)
+		}
+		return secs
+	}
+
+	t.Run("quota_429", func(t *testing.T) {
+		// Serve-only (Workers: -1): jobs stay queued, so one submission pins
+		// the tenant at its quota.
+		_, ts := newTestServer(t, t.TempDir(), Config{Workers: -1, TenantQuota: 1})
+		spec := JobSpec{System: "multigpu", ThermalGrid: 16, Steps: 5, Runs: 1, CompactSteps: 100}
+		if _, resp := postJob(t, ts, spec); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("first submit: HTTP %d", resp.StatusCode)
+		}
+		spec.Seed = 2
+		_, resp := postJob(t, ts, spec)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("over-quota submit: HTTP %d, want 429", resp.StatusCode)
+		}
+		retryAfter(t, resp)
+	})
+
+	t.Run("overloaded_503", func(t *testing.T) {
+		_, ts := newTestServer(t, t.TempDir(), Config{Workers: -1, MaxQueueDepth: 1})
+		spec := JobSpec{System: "multigpu", ThermalGrid: 16, Steps: 5, Runs: 1, CompactSteps: 100,
+			IdempotencyKey: "first"}
+		if _, resp := postJob(t, ts, spec); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("first submit: HTTP %d", resp.StatusCode)
+		}
+		spec.Seed = 2
+		spec.IdempotencyKey = ""
+		_, resp := postJob(t, ts, spec)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("shed submit: HTTP %d, want 503", resp.StatusCode)
+		}
+		retryAfter(t, resp)
+		var e struct {
+			Code string `json:"code"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Code != "overloaded" {
+			t.Errorf("shed code %q, want overloaded", e.Code)
+		}
+		// An idempotent resubmit of an already-admitted job is not shed: the
+		// client is asking about existing work, not adding new work.
+		spec.Seed = 1
+		spec.IdempotencyKey = "first"
+		if _, resp := postJob(t, ts, spec); resp.StatusCode != http.StatusOK {
+			t.Errorf("idempotent resubmit during shedding: HTTP %d, want 200", resp.StatusCode)
+		}
+	})
+
+	t.Run("draining_503", func(t *testing.T) {
+		svc, ts := newTestServer(t, t.TempDir(), Config{Workers: -1})
+		svc.queue.StartDrain()
+		_, resp := postJob(t, ts, JobSpec{System: "multigpu", ThermalGrid: 16, Steps: 5, Runs: 1, CompactSteps: 100})
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("draining submit: HTTP %d, want 503", resp.StatusCode)
+		}
+		if secs := retryAfter(t, resp); secs != drainRetryAfterSecs {
+			t.Errorf("draining Retry-After %d, want the flat %d", secs, drainRetryAfterSecs)
+		}
+	})
+}
+
+// TestConcurrentIdempotentSubmits races two POSTs carrying the same (tenant,
+// idempotency_key) through the live HTTP stack: exactly one job record may
+// exist afterwards, and both responses must name it. Run under -race, this
+// also exercises the submit path's locking.
+func TestConcurrentIdempotentSubmits(t *testing.T) {
+	svc, ts := newTestServer(t, t.TempDir(), Config{Workers: -1})
+	spec := JobSpec{
+		System: "multigpu", ThermalGrid: 16, Steps: 5, Runs: 1, CompactSteps: 100,
+		Tenant: "acme", IdempotencyKey: "dedupe-me",
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const racers = 8
+	start := make(chan struct{})
+	ids := make([]string, racers)
+	status := make([]int, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("racer %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			status[i] = resp.StatusCode
+			var job Job
+			if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+				t.Errorf("racer %d: decoding: %v", i, err)
+				return
+			}
+			ids[i] = job.ID
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	created := 0
+	for i := 0; i < racers; i++ {
+		switch status[i] {
+		case http.StatusCreated:
+			created++
+		case http.StatusOK:
+		default:
+			t.Fatalf("racer %d: HTTP %d", i, status[i])
+		}
+		if ids[i] == "" || ids[i] != ids[0] {
+			t.Fatalf("racer %d got job id %q, racer 0 got %q — idempotency key split", i, ids[i], ids[0])
+		}
+	}
+	if created != 1 {
+		t.Errorf("%d racers got 201 Created, want exactly 1", created)
+	}
+	if jobs := svc.List(); len(jobs) != 1 {
+		t.Errorf("%d job records on disk, want 1", len(jobs))
+	}
+}
+
+// TestSSEPingKeepalive shrinks the ping interval and holds an idle stream (a
+// queued job on a serve-only server emits no events): the connection must
+// carry ": ping" comment frames at the cadence, and because comments bypass
+// the hub's buffers entirely, the hub must record zero drops however long the
+// stream idles.
+func TestSSEPingKeepalive(t *testing.T) {
+	old := ssePingInterval
+	ssePingInterval = 20 * time.Millisecond
+	defer func() { ssePingInterval = old }()
+
+	svc, ts := newTestServer(t, t.TempDir(), Config{Workers: -1})
+	job, resp := postJob(t, ts, JobSpec{System: "multigpu", ThermalGrid: 16, Steps: 5, Runs: 1, CompactSteps: 100})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+
+	ctx, cancel := testContext(t, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/jobs/"+job.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if stream.StatusCode != http.StatusOK {
+		t.Fatalf("events: HTTP %d", stream.StatusCode)
+	}
+
+	pings := 0
+	sc := bufio.NewScanner(stream.Body)
+	deadline := time.After(3 * time.Second)
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+read:
+	for pings < 3 {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				break read
+			}
+			if strings.HasPrefix(line, ": ping") {
+				pings++
+			}
+		case <-deadline:
+			break read
+		}
+	}
+	if pings < 3 {
+		t.Fatalf("idle stream carried %d pings, want >= 3", pings)
+	}
+	if drops := svc.hub.Dropped(job.ID); drops != 0 {
+		t.Errorf("hub recorded %d drops on an idle pinged stream, want 0", drops)
+	}
 }

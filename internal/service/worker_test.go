@@ -1,0 +1,267 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testWorkerConfig is a worker tuned for test time scales: fast polls, a
+// sub-second lease TTL, checkpoints every step so a crash loses almost
+// nothing.
+func testWorkerConfig(dir, id string) WorkerConfig {
+	return WorkerConfig{
+		DataDir:         dir,
+		ID:              id,
+		LeaseTTL:        400 * time.Millisecond,
+		Poll:            10 * time.Millisecond,
+		ScavengeEvery:   20 * time.Millisecond,
+		RetryBackoff:    10 * time.Millisecond,
+		RetryBackoffMax: 100 * time.Millisecond,
+		CheckpointEvery: 1,
+		ProgressEvery:   0,
+	}
+}
+
+// runJobToCompletion submits spec into a fresh data dir and drains it with
+// one worker, returning the terminal record.
+func runJobToCompletion(t *testing.T, spec JobSpec) *Job {
+	t.Helper()
+	dir := t.TempDir()
+	q, err := newQueue(filepath.Join(dir, "jobs"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := q.Submit(spec, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorker(testWorkerConfig(dir, "w-ref"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); w.Run(ctx) }()
+	final := waitTerminal(t, q, j.ID, 60*time.Second)
+	cancel()
+	<-done
+	return final
+}
+
+// waitTerminal polls the queue until the job reaches a terminal state.
+func waitTerminal(t *testing.T, q *queue, id string, timeout time.Duration) *Job {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		j, err := q.Get(id)
+		if err != nil {
+			t.Fatalf("get %s: %v", id, err)
+		}
+		if j.Terminal() {
+			return j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, j.State, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWorkerCrashReclaimResume is the in-process chaos drill of the lease
+// protocol: a worker claims a job, anneals past its first checkpoints, and
+// "dies" kill -9 style — the attempt is abandoned with the lease file still
+// on disk and the record still running. A peer worker's scavenger must then
+// reclaim the job under the next fencing epoch, re-queue it with a retry,
+// resume it from the dead worker's checkpoint, and finish it with a result
+// bit-identical to an uninterrupted run of the same spec. The dead worker's
+// lease guard must be fenced off the moment the reclaim lands.
+func TestWorkerCrashReclaimResume(t *testing.T) {
+	spec := testSpec(42)
+	spec.Steps = 60 // long enough that the kill reliably lands mid-anneal
+
+	baseline := runJobToCompletion(t, spec)
+	if baseline.State != StateDone || baseline.Result == nil {
+		t.Fatalf("baseline run: state %s, result %v", baseline.State, baseline.Result)
+	}
+
+	dir := t.TempDir()
+	q, err := newQueue(filepath.Join(dir, "jobs"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := q.Submit(spec, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The doomed worker: claim the job and run it directly (no heartbeat, no
+	// finalize — exactly the writes a SIGKILLed process would have made).
+	dead, err := NewWorker(testWorkerConfig(dir, "w-dead"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	claim := dead.tryClaim(time.Now())
+	if claim == nil {
+		t.Fatal("doomed worker could not claim the job")
+	}
+	guard := newLeaseGuard(dead.leaseDir, claim.lease)
+	execCtx, killExec := context.WithCancel(context.Background())
+	go func() {
+		// "kill -9" mid-anneal: cut execution once the first checkpoint is on
+		// disk, so the resume has real annealing state to pick up.
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			if ents, err := os.ReadDir(dead.ckptDir(j.ID)); err == nil && len(ents) > 0 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		killExec()
+	}()
+	_, _, runErr := dead.execute(execCtx, claim.job, guard)
+	if runErr != nil && !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("doomed attempt failed before the kill: %v", runErr)
+	}
+	if ents, err := os.ReadDir(dead.ckptDir(j.ID)); err != nil || len(ents) == 0 {
+		t.Fatalf("no checkpoint survived the kill (err %v) — drill is vacuous", err)
+	}
+	// No finalize, no release: the record stays running at epoch 1 and the
+	// lease file stays behind, just as after a real SIGKILL.
+	if cur, _ := q.Get(j.ID); cur.State != StateRunning || cur.Epoch != 1 {
+		t.Fatalf("after kill: state %s epoch %d, want running epoch 1", cur.State, cur.Epoch)
+	}
+
+	// Let the lease run out, then start the surviving peer.
+	time.Sleep(testWorkerConfig(dir, "").LeaseTTL + 100*time.Millisecond)
+	live, err := NewWorker(testWorkerConfig(dir, "w-live"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); live.Run(ctx) }()
+	final := waitTerminal(t, q, j.ID, 60*time.Second)
+	cancel()
+	<-done
+
+	if final.State != StateDone {
+		t.Fatalf("reclaimed job finished %s (error %q), want done", final.State, final.Error)
+	}
+	if final.Retries != 1 {
+		t.Errorf("retries %d, want 1 (one reclamation)", final.Retries)
+	}
+	if final.Epoch != 3 {
+		t.Errorf("epoch %d, want 3 (claim, reclaim and re-claim each advance the fence)", final.Epoch)
+	}
+	if final.Attempts != 2 {
+		t.Errorf("attempts %d, want 2", final.Attempts)
+	}
+	if !final.Resumed {
+		t.Error("resumed flag not set: the peer re-annealed from scratch instead of the checkpoint")
+	}
+	if final.WorkerID != "w-live" {
+		t.Errorf("finishing worker %q, want w-live", final.WorkerID)
+	}
+
+	// Bit-identical recovery: interrupted-and-resumed must equal uninterrupted.
+	if !reflect.DeepEqual(final.Result.Placement, baseline.Result.Placement) {
+		t.Errorf("resumed placement differs from uninterrupted run:\n got %+v\nwant %+v",
+			final.Result.Placement, baseline.Result.Placement)
+	}
+	if final.Result.PeakC != baseline.Result.PeakC {
+		t.Errorf("resumed peak %v C, uninterrupted %v C", final.Result.PeakC, baseline.Result.PeakC)
+	}
+	if final.Result.WirelengthMM != baseline.Result.WirelengthMM {
+		t.Errorf("resumed wirelength %v mm, uninterrupted %v mm",
+			final.Result.WirelengthMM, baseline.Result.WirelengthMM)
+	}
+
+	// The revenant is fenced: its guard must refuse every further write.
+	if err := guard.check(); !errors.Is(err, ErrLeaseLost) {
+		t.Errorf("dead worker's guard.check after reclaim: err %v, want ErrLeaseLost", err)
+	}
+
+	c := live.Counters()
+	if c.JobsReclaims != 1 || c.JobsRetries != 1 {
+		t.Errorf("live worker counters: reclaims %d retries %d, want 1 and 1", c.JobsReclaims, c.JobsRetries)
+	}
+	if c.JobsLeasesAcquired < 1 || c.JobsLeasesReleased < 1 {
+		t.Errorf("live worker counters: acquired %d released %d, want >= 1 each",
+			c.JobsLeasesAcquired, c.JobsLeasesReleased)
+	}
+	if c.JobsResumed != 1 {
+		t.Errorf("live worker counters: resumed %d, want 1", c.JobsResumed)
+	}
+}
+
+// TestScavengerRetryBudgetExhaustion drives a job through repeated crash
+// reclamations at the queue level (no annealing): each reclaim bumps the
+// retry count and the backoff gate doubles, and once the budget is spent the
+// job fails terminally with an error naming the spent budget.
+func TestScavengerRetryBudgetExhaustion(t *testing.T) {
+	dir := t.TempDir()
+	leases := t.TempDir()
+	q, err := newQueue(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := q.Submit(testSpec(1), time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := testScavenger(q, leases)
+	sc.budget = 2
+
+	var lastGate time.Time
+	for round := 1; ; round++ {
+		cur, err := q.Get(j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.Terminal() {
+			if cur.State != StateFailed {
+				t.Fatalf("exhausted job is %s, want failed", cur.State)
+			}
+			if round != sc.budget+2 {
+				t.Fatalf("job went terminal on round %d, want %d", round, sc.budget+2)
+			}
+			if cur.Retries != sc.budget+1 {
+				t.Fatalf("terminal retries %d, want %d", cur.Retries, sc.budget+1)
+			}
+			for _, want := range []string{"lease expired", "retry budget spent"} {
+				if !strings.Contains(cur.Error, want) {
+					t.Errorf("failure error %q does not mention %q", cur.Error, want)
+				}
+			}
+			return
+		}
+		// Claim with a lease minted far in the past, crash, sweep.
+		past := time.Now().Add(-time.Hour)
+		l, err := acquireLease(leases, j.ID, "w-doomed", cur.Epoch+1, time.Second, past)
+		if err != nil {
+			t.Fatalf("round %d acquire: %v", round, err)
+		}
+		// Claim from past the backoff gate (claimable respects NotBefore).
+		if _, err := q.markRunning(j.ID, "w-doomed", l.Epoch, time.Now().Add(2*time.Second)); err != nil {
+			t.Fatalf("round %d markRunning: %v", round, err)
+		}
+		if n := sc.sweep(time.Now()); n != 1 {
+			t.Fatalf("round %d sweep reclaimed %d jobs, want 1", round, n)
+		}
+		if cur, _ = q.Get(j.ID); cur.State == StateQueued {
+			if cur.NotBefore == nil {
+				t.Fatalf("round %d: requeued without a backoff gate", round)
+			}
+			if !lastGate.IsZero() && cur.NotBefore.Sub(lastGate) <= 0 {
+				t.Errorf("round %d: backoff gate %v did not advance past %v", round, cur.NotBefore, lastGate)
+			}
+			lastGate = *cur.NotBefore
+		}
+	}
+}
