@@ -32,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -47,6 +48,7 @@ type cliFlags struct {
 	ids                  *string
 	full                 *bool
 	grid, steps, runs    *int
+	precond              *string
 	seed                 *int64
 	ckptDir              *string
 	ckptEvery            *int
@@ -58,6 +60,8 @@ type cliFlags struct {
 	evalBudget           *int
 	noSur                *bool
 	benchOut             *string
+	solverBenchOut       *string
+	solverGrids          *string
 	version              *bool
 }
 
@@ -81,25 +85,28 @@ Options:
 func newFlagSet(name string) (*flag.FlagSet, *cliFlags) {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	f := &cliFlags{
-		ids:        fs.String("e", "", "comma-separated experiment IDs (default: all of E1-E13)"),
-		full:       fs.Bool("full", false, "paper-fidelity settings (64x64 grid, 4500 steps, 5 runs)"),
-		grid:       fs.Int("grid", 0, "override the preset's thermal grid resolution (0: keep preset)"),
-		steps:      fs.Int("steps", 0, "override the preset's SA steps (0: keep preset)"),
-		runs:       fs.Int("runs", 0, "override the preset's SA run count (0: keep preset)"),
-		seed:       fs.Int64("seed", 0, "override the preset's random seed (0: keep preset)"),
-		ckptDir:    fs.String("checkpoint-dir", "", "directory for resumable run snapshots (off by default; enables checkpointing)"),
-		ckptEvery:  fs.Int("checkpoint-every", 0, "snapshot cadence in SA steps, used with -checkpoint-dir (0: snapshot only on interrupt)"),
-		resume:     fs.Bool("resume", false, "resume interrupted runs from -checkpoint-dir snapshots (requires -checkpoint-dir)"),
-		journal:    fs.String("journal", "", "append progress events to this JSONL file"),
-		progEvery:  fs.Int("progress-every", 0, "emit a step event every N SA steps (0: lifecycle events only)"),
-		debugAddr:  fs.String("debug-addr", "", "serve live metrics/pprof/run status on this address (e.g. localhost:6060)"),
-		obsReport:  fs.String("obs-report", "", "write the end-of-campaign observability report as JSON to this file"),
-		strictRes:  fs.Bool("strict-resume", false, "fail on a corrupt newest checkpoint instead of the default fallback to the previous generation"),
-		noRecover:  fs.Bool("no-recover", false, "disable the thermal solver's CG recovery ladder that is on by default (non-convergence fails immediately)"),
-		evalBudget: fs.Int("eval-failure-budget", 0, "skip up to N consecutive transiently-failed SA steps per run (0: fail fast)"),
-		noSur:      fs.Bool("no-surrogate", false, "disable the analytical-surrogate prescreen that is on by default (every SA step pays an exact thermal solve; byte-identical to the pre-surrogate flow)"),
-		benchOut:   fs.String("bench-out", "", "run the surrogate-vs-exact E1 micro-benchmark and write its BENCH_*.json entries to this file (skips the experiment sweep)"),
-		version:    fs.Bool("version", false, "print the build version and exit"),
+		ids:            fs.String("e", "", "comma-separated experiment IDs (default: all of E1-E13)"),
+		full:           fs.Bool("full", false, "paper-fidelity settings (64x64 grid, 4500 steps, 5 runs)"),
+		grid:           fs.Int("grid", 0, "override the preset's thermal grid resolution (0: keep preset)"),
+		precond:        fs.String("precond", "", "CG preconditioner for all thermal solves: auto, jacobi, ssor, mg (empty: auto)"),
+		steps:          fs.Int("steps", 0, "override the preset's SA steps (0: keep preset)"),
+		runs:           fs.Int("runs", 0, "override the preset's SA run count (0: keep preset)"),
+		seed:           fs.Int64("seed", 0, "override the preset's random seed (0: keep preset)"),
+		ckptDir:        fs.String("checkpoint-dir", "", "directory for resumable run snapshots (off by default; enables checkpointing)"),
+		ckptEvery:      fs.Int("checkpoint-every", 0, "snapshot cadence in SA steps, used with -checkpoint-dir (0: snapshot only on interrupt)"),
+		resume:         fs.Bool("resume", false, "resume interrupted runs from -checkpoint-dir snapshots (requires -checkpoint-dir)"),
+		journal:        fs.String("journal", "", "append progress events to this JSONL file"),
+		progEvery:      fs.Int("progress-every", 0, "emit a step event every N SA steps (0: lifecycle events only)"),
+		debugAddr:      fs.String("debug-addr", "", "serve live metrics/pprof/run status on this address (e.g. localhost:6060)"),
+		obsReport:      fs.String("obs-report", "", "write the end-of-campaign observability report as JSON to this file"),
+		strictRes:      fs.Bool("strict-resume", false, "fail on a corrupt newest checkpoint instead of the default fallback to the previous generation"),
+		noRecover:      fs.Bool("no-recover", false, "disable the thermal solver's CG recovery ladder that is on by default (non-convergence fails immediately)"),
+		evalBudget:     fs.Int("eval-failure-budget", 0, "skip up to N consecutive transiently-failed SA steps per run (0: fail fast)"),
+		noSur:          fs.Bool("no-surrogate", false, "disable the analytical-surrogate prescreen that is on by default (every SA step pays an exact thermal solve; byte-identical to the pre-surrogate flow)"),
+		benchOut:       fs.String("bench-out", "", "run the surrogate-vs-exact E1 micro-benchmark and write its BENCH_*.json entries to this file (skips the experiment sweep)"),
+		solverBenchOut: fs.String("solver-bench-out", "", "run the CG preconditioner-scaling / batched multi-RHS benchmark and write its BENCH_*.json entries to this file (skips the experiment sweep)"),
+		solverGrids:    fs.String("solver-grids", "64,128,256", "comma-separated ascending grid sizes for -solver-bench-out"),
+		version:        fs.Bool("version", false, "print the build version and exit"),
 	}
 	fs.Usage = func() {
 		fmt.Fprint(fs.Output(), usageHeader)
@@ -143,8 +150,13 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Surrogate = !*noSur
+	cfg.Precond = *f.precond
 	if *benchOut != "" {
 		runBench(cfg, *benchOut)
+		return
+	}
+	if *f.solverBenchOut != "" {
+		runSolverBench(*f.solverGrids, *f.solverBenchOut)
 		return
 	}
 	if *resume && *ckptDir == "" {
@@ -294,6 +306,43 @@ func runBench(cfg experiments.Config, path string) {
 		os.Exit(1)
 	}
 	fmt.Println("benchmark entries written to", path)
+}
+
+// runSolverBench regenerates the BENCH_SOLVER.json artifact: the CG
+// preconditioner ladder (jacobi/ssor/mg) across the given grid sizes plus the
+// batched multi-RHS throughput comparison (see internal/experiments
+// BenchmarkSolverScaling for the measurement protocol).
+func runSolverBench(gridsCSV, path string) {
+	var grids []int
+	for _, s := range strings.Split(gridsCSV, ",") {
+		g, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: solver bench: bad -solver-grids:", err)
+			os.Exit(2)
+		}
+		grids = append(grids, g)
+	}
+	rep, entries, err := experiments.BenchmarkSolverScaling(grids)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: solver bench:", err)
+		os.Exit(1)
+	}
+	rep.Format(os.Stdout)
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: solver bench:", err)
+		os.Exit(1)
+	}
+	if err := experiments.WriteBenchEntries(f, entries); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "experiments: solver bench:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: solver bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("solver benchmark entries written to", path)
 }
 
 // bestTracker keeps the latest event per run index of the flow currently in

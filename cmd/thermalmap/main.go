@@ -30,6 +30,7 @@ func main() {
 		jsonPath   = flag.String("json", "", "JSON system description")
 		placement  = flag.String("placement", "", "JSON placement (required with -json)")
 		grid       = flag.Int("grid", 64, "thermal grid resolution")
+		precond    = flag.String("precond", "auto", "CG preconditioner: auto (jacobi up to grid 64, multigrid beyond), jacobi, ssor, mg")
 		cols       = flag.Int("cols", 72, "ASCII map width")
 		ppmPath    = flag.String("ppm", "", "write a PPM image")
 		transient  = flag.Bool("transient", false, "also trace the power-on step response")
@@ -52,7 +53,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := tap25d.Options{ThermalGrid: *grid, DisableRecovery: *noRecover}
+	opt := tap25d.Options{ThermalGrid: *grid, Precond: *precond, DisableRecovery: *noRecover}
 	var observer *tap25d.Observer
 	if *debugAddr != "" || *obsReport != "" {
 		observer = tap25d.NewObserver()

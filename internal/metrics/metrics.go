@@ -72,6 +72,12 @@ type Counters struct {
 	// breached the bound and forced a spread-length refit.
 	SurrogateAudits int64 `json:"surrogate_audits"`
 	SurrogateRefits int64 `json:"surrogate_refits"`
+	// MGCycles counts multigrid V-cycles applied as CG preconditioner passes;
+	// MGSetups counts hierarchy (re)coarsenings — the initial Galerkin build
+	// and every periodic numeric refresh. Both carry omitempty so flows on
+	// the default Jacobi path serialize exactly as before multigrid existed.
+	MGCycles int64 `json:"mg_cycles,omitempty"`
+	MGSetups int64 `json:"mg_setups,omitempty"`
 
 	// Service-level job counters (internal/service). They carry omitempty so
 	// the per-run journal events of a plain CLI flow — where no job queue
@@ -141,6 +147,8 @@ func (c Counters) Each(f func(name string, v int64)) {
 	f("surrogate_rejects", c.SurrogateRejects)
 	f("surrogate_audits", c.SurrogateAudits)
 	f("surrogate_refits", c.SurrogateRefits)
+	f("mg_cycles", c.MGCycles)
+	f("mg_setups", c.MGSetups)
 	f("jobs_submitted", c.JobsSubmitted)
 	f("jobs_completed", c.JobsCompleted)
 	f("jobs_failed", c.JobsFailed)
@@ -179,6 +187,8 @@ func (c *Counters) Merge(o Counters) {
 	c.SurrogateRejects += o.SurrogateRejects
 	c.SurrogateAudits += o.SurrogateAudits
 	c.SurrogateRefits += o.SurrogateRefits
+	c.MGCycles += o.MGCycles
+	c.MGSetups += o.MGSetups
 	c.JobsSubmitted += o.JobsSubmitted
 	c.JobsCompleted += o.JobsCompleted
 	c.JobsFailed += o.JobsFailed
@@ -203,9 +213,9 @@ func (c Counters) IsZero() bool {
 // String renders the counters as a compact single-line summary. Every
 // per-flow group appears, zero or not, in the struct's declaration order, so
 // lines from different runs and tools align and can be diffed or parsed
-// column-wise. The service-level jobs group is the one exception: it is
-// appended only when non-zero, so CLI and library flows (which never touch
-// it) keep their historical line format.
+// column-wise. The multigrid and service-level jobs groups are the
+// exceptions: they are appended only when non-zero, so flows that never touch
+// them keep their historical line format.
 func (c Counters) String() string {
 	s := fmt.Sprintf("evals=%d cache=%d/%d (hit/miss) solves=%d cg_iters=%d "+
 		"assembles=%d/%d/%d (full/delta/skip) routes=%d ckpts=%d resumes=%d "+
@@ -218,6 +228,9 @@ func (c Counters) String() string {
 		c.CGRetries, c.CGFallbackPrecond,
 		c.StepEvalSkipped, c.CkptWriteRetries, c.ResumeFallbacks,
 		c.SurrogatePrescreens, c.SurrogateRejects, c.SurrogateAudits, c.SurrogateRefits)
+	if c.MGCycles != 0 || c.MGSetups != 0 {
+		s += fmt.Sprintf(" mg=%d/%d (cycles/setups)", c.MGCycles, c.MGSetups)
+	}
 	if c.JobsSubmitted != 0 || c.JobsCompleted != 0 || c.JobsFailed != 0 ||
 		c.JobsCanceled != 0 || c.JobsResumed != 0 ||
 		c.JobsQuotaRejected != 0 || c.JobsDeduped != 0 || c.JobsEventsDropped != 0 {

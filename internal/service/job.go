@@ -30,6 +30,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 	"time"
 
 	"tap25d"
@@ -68,6 +69,16 @@ type JobSpec struct {
 	Seed         int64 `json:"seed,omitempty"`
 	// GasStation enables 2-stage pipelined routing (Eqn. 9).
 	GasStation bool `json:"gas_station,omitempty"`
+	// Precond selects the CG preconditioner ("jacobi", "ssor", "mg";
+	// empty/"auto" picks Jacobi up to grid 64 and multigrid beyond), as
+	// tap25d.Options.Precond.
+	Precond string `json:"precond,omitempty"`
+	// PowerScenarios, when non-empty, asks the worker to re-evaluate the
+	// final placement under these whole-system power scale factors in one
+	// batched multi-RHS thermal solve; the per-corner peak temperatures are
+	// returned in JobResult.ScenarioPeaksC. This is power-corner screening:
+	// "is the placement still feasible at 120% TDP?" without extra jobs.
+	PowerScenarios []float64 `json:"power_scenarios,omitempty"`
 	// NoSurrogate disables the two-fidelity surrogate prescreen. Like the
 	// CLIs, the service runs with the surrogate ON by default.
 	NoSurrogate bool `json:"no_surrogate,omitempty"`
@@ -96,8 +107,25 @@ func (s *JobSpec) Validate() error {
 	if s.ThermalGrid < 0 || s.Steps < 0 || s.Runs < 0 || s.CompactSteps < 0 {
 		return fmt.Errorf("thermal_grid, steps, runs and compact_steps must be non-negative")
 	}
+	switch s.Precond {
+	case "", "auto", "jacobi", "ssor", "mg":
+	default:
+		return fmt.Errorf("precond %q: want auto, jacobi, ssor or mg", s.Precond)
+	}
+	if len(s.PowerScenarios) > maxPowerScenarios {
+		return fmt.Errorf("power_scenarios: %d corners exceeds the limit of %d", len(s.PowerScenarios), maxPowerScenarios)
+	}
+	for c, f := range s.PowerScenarios {
+		if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("power_scenarios[%d] is %v; want a finite non-negative scale factor", c, f)
+		}
+	}
 	return nil
 }
+
+// maxPowerScenarios bounds the per-job power-corner sweep; the batched
+// solver holds all right-hand sides in memory at once.
+const maxPowerScenarios = 64
 
 // LoadSystem materializes the spec's system description.
 func (s *JobSpec) LoadSystem() (*tap25d.System, error) {
@@ -131,6 +159,10 @@ type JobResult struct {
 	InitialWirelengthMM float64 `json:"initial_wirelength_mm"`
 	// Metrics aggregates the flow's evaluation counters.
 	Metrics tap25d.EvalCounters `json:"metrics"`
+	// ScenarioPeaksC holds the peak temperature of the final placement under
+	// each requested power corner (same order as JobSpec.PowerScenarios;
+	// absent when no corners were requested).
+	ScenarioPeaksC []float64 `json:"scenario_peaks_c,omitempty"`
 }
 
 // Job is one queued, running or finished placement job. It is both the

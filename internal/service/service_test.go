@@ -293,6 +293,12 @@ func TestCancelWhileQueued(t *testing.T) {
 		resp.Body.Close()
 	}
 	waitState(t, ts, blocker.ID, StateCanceled)
+	// The worker increments JobsCanceled after persisting the terminal
+	// record, so the counter can trail the observable state briefly.
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Counters().JobsCanceled != 2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
 	if c := svc.Counters(); c.JobsCanceled != 2 {
 		t.Fatalf("counters %+v", c)
 	}

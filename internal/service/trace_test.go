@@ -71,10 +71,18 @@ func TestJobTraceEndToEnd(t *testing.T) {
 	}
 
 	// The sealed manifest beside the trace verifies the file byte-for-byte.
+	// It is sealed just after the terminal record persists, so give the
+	// worker's finalize hook a moment to catch up with the observable state.
 	var m obs.TraceManifest
 	manifestPath := filepath.Join(dir, "traces", job.ID+".trace.manifest.json")
-	if err := placer.ReadSealedFile(manifestPath, "tap25d-trace", &m); err != nil {
-		t.Fatalf("reading sealed manifest: %v", err)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := placer.ReadSealedFile(manifestPath, "tap25d-trace", &m); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("reading sealed manifest: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 	if m.TraceID != job.TraceID || m.JobID != job.ID || int(m.Spans) != len(recs) {
 		t.Fatalf("manifest %+v, want trace %s job %s with %d spans", m, job.TraceID, job.ID, len(recs))

@@ -420,12 +420,12 @@ func (w *Worker) runLeased(ctx context.Context, job *Job, l *lease) {
 	if w.hooks.execContext != nil {
 		execCtx, endSpan = w.hooks.execContext(jobCtx, job)
 	}
-	res, resumed, runErr := w.execute(execCtx, job, guard)
+	res, peaks, resumed, runErr := w.execute(execCtx, job, guard)
 	endSpan()
 	stopHB()
 	<-hbDone
 
-	w.finalize(job, guard, res, resumed, runErr,
+	w.finalize(job, guard, res, peaks, resumed, runErr,
 		userCanceled.Load() || w.queue.cancelRequested(job.ID), start)
 }
 
@@ -433,10 +433,10 @@ func (w *Worker) runLeased(ctx context.Context, job *Job, l *lease) {
 // fenced: each one re-reads the lease and fails with ErrLeaseLost if the
 // epoch moved, so a stale worker stops contaminating the checkpoint
 // directory within one write of losing the job.
-func (w *Worker) execute(ctx context.Context, job *Job, guard *leaseGuard) (*tap25d.Result, bool, error) {
+func (w *Worker) execute(ctx context.Context, job *Job, guard *leaseGuard) (*tap25d.Result, []float64, bool, error) {
 	sys, err := job.Spec.LoadSystem()
 	if err != nil {
-		return nil, false, err
+		return nil, nil, false, err
 	}
 	store := &tap25d.CheckpointStore{Dir: w.ckptDir(job.ID), Obs: w.obs}
 	var resumedMu sync.Mutex
@@ -453,6 +453,7 @@ func (w *Worker) execute(ctx context.Context, job *Job, guard *leaseGuard) (*tap
 	}
 	res, err := tap25d.Place(sys, tap25d.Options{
 		ThermalGrid:     job.Spec.ThermalGrid,
+		Precond:         job.Spec.Precond,
 		Steps:           job.Spec.Steps,
 		Runs:            job.Spec.Runs,
 		CompactSteps:    job.Spec.CompactSteps,
@@ -474,14 +475,40 @@ func (w *Worker) execute(ctx context.Context, job *Job, guard *leaseGuard) (*tap
 	})
 	resumedMu.Lock()
 	defer resumedMu.Unlock()
-	return res, resumed, err
+	var peaks []float64
+	if err == nil && res != nil && len(job.Spec.PowerScenarios) > 0 {
+		if peaks, err = w.scenarioPeaks(ctx, sys, job, res.Placement); err != nil {
+			err = fmt.Errorf("power scenario sweep: %w", err)
+		}
+	}
+	return res, peaks, resumed, err
+}
+
+// scenarioPeaks re-evaluates a finished placement under the job's requested
+// power corners in one batched multi-RHS thermal solve and returns the peak
+// temperature of each corner.
+func (w *Worker) scenarioPeaks(ctx context.Context, sys *tap25d.System, job *Job, p tap25d.Placement) ([]float64, error) {
+	results, err := tap25d.EvaluateScenarios(sys, p, job.Spec.PowerScenarios, tap25d.Options{
+		ThermalGrid: job.Spec.ThermalGrid,
+		Precond:     job.Spec.Precond,
+		Context:     ctx,
+		Observer:    w.obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	peaks := make([]float64, len(results))
+	for c, r := range results {
+		peaks[c] = r.PeakC
+	}
+	return peaks, nil
 }
 
 // finalize persists the attempt's outcome — but only if this worker still
 // holds the lease. The record write happens before the lease release, so at
 // every instant either the record is final or a lease (or its expiry)
 // explains who owns the job.
-func (w *Worker) finalize(job *Job, guard *leaseGuard, res *tap25d.Result, resumed bool, runErr error, userCanceled bool, start time.Time) {
+func (w *Worker) finalize(job *Job, guard *leaseGuard, res *tap25d.Result, peaks []float64, resumed bool, runErr error, userCanceled bool, start time.Time) {
 	if guard.isLost() || (runErr != nil && errors.Is(runErr, ErrLeaseLost)) {
 		w.abandon(job, runErr)
 		return
@@ -510,7 +537,7 @@ func (w *Worker) finalize(job *Job, guard *leaseGuard, res *tap25d.Result, resum
 		case interrupted && userCanceled:
 			j.State = StateCanceled
 			j.FinishedAt = &finished
-			j.Result = jobResult(res)
+			j.Result = jobResult(res, peaks)
 		case runErr != nil:
 			j.State = StateFailed
 			j.FinishedAt = &finished
@@ -518,7 +545,7 @@ func (w *Worker) finalize(job *Job, guard *leaseGuard, res *tap25d.Result, resum
 		default:
 			j.State = StateDone
 			j.FinishedAt = &finished
-			j.Result = jobResult(res)
+			j.Result = jobResult(res, peaks)
 		}
 	})
 	if err != nil {
@@ -583,7 +610,7 @@ func (w *Worker) abandon(job *Job, cause error) {
 }
 
 // jobResult projects a tap25d.Result onto the persisted record (nil-safe).
-func jobResult(res *tap25d.Result) *JobResult {
+func jobResult(res *tap25d.Result, scenarioPeaks []float64) *JobResult {
 	if res == nil {
 		return nil
 	}
@@ -595,5 +622,6 @@ func jobResult(res *tap25d.Result) *JobResult {
 		InitialPeakC:        res.InitialPeakC,
 		InitialWirelengthMM: res.InitialWirelength,
 		Metrics:             res.Metrics,
+		ScenarioPeaksC:      scenarioPeaks,
 	}
 }

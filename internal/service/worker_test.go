@@ -124,7 +124,7 @@ func TestWorkerCrashReclaimResume(t *testing.T) {
 		}
 		killExec()
 	}()
-	_, _, runErr := dead.execute(execCtx, claim.job, guard)
+	_, _, _, runErr := dead.execute(execCtx, claim.job, guard)
 	if runErr != nil && !errors.Is(runErr, context.Canceled) {
 		t.Fatalf("doomed attempt failed before the kill: %v", runErr)
 	}

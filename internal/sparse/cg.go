@@ -12,12 +12,41 @@ import (
 )
 
 // ParallelThresholdRows is the matrix size above which CGSolver partitions
-// its matrix-vector products across GOMAXPROCS goroutines. Small systems stay
-// serial: below this size the per-product goroutine wake-up costs more than
-// the arithmetic it distributes. Row partitioning computes each row exactly
-// as the serial kernel does, so parallel products are bit-identical to serial
+// its matrix-vector products across goroutines. Small systems stay serial:
+// below this size the per-product goroutine wake-up costs more than the
+// arithmetic it distributes. Row partitioning computes each row exactly as
+// the serial kernel does, so parallel products are bit-identical to serial
 // ones for any worker count.
 var ParallelThresholdRows = 16384
+
+// parallelGrainRows is the row count each parallel worker should own. The
+// worker count is derived from the matrix size instead of jumping straight to
+// GOMAXPROCS at the threshold: a conductance-matrix row holds ~7 stored
+// entries, so 8192 rows are roughly one megabyte of matrix data and tens of
+// microseconds of work — enough to amortize a goroutine wake-up (~µs) many
+// times over. A fixed GOMAXPROCS fan-out is mis-sized at both ends: at the
+// 16384-row threshold it hands each of (say) 16 workers a ~1000-row sliver
+// dominated by scheduling, while a 256×256 thermal grid (524288 rows) has
+// plenty of rows to feed every core at full grain.
+const parallelGrainRows = 8192
+
+// parallelWorkers returns the worker count for n-row matrix-vector products:
+// one worker per parallelGrainRows rows, capped at GOMAXPROCS, and serial
+// below ParallelThresholdRows. The answer only picks a row partition, which
+// is bit-identical to serial for any count.
+func parallelWorkers(n int) int {
+	if n < ParallelThresholdRows {
+		return 1
+	}
+	w := n / parallelGrainRows
+	if max := runtime.GOMAXPROCS(0); w > max {
+		w = max
+	}
+	if w < 2 {
+		return 1
+	}
+	return w
+}
 
 // MulVecParallel computes y = A·x with rows partitioned across workers
 // goroutines. Each row's dot product runs exactly as in the serial kernel, so
@@ -89,9 +118,7 @@ func NewCGSolver(a *CSR) *CGSolver {
 			}
 		}
 	}
-	if w := runtime.GOMAXPROCS(0); w > 1 && n >= ParallelThresholdRows {
-		s.workers = w
-	}
+	s.workers = parallelWorkers(n)
 	return s
 }
 
@@ -200,6 +227,14 @@ func (s *CGSolver) SolveContext(ctx context.Context, x, b []float64, opt CGOptio
 		maxIter = 10 * n
 	}
 
+	// A caller-supplied preconditioner takes a separate code path: the default
+	// Jacobi application is fused into the x/r update loop below, and keeping
+	// that loop untouched keeps the nil-Precond path bit-identical to every
+	// solve performed before the hook existed.
+	if opt.Precond != nil {
+		return s.solvePrecond(ctx, x, b, opt, tol, maxIter)
+	}
+
 	// Refresh the Jacobi preconditioner from the (possibly updated) diagonal:
 	// O(N) via the precomputed slots instead of an O(nnz) scan.
 	invD := s.invD
@@ -277,6 +312,92 @@ func (s *CGSolver) SolveContext(ctx context.Context, x, b []float64, opt CGOptio
 		}
 		if res <= tol*bnorm {
 			return it, nil
+		}
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return maxIter, ErrNoConvergence
+}
+
+// solvePrecond is the conjugate-gradient loop with a caller-supplied
+// preconditioner M (opt.Precond): z = M⁻¹r is obtained by Apply instead of
+// the fused Jacobi scaling. The structure mirrors SolveContext — same
+// residual bookkeeping, same convergence test, same cancellation cadence —
+// but the preconditioner application is necessarily a separate pass, so
+// iterates are not expected to match the Jacobi path bit for bit (they solve
+// the same system to the same tolerance by a different Krylov trajectory).
+func (s *CGSolver) solvePrecond(ctx context.Context, x, b []float64, opt CGOptions, tol float64, maxIter int) (int, error) {
+	n := s.a.N
+	pre := opt.Precond
+	x, b = x[:n], b[:n]
+	r, z, p, ap := s.r[:n], s.z[:n], s.p[:n], s.ap[:n]
+
+	s.mulVec(r, x)
+	var bnorm, rnorm0 float64
+	for i := range r {
+		r[i] = b[i] - r[i]
+		bnorm += b[i] * b[i]
+		rnorm0 += r[i] * r[i]
+	}
+	bnorm = math.Sqrt(bnorm)
+	if opt.OnIteration != nil {
+		opt.OnIteration(0, math.Sqrt(rnorm0))
+	}
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return 0, nil
+	}
+	if math.Sqrt(rnorm0) <= tol*bnorm {
+		return 0, nil
+	}
+
+	pre.Apply(z, r)
+	var rz float64
+	for i := range z {
+		rz += r[i] * z[i]
+	}
+	if rz <= 0 {
+		return 0, fmt.Errorf("sparse: r'M⁻¹r = %g <= 0; preconditioner not positive definite", rz)
+	}
+	copy(p, z)
+
+	for it := 1; it <= maxIter; it++ {
+		if it%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return it, fmt.Errorf("sparse: CG canceled after %d iterations: %w", it-1, err)
+			}
+		}
+		pap := s.mulVecDot(ap, p, p)
+		if pap <= 0 {
+			return it, fmt.Errorf("sparse: p'Ap = %g <= 0; matrix not SPD", pap)
+		}
+		alpha := rz / pap
+		var rnorm float64
+		for i := range x {
+			x[i] += alpha * p[i]
+			ri := r[i] - alpha*ap[i]
+			r[i] = ri
+			rnorm += ri * ri
+		}
+		res := math.Sqrt(rnorm)
+		if opt.OnIteration != nil {
+			opt.OnIteration(it, res)
+		}
+		if res <= tol*bnorm {
+			return it, nil
+		}
+		pre.Apply(z, r)
+		var rzNew float64
+		for i := range z {
+			rzNew += r[i] * z[i]
+		}
+		if rzNew <= 0 {
+			return it, fmt.Errorf("sparse: r'M⁻¹r = %g <= 0; preconditioner not positive definite", rzNew)
 		}
 		beta := rzNew / rz
 		rz = rzNew

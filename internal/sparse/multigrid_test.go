@@ -1,0 +1,313 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// stackGeo pairs grid3D's node layout (z*g*g + i*g + j) with the
+// GridGeometry the multigrid builder expects.
+func stackGeo(g, l int) GridGeometry { return GridGeometry{Layers: l, Nx: g, Ny: g} }
+
+func TestMultigridGeometryValidation(t *testing.T) {
+	a := grid3D(8, 2)
+	if _, err := NewMultigrid(a, GridGeometry{Layers: 3, Nx: 8, Ny: 8}, MGOptions{}); err == nil {
+		t.Fatal("mismatched geometry accepted")
+	}
+	if _, err := NewMultigrid(a, GridGeometry{}, MGOptions{}); err == nil {
+		t.Fatal("zero geometry accepted")
+	}
+}
+
+func TestMultigridLevels(t *testing.T) {
+	// 64 → 32 → 16 → 8 → 4: five levels; coarsest has 4·4·2 = 32 nodes.
+	mg, err := NewMultigrid(grid3D(64, 2), stackGeo(64, 2), MGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mg.Levels(); got != 5 {
+		t.Fatalf("Levels() = %d, want 5", got)
+	}
+	// A 6×6 plane cannot coarsen at all (below the 8-cell floor).
+	mg, err = NewMultigrid(grid3D(6, 2), stackGeo(6, 2), MGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mg.Levels(); got != 1 {
+		t.Fatalf("Levels() on 6×6 = %d, want 1 (coarsest-only)", got)
+	}
+}
+
+// TestMultigridGalerkinConsistency: P reproduces constants, so the Galerkin
+// operator must satisfy A_c·1 = Pᵀ·(A·1) exactly up to rounding — the
+// boundary conductances of the fine operator reappear, restricted, on every
+// coarse level.
+func TestMultigridGalerkinConsistency(t *testing.T) {
+	a := grid3D(16, 3)
+	mg, err := NewMultigrid(a, stackGeo(16, 3), MGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fineOnes := make([]float64, a.N)
+	for i := range fineOnes {
+		fineOnes[i] = 1
+	}
+	fineRow := make([]float64, a.N)
+	a.MulVec(fineRow, fineOnes)
+	for l := 1; l < mg.Levels(); l++ {
+		lev := mg.s.levels[l]
+		ac := mg.lv[l].a
+		// want = Pᵀ·fineRow restricted level by level.
+		want := make([]float64, lev.n)
+		for I := 0; I < lev.n; I++ {
+			var s float64
+			for q := lev.ptPtr[I]; q < lev.ptPtr[I+1]; q++ {
+				s += lev.ptW[q] * fineRow[lev.ptCol[q]]
+			}
+			want[I] = s
+		}
+		ones := make([]float64, lev.n)
+		for i := range ones {
+			ones[i] = 1
+		}
+		got := make([]float64, lev.n)
+		ac.MulVec(got, ones)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("level %d: (A_c·1)[%d] = %g, want %g", l, i, got[i], want[i])
+			}
+		}
+		fineRow, fineOnes = want, ones
+	}
+}
+
+// TestMultigridApplySPD: the V-cycle must be a symmetric positive-definite
+// operator — u·M⁻¹v = v·M⁻¹u and r·M⁻¹r > 0 — or PCG's theory (and its
+// rz > 0 guard) breaks down.
+func TestMultigridApplySPD(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opt  MGOptions
+	}{
+		{"cholesky-coarsest", MGOptions{}},
+		{"gs-fallback-coarsest", MGOptions{CoarsestMaxDense: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := grid3D(16, 4)
+			mg, err := NewMultigrid(a, stackGeo(16, 4), tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(7))
+			u := make([]float64, a.N)
+			v := make([]float64, a.N)
+			mu := make([]float64, a.N)
+			mv := make([]float64, a.N)
+			for trial := 0; trial < 4; trial++ {
+				for i := range u {
+					u[i] = rng.NormFloat64()
+					v[i] = rng.NormFloat64()
+				}
+				mg.Apply(mu, u)
+				mg.Apply(mv, v)
+				var uMv, vMu, uMu float64
+				for i := range u {
+					uMv += u[i] * mv[i]
+					vMu += v[i] * mu[i]
+					uMu += u[i] * mu[i]
+				}
+				if rel := math.Abs(uMv-vMu) / (math.Abs(uMv) + math.Abs(vMu)); rel > 1e-10 {
+					t.Fatalf("asymmetric: u·Mv=%g v·Mu=%g (rel %g)", uMv, vMu, rel)
+				}
+				if uMu <= 0 {
+					t.Fatalf("not positive definite: u·Mu = %g", uMu)
+				}
+			}
+		})
+	}
+}
+
+func TestMultigridCGAgreesWithJacobi(t *testing.T) {
+	a := grid3D(32, 4)
+	geo := stackGeo(32, 4)
+	rng := rand.New(rand.NewSource(3))
+	rhs := make([]float64, a.N)
+	for i := range rhs {
+		rhs[i] = rng.Float64()
+	}
+	xj := make([]float64, a.N)
+	itJ, err := SolveCG(a, xj, rhs, CGOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := NewMultigrid(a, geo, MGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xm := make([]float64, a.N)
+	itM, err := SolveCG(a, xm, rhs, CGOptions{Tol: 1e-10, Precond: mg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scale float64
+	for i := range xj {
+		if v := math.Abs(xj[i]); v > scale {
+			scale = v
+		}
+	}
+	for i := range xj {
+		if math.Abs(xj[i]-xm[i]) > 1e-7*scale {
+			t.Fatalf("x[%d]: jacobi %g vs mg %g (scale %g)", i, xj[i], xm[i], scale)
+		}
+	}
+	if itM >= itJ {
+		t.Fatalf("mg took %d iterations, jacobi %d — preconditioner not helping", itM, itJ)
+	}
+	if mg.Cycles() == 0 || mg.Setups() != 1 {
+		t.Fatalf("cycles=%d setups=%d, want >0 and 1", mg.Cycles(), mg.Setups())
+	}
+}
+
+// TestMultigridIterationScaling: the whole point of the hierarchy — the
+// preconditioned iteration count must stay near-constant as the grid grows
+// (plain CG grows roughly linearly in grid size).
+func TestMultigridIterationScaling(t *testing.T) {
+	iters := map[int]int{}
+	for _, g := range []int{16, 64} {
+		a := grid3D(g, 4)
+		mg, err := NewMultigrid(a, stackGeo(g, 4), MGOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhs := make([]float64, a.N)
+		rng := rand.New(rand.NewSource(11))
+		for i := range rhs {
+			rhs[i] = rng.Float64()
+		}
+		x := make([]float64, a.N)
+		it, err := SolveCG(a, x, rhs, CGOptions{Tol: 1e-8, Precond: mg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		iters[g] = it
+	}
+	if iters[64] > 2*iters[16] {
+		t.Fatalf("iterations grew %d → %d from grid 16 to 64; want within 2×", iters[16], iters[64])
+	}
+}
+
+// TestMultigridRefreshTracksValues: after scaling the bound matrix in place,
+// a stale hierarchy must still produce the right answer (the convergence test
+// uses true residuals) and a Refresh must restore the iteration count.
+func TestMultigridRefreshTracksValues(t *testing.T) {
+	a := grid3D(16, 4)
+	mg, err := NewMultigrid(a, stackGeo(16, 4), MGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := make([]float64, a.N)
+	rng := rand.New(rand.NewSource(5))
+	for i := range rhs {
+		rhs[i] = rng.Float64()
+	}
+	x := make([]float64, a.N)
+	itFresh, err := SolveCG(a, x, rhs, CGOptions{Tol: 1e-10, Precond: mg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Val {
+		a.Val[i] *= 3
+	}
+	// Stale hierarchy: still converges, to the correct (scaled) solution.
+	want := make([]float64, a.N)
+	if _, err := SolveCG(a, want, rhs, CGOptions{Tol: 1e-12}); err != nil {
+		t.Fatal(err)
+	}
+	xStale := make([]float64, a.N)
+	if _, err := SolveCG(a, xStale, rhs, CGOptions{Tol: 1e-10, Precond: mg}); err != nil {
+		t.Fatalf("stale-precond solve failed: %v", err)
+	}
+	var scale float64
+	for _, v := range want {
+		if m := math.Abs(v); m > scale {
+			scale = m
+		}
+	}
+	for i := range want {
+		if math.Abs(xStale[i]-want[i]) > 1e-6*scale {
+			t.Fatalf("stale x[%d] = %g, want %g", i, xStale[i], want[i])
+		}
+	}
+	// Refreshed hierarchy: uniform scaling leaves the preconditioned system
+	// as well-conditioned as before, so the iteration count comes back.
+	if err := mg.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	xNew := make([]float64, a.N)
+	itRefreshed, err := SolveCG(a, xNew, rhs, CGOptions{Tol: 1e-10, Precond: mg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if itRefreshed > itFresh+2 {
+		t.Fatalf("refreshed solve took %d iterations, fresh took %d", itRefreshed, itFresh)
+	}
+	if mg.Setups() != 2 {
+		t.Fatalf("Setups() = %d, want 2", mg.Setups())
+	}
+}
+
+func TestMultigridRefreshRejectsNonSPD(t *testing.T) {
+	a := grid3D(8, 2)
+	mg, err := NewMultigrid(a, stackGeo(8, 2), MGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Val {
+		a.Val[i] = -a.Val[i]
+	}
+	if err := mg.Refresh(); err == nil {
+		t.Fatal("Refresh accepted a negated matrix")
+	}
+}
+
+// TestMultigridStructureShared: two instances over the same geometry and
+// pattern must share one symbolic hierarchy (that sharing is what lets
+// best-of-N replicas amortize the setup).
+func TestMultigridStructureShared(t *testing.T) {
+	a1 := grid3D(16, 3)
+	a2 := grid3D(16, 3)
+	mg1, err := NewMultigrid(a1, stackGeo(16, 3), MGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg2, err := NewMultigrid(a2, stackGeo(16, 3), MGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg1.s != mg2.s {
+		t.Fatal("identical (geometry, pattern) pairs built distinct symbolic hierarchies")
+	}
+}
+
+func TestDenseCholeskySolve(t *testing.T) {
+	a := grid3D(8, 1) // small SPD system, factored entirely
+	L, err := denseCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	want := make([]float64, a.N)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	rhs := make([]float64, a.N)
+	a.MulVec(rhs, want)
+	got := make([]float64, a.N)
+	cholSolve(L, a.N, got, rhs)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+			t.Fatalf("x[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}

@@ -211,6 +211,16 @@ func (m *CSR) At(i, j int) float64 {
 // iteration budget without meeting the residual tolerance.
 var ErrNoConvergence = errors.New("sparse: solver did not converge")
 
+// Preconditioner approximates the inverse of the system matrix: Apply
+// overwrites z with M⁻¹·r. For conjugate gradients to remain valid the
+// operator must be linear, symmetric positive definite, and fixed for the
+// duration of one solve (it may change freely between solves — the
+// convergence test uses the true residual, so a stale-but-SPD preconditioner
+// affects only the iteration count, never the answer).
+type Preconditioner interface {
+	Apply(z, r []float64)
+}
+
 // CGOptions configures the conjugate-gradient solver.
 type CGOptions struct {
 	// Tol is the relative residual tolerance ‖r‖/‖b‖. Default 1e-8.
@@ -223,6 +233,13 @@ type CGOptions struct {
 	// already computes, so it cannot perturb the arithmetic; when nil the
 	// only cost is one pointer test per iteration.
 	OnIteration func(iter int, residual float64)
+	// Precond, when non-nil, replaces the built-in Jacobi preconditioner in
+	// CGSolver.SolveContext / SolveCG / SolveCGContext (SolveCGSSOR and
+	// SolveGaussSeidel ignore it — they embody their own preconditioners).
+	// A nil Precond keeps the historical Jacobi path, bit for bit; a non-nil
+	// one branches to a separate preconditioned loop before the Jacobi setup
+	// runs, so it cannot perturb default-path arithmetic.
+	Precond Preconditioner
 	// Inject, when armed at faultinject.PointCGSolve, makes the solve fail
 	// before iterating with an error matching both ErrNoConvergence and
 	// faultinject.ErrInjected, exercising the thermal recovery ladder

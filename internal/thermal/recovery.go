@@ -41,7 +41,10 @@ func (m *Model) coldGuess() {
 }
 
 // runCG performs one CG attempt on the assembled system with the model's
-// observability trace attached, reusing cg's scratch when available.
+// observability trace attached, reusing cg's scratch when available. The
+// model's resolved preconditioner picks the solver variant: "ssor" routes to
+// the standalone SSOR-preconditioned CG, "mg" arrives via opt.Precond (set by
+// solveAssembled), and "jacobi" is the historical fused path.
 func (m *Model) runCG(ctx context.Context, a *sparse.CSR, cg *sparse.CGSolver, opt sparse.CGOptions) (int, error) {
 	var trace *obs.CGTrace
 	if m.obs.Enabled() {
@@ -50,9 +53,12 @@ func (m *Model) runCG(ctx context.Context, a *sparse.CSR, cg *sparse.CGSolver, o
 	}
 	var iters int
 	var err error
-	if cg != nil {
+	switch {
+	case m.precond == precondSSOR && opt.Precond == nil:
+		iters, err = sparse.SolveCGSSOR(ctx, a, m.temps, m.power, opt)
+	case cg != nil:
 		iters, err = cg.SolveContext(ctx, m.temps, m.power, opt)
-	} else {
+	default:
 		iters, err = sparse.SolveCGContext(ctx, a, m.temps, m.power, opt)
 	}
 	m.obs.EndCG(trace, iters, err == nil)
@@ -71,7 +77,8 @@ func recoverable(ctx context.Context, err error) bool {
 // attempt failed to converge. It escalates through bounded rungs:
 //
 //  1. Cold restart: discard the (possibly misleading) warm state and retry
-//     the same Jacobi-preconditioned solve from the uniform guess.
+//     the same solve — same preconditioner, Jacobi by default — from the
+//     uniform guess.
 //  2. Preconditioner fallback: retry with the stronger SSOR-preconditioned
 //     CG variant, again from a cold start.
 //  3. Relaxed tolerance: one last SSOR attempt at relaxedTolFactor× the

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"tap25d/internal/btree"
@@ -256,6 +257,13 @@ type Options struct {
 	// ThermalGrid is the thermal model resolution (default 64, as in the
 	// paper; use 32 for fast exploration).
 	ThermalGrid int
+	// Precond selects the CG preconditioner: "jacobi", "ssor", "mg"
+	// (geometric multigrid), or "auto" (the default) which keeps the
+	// historical Jacobi path up to grid 64 and switches to multigrid at
+	// finer grids, where its near-constant iteration count pays for the
+	// hierarchy. All choices solve to the same tolerance; only speed and
+	// iteration counts differ.
+	Precond string
 	// Steps is the SA step budget per run (default 1000; the paper uses
 	// 4500).
 	Steps int
@@ -367,8 +375,9 @@ func (o Options) thermalOptions(sys *System) thermal.Options {
 		grid = 64
 	}
 	stack := material.DefaultStackFor(sys.InterposerW, sys.InterposerH)
-	return thermal.Options{Grid: grid, Stack: &stack, Obs: o.Observer,
-		DisableRecovery: o.DisableRecovery, Inject: o.FaultInjector}
+	return thermal.Options{Grid: grid, Stack: &stack, Precond: o.Precond,
+		Obs: o.Observer, DisableRecovery: o.DisableRecovery,
+		Inject: o.FaultInjector}
 }
 
 func (o Options) routeOptions() route.Options {
@@ -602,6 +611,44 @@ func TDPEnvelope(sys *System, p Placement, vary []int, opt Options) (*TDPResult,
 		CriticalC:   opt.critical(),
 		VaryIndices: vary,
 	})
+}
+
+// EvaluateScenarios solves the thermal field of placement p under several
+// power corners in one batched pass: scenario c scales every chiplet's power
+// by powerScales[c]. All corners share one conductance-matrix assembly and —
+// at multigrid grids — one hierarchy, and the right-hand sides are swept
+// together through blocked SpMV, which is substantially faster than solving
+// the corners independently (see BENCH_SOLVER.json). Each returned field is
+// bit-identical to a fresh single-scenario solve of that corner. This is the
+// batch entry the best-of-N service flows use for power-corner screening;
+// honor Options.Context for cancellation.
+func EvaluateScenarios(sys *System, p Placement, powerScales []float64, opt Options) ([]*ThermalResult, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sys.CheckPlacement(p); err != nil {
+		return nil, err
+	}
+	for c, s := range powerScales {
+		if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("tap25d: power scale %d is %v; want a finite non-negative factor", c, s)
+		}
+	}
+	model, err := thermal.NewModel(sys.InterposerW, sys.InterposerH, opt.thermalOptions(sys))
+	if err != nil {
+		return nil, err
+	}
+	base := placer.Sources(sys, p)
+	specs := make([][]thermal.Source, len(powerScales))
+	for c, scale := range powerScales {
+		spec := make([]thermal.Source, len(base))
+		copy(spec, base)
+		for k := range spec {
+			spec[k].Power *= scale
+		}
+		specs[c] = spec
+	}
+	return model.SolveBatch(opt.context(), specs)
 }
 
 // EvaluateLiquid scores placement p under microchannel liquid cooling
